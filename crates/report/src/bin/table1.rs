@@ -1,0 +1,4 @@
+//! Regenerate Table 1 (power measurement techniques).
+fn main() {
+    println!("{}", vap_report::experiments::table1::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 2 (architectures under consideration).
+fn main() {
+    println!("{}", vap_report::experiments::table2::run().render());
+}

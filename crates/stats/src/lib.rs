@@ -1,0 +1,38 @@
+//! # vap-stats
+//!
+//! Statistics utilities shared by the `vap` reproduction of Inadomi et al.,
+//! *"Analyzing and Mitigating the Impact of Manufacturing Variability in
+//! Power-Constrained Supercomputing"* (SC '15).
+//!
+//! This crate deliberately implements only the statistics the paper relies
+//! on, with no external numeric dependencies:
+//!
+//! * [`descriptive`] — mean / standard deviation / extrema summaries, as
+//!   printed in Fig. 2(i) ("Average=112.8W, Standard Deviation=4.51, ...").
+//! * [`variation`] — the paper's worst-case variation metrics (Table 3):
+//!   `Vp` (power), `Vf` (CPU frequency) and `Vt` (execution time), all
+//!   defined as `max / min` over a population.
+//! * [`regression`] — ordinary least squares with `R²`, used to validate the
+//!   linear power-vs-frequency model (Fig. 5, R² ≥ 0.99).
+//! * [`correlation`] — Pearson correlation, quantifying Fig. 1(C)'s
+//!   negative slowdown-power relationship on Teller.
+//! * [`histogram`] — fixed-width binning for distribution plots.
+//! * [`speedup`] — per-benchmark speedup aggregation for Fig. 7 (maximum and
+//!   average speedup across benchmarks and power constraints).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod regression;
+pub mod speedup;
+pub mod variation;
+
+pub use correlation::pearson;
+pub use descriptive::Summary;
+pub use histogram::Histogram;
+pub use regression::LinearFit;
+pub use speedup::SpeedupTable;
+pub use variation::{worst_case_variation, Variation};
