@@ -193,7 +193,7 @@ fn bench_ablations(c: &mut Criterion) {
     // Ablation: cost of the P-state granularity on frequency snapping.
     let mut g = c.benchmark_group("ablation_pstate_floor");
     for steps in [0.1, 0.05, 0.01] {
-        let table = vap_model::pstate::PStateTable::evenly_spaced(1.2, 2.7, steps);
+        let table = vap_model::pstate::PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(steps));
         g.bench_with_input(
             BenchmarkId::new("floor", format!("{steps}GHz")),
             &table,

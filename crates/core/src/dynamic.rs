@@ -92,7 +92,9 @@ impl MultiPvt {
                 best = Some((*micro, mape));
             }
         }
-        Ok(best.expect("non-empty table set"))
+        // `generate` guarantees at least one table, so this only fires for
+        // a hand-built empty MultiPvt — report it as an empty selection.
+        best.ok_or(BudgetError::NoModules)
     }
 }
 

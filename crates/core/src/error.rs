@@ -23,6 +23,12 @@ pub enum BudgetError {
     },
     /// PVT and test run disagree about the frequency anchors.
     AnchorMismatch,
+    /// The scheme needs a published TDP the system spec does not provide
+    /// (e.g. the Naive scheme on a part without vendor TDP data).
+    MissingTdp {
+        /// Which domain's TDP is absent (`"CPU"` or `"DRAM"`).
+        domain: &'static str,
+    },
 }
 
 impl std::fmt::Display for BudgetError {
@@ -39,6 +45,9 @@ impl std::fmt::Display for BudgetError {
             }
             BudgetError::AnchorMismatch => {
                 write!(f, "PVT and test run were taken at different frequency anchors")
+            }
+            BudgetError::MissingTdp { domain } => {
+                write!(f, "system spec publishes no {domain} TDP, required by this scheme")
             }
         }
     }

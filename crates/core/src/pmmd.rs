@@ -100,12 +100,12 @@ mod tests {
         (c, pvt)
     }
 
-    fn run_with(scheme: SchemeId, per_module_w: f64, n: usize) -> RegionReport {
+    fn run_with(scheme: SchemeId, per_module: Watts, n: usize) -> RegionReport {
         let (mut c, pvt) = setup(n);
         let w = catalog::get(WorkloadId::Mhd);
         let ids: Vec<usize> = (0..n).collect();
         let req = PlanRequest {
-            budget: Watts(per_module_w * n as f64),
+            budget: per_module * n as f64,
             module_ids: &ids,
             workload: &w,
             pvt: &pvt,
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn region_reports_power_within_budget_for_pc() {
         let n = 16;
-        let report = run_with(SchemeId::VaPc, 80.0, n);
+        let report = run_with(SchemeId::VaPc, Watts(80.0), n);
         assert!(report.total_power <= Watts(80.0 * n as f64) * 1.01);
         assert_eq!(report.module_power.len(), n);
         assert!(report.makespan().value() > 0.0);
@@ -148,15 +148,15 @@ mod tests {
 
     #[test]
     fn tighter_budget_runs_slower() {
-        let loose = run_with(SchemeId::VaFs, 90.0, 8);
-        let tight = run_with(SchemeId::VaFs, 65.0, 8);
+        let loose = run_with(SchemeId::VaFs, Watts(90.0), 8);
+        let tight = run_with(SchemeId::VaFs, Watts(65.0), 8);
         assert!(tight.makespan() > loose.makespan());
         assert!(tight.total_power < loose.total_power);
     }
 
     #[test]
     fn energy_is_power_times_time_per_rank() {
-        let report = run_with(SchemeId::VaPc, 85.0, 4);
+        let report = run_with(SchemeId::VaPc, Watts(85.0), 4);
         let hand: f64 = report
             .module_power
             .iter()

@@ -122,6 +122,8 @@ impl PowerVariationTable {
     /// Serialize to JSON (the PVT is a per-system artifact worth
     /// persisting — it is generated once at install time).
     pub fn to_json(&self) -> String {
+        // vap:allow(no-panic-in-lib): serde_json cannot fail on this plain
+        // data structure (no maps with non-string keys, no custom Serialize)
         serde_json::to_string_pretty(self).expect("PVT serialization cannot fail")
     }
 

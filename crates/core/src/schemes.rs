@@ -176,8 +176,9 @@ impl SchemeId {
         match self {
             SchemeId::Naive => {
                 let spec = cluster.spec();
-                let cpu_tdp = spec.tdp.expect("Naive needs a published CPU TDP");
-                let dram_tdp = spec.dram_tdp.expect("Naive needs a published DRAM TDP");
+                let cpu_tdp = spec.tdp.ok_or(BudgetError::MissingTdp { domain: "CPU" })?;
+                let dram_tdp =
+                    spec.dram_tdp.ok_or(BudgetError::MissingTdp { domain: "DRAM" })?;
                 Ok(PowerModelTable::naive(
                     req.module_ids,
                     spec.pstates.f_max(),
@@ -313,12 +314,12 @@ mod tests {
         cluster: &mut Cluster,
         pvt: &PowerVariationTable,
         workload: WorkloadId,
-        per_module_w: f64,
+        per_module: Watts,
     ) -> Result<PowerPlan, BudgetError> {
         let w = catalog::get(workload);
         let ids: Vec<usize> = (0..cluster.len()).collect();
         let req = PlanRequest {
-            budget: Watts(per_module_w * cluster.len() as f64),
+            budget: per_module * cluster.len() as f64,
             module_ids: &ids,
             workload: &w,
             pvt,
@@ -344,7 +345,7 @@ mod tests {
     #[test]
     fn naive_allocates_uniformly() {
         let (mut c, pvt) = setup(16);
-        let plan = plan_for(SchemeId::Naive, &mut c, &pvt, WorkloadId::Dgemm, 90.0).unwrap();
+        let plan = plan_for(SchemeId::Naive, &mut c, &pvt, WorkloadId::Dgemm, Watts(90.0)).unwrap();
         let first = plan.allocations[0];
         for a in &plan.allocations {
             assert_eq!(a.p_cpu, first.p_cpu);
@@ -357,7 +358,7 @@ mod tests {
     #[test]
     fn variation_aware_plans_spread_power() {
         let (mut c, pvt) = setup(32);
-        let plan = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Dgemm, 80.0).unwrap();
+        let plan = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Dgemm, Watts(80.0)).unwrap();
         let caps: Vec<f64> = plan.allocations.iter().map(|a| a.p_cpu.value()).collect();
         let spread = caps.iter().cloned().fold(f64::MIN, f64::max)
             - caps.iter().cloned().fold(f64::MAX, f64::min);
@@ -372,8 +373,8 @@ mod tests {
     #[test]
     fn tighter_budget_means_lower_alpha_and_frequency() {
         let (mut c, pvt) = setup(16);
-        let p90 = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Mhd, 90.0).unwrap();
-        let p70 = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Mhd, 70.0).unwrap();
+        let p90 = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Mhd, Watts(90.0)).unwrap();
+        let p70 = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Mhd, Watts(70.0)).unwrap();
         assert!(p70.alpha < p90.alpha);
         assert!(p70.allocations[0].frequency < p90.allocations[0].frequency);
     }
@@ -381,9 +382,9 @@ mod tests {
     #[test]
     fn infeasible_budget_is_reported() {
         let (mut c, pvt) = setup(8);
-        let err = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Stream, 40.0).unwrap_err();
+        let err = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Stream, Watts(40.0)).unwrap_err();
         assert!(matches!(err, BudgetError::InfeasibleBudget { .. }));
-        let err = plan_for(SchemeId::VaFsOr, &mut c, &pvt, WorkloadId::Stream, 40.0).unwrap_err();
+        let err = plan_for(SchemeId::VaFsOr, &mut c, &pvt, WorkloadId::Stream, Watts(40.0)).unwrap_err();
         assert!(matches!(err, BudgetError::InfeasibleBudget { .. }));
     }
 
@@ -393,14 +394,14 @@ mod tests {
         let w = catalog::get(WorkloadId::Mhd);
         w.apply_to(&mut c, SEED);
 
-        let pc = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Mhd, 80.0).unwrap();
+        let pc = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Mhd, Watts(80.0)).unwrap();
         apply_plan(&pc, &mut c);
         for (m, a) in c.modules().iter().zip(&pc.allocations) {
             let cap = m.cap().expect("PC must install caps");
             assert!((cap.cap.value() - a.p_cpu.value()).abs() < 0.13); // MSR quantization
         }
 
-        let fs = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Mhd, 80.0).unwrap();
+        let fs = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Mhd, Watts(80.0)).unwrap();
         apply_plan(&fs, &mut c);
         for m in c.modules() {
             assert!(m.cap().is_none(), "FS must not cap");
@@ -421,7 +422,7 @@ mod tests {
         // constraint because RAPL enforces strict power caps."
         let (mut c, pvt) = setup(24);
         let w = catalog::get(WorkloadId::Dgemm);
-        let plan = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Dgemm, 80.0).unwrap();
+        let plan = plan_for(SchemeId::VaPc, &mut c, &pvt, WorkloadId::Dgemm, Watts(80.0)).unwrap();
         w.apply_to(&mut c, SEED);
         apply_plan(&plan, &mut c);
         for (m, a) in c.modules().iter().zip(&plan.allocations) {
@@ -441,7 +442,7 @@ mod tests {
         let w = catalog::get(WorkloadId::Dgemm);
 
         // Uniform capping (Pc): frequencies vary.
-        let pc = plan_for(SchemeId::Pc, &mut c, &pvt, WorkloadId::Dgemm, 75.0).unwrap();
+        let pc = plan_for(SchemeId::Pc, &mut c, &pvt, WorkloadId::Dgemm, Watts(75.0)).unwrap();
         w.apply_to(&mut c, SEED);
         apply_plan(&pc, &mut c);
         let freqs: Vec<f64> =
@@ -449,7 +450,7 @@ mod tests {
         let vf_pc = vap_stats::worst_case_variation(&freqs).unwrap();
 
         // Variation-aware FS: frequencies equalized.
-        let fs = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Dgemm, 75.0).unwrap();
+        let fs = plan_for(SchemeId::VaFs, &mut c, &pvt, WorkloadId::Dgemm, Watts(75.0)).unwrap();
         apply_plan(&fs, &mut c);
         let freqs: Vec<f64> =
             c.effective_frequencies().iter().map(|f| f.value()).collect();
@@ -463,7 +464,7 @@ mod tests {
     fn oracle_fs_fits_budget_by_measurement() {
         let (mut c, pvt) = setup(16);
         let w = catalog::get(WorkloadId::Bt);
-        let plan = plan_for(SchemeId::VaFsOr, &mut c, &pvt, WorkloadId::Bt, 70.0).unwrap();
+        let plan = plan_for(SchemeId::VaFsOr, &mut c, &pvt, WorkloadId::Bt, Watts(70.0)).unwrap();
         w.apply_to(&mut c, SEED);
         apply_plan(&plan, &mut c);
         let total = c.total_power();

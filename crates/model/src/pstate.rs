@@ -27,21 +27,22 @@ impl PStateTable {
     /// Panics if `freqs` is empty or contains non-positive frequencies:
     /// a frequency table is static hardware description, so this is a
     /// configuration bug, not a runtime condition.
-    pub fn new(freqs: &[f64], turbo: Option<f64>) -> Self {
+    pub fn new(freqs: &[GigaHertz], turbo: Option<GigaHertz>) -> Self {
         assert!(!freqs.is_empty(), "P-state table must not be empty");
-        assert!(freqs.iter().all(|&f| f > 0.0), "frequencies must be positive");
-        let mut v: Vec<f64> = freqs.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        assert!(freqs.iter().all(|f| f.value() > 0.0), "frequencies must be positive");
+        let mut v: Vec<GigaHertz> = freqs.to_vec();
+        v.sort_by(|a, b| a.value().total_cmp(&b.value()));
         v.dedup();
-        if let Some(t) = turbo {
-            assert!(t >= *v.last().expect("non-empty"), "turbo must be >= nominal max");
+        if let (Some(t), Some(max)) = (turbo, v.last()) {
+            assert!(t.value() >= max.value(), "turbo must be >= nominal max");
         }
-        PStateTable { freqs: v.into_iter().map(GigaHertz).collect(), turbo: turbo.map(GigaHertz) }
+        PStateTable { freqs: v, turbo }
     }
 
     /// Build an evenly spaced table over `[min, max]` with `step` GHz
     /// spacing (inclusive of both ends).
-    pub fn evenly_spaced(min: f64, max: f64, step: f64) -> Self {
+    pub fn evenly_spaced(min: GigaHertz, max: GigaHertz, step: GigaHertz) -> Self {
+        let (min, max, step) = (min.value(), max.value(), step.value());
         assert!(min > 0.0 && max >= min && step > 0.0);
         let mut freqs = Vec::new();
         let mut i = 0usize;
@@ -53,17 +54,17 @@ impl PStateTable {
             if f >= max - 1e-9 {
                 break;
             }
-            freqs.push(f);
+            freqs.push(GigaHertz(f));
             i += 1;
         }
-        freqs.push(max);
+        freqs.push(GigaHertz(max));
         PStateTable::new(&freqs, None)
     }
 
     /// Attach a turbo frequency to an existing table.
-    pub fn with_turbo(mut self, turbo: f64) -> Self {
-        assert!(turbo >= self.f_max().value());
-        self.turbo = Some(GigaHertz(turbo));
+    pub fn with_turbo(mut self, turbo: GigaHertz) -> Self {
+        assert!(turbo.value() >= self.f_max().value());
+        self.turbo = Some(turbo);
         self
     }
 
@@ -75,7 +76,10 @@ impl PStateTable {
     /// Highest *nominal* frequency (`f_max` in Eq. 1). Turbo is excluded:
     /// the budgeting algorithm plans within the guaranteed range.
     pub fn f_max(&self) -> GigaHertz {
-        *self.freqs.last().expect("non-empty")
+        // The constructor rejects empty tables, so the fallback to `f_min`
+        // (which would itself only matter for an empty table) is inert; it
+        // exists to keep this accessor panic-free.
+        self.freqs.last().copied().unwrap_or_else(|| self.f_min())
     }
 
     /// The opportunistic turbo frequency, if any.
@@ -165,7 +169,7 @@ mod tests {
     use super::*;
 
     fn ha8k_like() -> PStateTable {
-        PStateTable::evenly_spaced(1.2, 2.7, 0.1)
+        PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1))
     }
 
     #[test]
@@ -200,17 +204,17 @@ mod tests {
 
     #[test]
     fn turbo_semantics() {
-        let t = PStateTable::new(&[1.2, 2.6], Some(3.3));
+        let t = PStateTable::new(&[GigaHertz(1.2), GigaHertz(2.6)], Some(GigaHertz(3.3)));
         assert_eq!(t.uncapped(), GigaHertz(3.3));
         assert_eq!(t.f_max(), GigaHertz(2.6));
         assert!(t.supports(GigaHertz(3.3)));
-        let nt = PStateTable::new(&[1.2, 2.6], None);
+        let nt = PStateTable::new(&[GigaHertz(1.2), GigaHertz(2.6)], None);
         assert_eq!(nt.uncapped(), GigaHertz(2.6));
     }
 
     #[test]
     fn unordered_duplicated_input_is_normalized() {
-        let t = PStateTable::new(&[2.0, 1.0, 2.0, 1.5], None);
+        let t = PStateTable::new(&[GigaHertz(2.0), GigaHertz(1.0), GigaHertz(2.0), GigaHertz(1.5)], None);
         assert_eq!(t.len(), 3);
         assert_eq!(t.f_min(), GigaHertz(1.0));
         assert_eq!(t.f_max(), GigaHertz(2.0));
@@ -225,6 +229,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn turbo_below_nominal_panics() {
-        let _ = PStateTable::new(&[1.0, 2.0], Some(1.5));
+        let _ = PStateTable::new(&[GigaHertz(1.0), GigaHertz(2.0)], Some(GigaHertz(1.5)));
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::power::{CpuPowerModel, DramPowerModel, ModulePowerModel, VoltageCurve};
 use crate::pstate::PStateTable;
-use crate::units::Watts;
+use crate::units::{GigaHertz, Watts};
 use crate::variability::VariabilityModel;
 use serde::{Deserialize, Serialize};
 
@@ -158,7 +158,7 @@ impl SystemSpec {
             measurement: MeasurementTech::Rapl,
             // No turbo in the capped study: uncapped runs sit at 2.7 GHz on
             // every module, giving the paper's Vf = 1.00 baseline.
-            pstates: PStateTable::evenly_spaced(1.2, 2.7, 0.1),
+            pstates: PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1)),
             power_model: ModulePowerModel {
                 cpu: CpuPowerModel {
                     voltage: VoltageCurve { v0: 0.60, v1: 0.10 },
@@ -202,7 +202,7 @@ impl SystemSpec {
             tdp: Some(Watts(115.0)),
             dram_tdp: None, // DRAM readings unavailable (BIOS restrictions)
             measurement: MeasurementTech::Rapl,
-            pstates: PStateTable::evenly_spaced(1.2, 2.6, 0.1).with_turbo(3.3),
+            pstates: PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.6), GigaHertz(0.1)).with_turbo(GigaHertz(3.3)),
             power_model: ModulePowerModel {
                 cpu: CpuPowerModel {
                     voltage: VoltageCurve { v0: 0.60, v1: 0.10 },
@@ -246,7 +246,7 @@ impl SystemSpec {
             tdp: None, // "Unreported (Max 100 kW per rack)"
             dram_tdp: None,
             measurement: MeasurementTech::BgqEmon,
-            pstates: PStateTable::new(&[1.6], None), // fixed-frequency part
+            pstates: PStateTable::new(&[GigaHertz(1.6)], None), // fixed-frequency part
             power_model: ModulePowerModel {
                 cpu: CpuPowerModel {
                     voltage: VoltageCurve { v0: 0.60, v1: 0.10 },
@@ -291,7 +291,7 @@ impl SystemSpec {
             tdp: Some(Watts(100.0)),
             dram_tdp: None,
             measurement: MeasurementTech::PowerInsight,
-            pstates: PStateTable::evenly_spaced(1.4, 3.8, 0.2).with_turbo(4.2),
+            pstates: PStateTable::evenly_spaced(GigaHertz(1.4), GigaHertz(3.8), GigaHertz(0.2)).with_turbo(GigaHertz(4.2)),
             power_model: ModulePowerModel {
                 cpu: CpuPowerModel {
                     voltage: VoltageCurve { v0: 0.55, v1: 0.11 },

@@ -179,6 +179,8 @@ impl Watts {
 
     /// Value in kilowatts.
     #[inline]
+    // vap:allow(raw-unit-f64): deliberate unwrap to a raw scalar, mirroring
+    // `value()`, for display in the paper's kW-quoted tables
     pub fn kilowatts(self) -> f64 {
         self.0 / 1e3
     }

@@ -58,6 +58,7 @@ pub struct VariabilityModel {
     /// performance z-score. Teller showed a *negative* correlation between
     /// slowdown and power (more power ⇒ faster), i.e. a positive
     /// power-performance correlation here.
+    // vap:allow(raw-unit-f64): a correlation coefficient is dimensionless
     pub perf_power_corr: f64,
 }
 
@@ -98,6 +99,8 @@ impl VariabilityModel {
 
     /// Sample a single module's variation.
     pub fn sample_module(&self, module_id: usize, cores: usize, rng: &mut StdRng) -> ModuleVariation {
+        // vap:allow(no-panic-in-lib): Normal::new(0, 1) with constant finite
+        // arguments cannot return Err
         let std_normal = Normal::new(0.0, 1.0).expect("valid std normal");
         let z_dyn: f64 = std_normal.sample(rng);
         let dynamic = clamp_mult(1.0 + self.dynamic_sigma * z_dyn);
@@ -105,6 +108,8 @@ impl VariabilityModel {
         // Log-normal with unit mean: E[exp(N(mu, s^2))] = exp(mu + s^2/2) = 1.
         let leakage = if self.leakage_sigma > 0.0 {
             let mu = -self.leakage_sigma * self.leakage_sigma / 2.0;
+            // vap:allow(no-panic-in-lib): guarded by `leakage_sigma > 0.0`
+            // above, so the parameters are always finite and valid
             let ln = LogNormal::new(mu, self.leakage_sigma).expect("valid log-normal");
             ln.sample(rng).clamp(LEAKAGE_FLOOR, LEAKAGE_CEIL)
         } else {

@@ -13,7 +13,7 @@ proptest! {
     /// range; floor and ceil are supported states; nearest is one of them.
     #[test]
     fn pstate_snapping(f in 0.5f64..4.0) {
-        let t = PStateTable::evenly_spaced(1.2, 2.7, 0.1);
+        let t = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1));
         let x = GigaHertz(f);
         let lo = t.floor(x);
         let hi = t.ceil(x);
@@ -31,7 +31,7 @@ proptest! {
     /// Stepping down then up from an interior P-state is the identity.
     #[test]
     fn pstate_stepping_round_trip(idx in 1usize..15) {
-        let t = PStateTable::evenly_spaced(1.2, 2.7, 0.1);
+        let t = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1));
         let f = t.frequencies()[idx];
         let down = t.step_down(f).expect("interior state");
         let up = t.step_up(down).expect("interior state");

@@ -30,10 +30,12 @@ impl<T> Eq for Scheduled<T> {}
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first, then FIFO.
+        // total_cmp gives NaN a defined (deterministic) order instead of a
+        // panic; a NaN timestamp is an upstream bug either way.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must be comparable (no NaN)")
+            .value()
+            .total_cmp(&self.time.value())
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

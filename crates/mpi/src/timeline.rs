@@ -137,7 +137,7 @@ impl Timeline {
             return None;
         }
         let counts = self.straggler_counts();
-        let max = *counts.iter().max().expect("non-empty");
+        let max = counts.iter().max().copied().unwrap_or(0);
         Some(max as f64 / stragglers.len() as f64)
     }
 

@@ -52,13 +52,13 @@ mod tests {
     use super::*;
 
     fn table() -> PStateTable {
-        PStateTable::evenly_spaced(1.2, 2.7, 0.1)
+        PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1))
     }
 
     #[test]
     fn performance_reaches_top() {
         assert_eq!(Governor::Performance.resolve(&table()), GigaHertz(2.7));
-        let turbo = PStateTable::evenly_spaced(1.2, 2.6, 0.1).with_turbo(3.3);
+        let turbo = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.6), GigaHertz(0.1)).with_turbo(GigaHertz(3.3));
         assert_eq!(Governor::Performance.resolve(&turbo), GigaHertz(3.3));
     }
 

@@ -23,8 +23,8 @@ use vap_model::units::{GigaHertz, Seconds, Watts};
 pub struct DynamicsResult {
     /// Package power per control interval.
     pub power: PowerTrace,
-    /// Clock frequency per control interval (GHz).
-    pub freq_ghz: Vec<f64>,
+    /// Effective (duty-weighted) clock frequency per control interval.
+    pub freq: Vec<GigaHertz>,
     /// Modulation duty per control interval.
     pub duty: Vec<f64>,
     /// First interval index at which the operating point stopped changing
@@ -48,8 +48,8 @@ impl DynamicsResult {
 
     /// Mean frequency over the final quarter of the run.
     pub fn converged_frequency(&self) -> GigaHertz {
-        let tail = &self.freq_ghz[self.freq_ghz.len() - self.freq_ghz.len() / 4 - 1..];
-        GigaHertz(tail.iter().sum::<f64>() / tail.len() as f64)
+        let tail = &self.freq[self.freq.len() - self.freq.len() / 4 - 1..];
+        GigaHertz(tail.iter().map(|f| f.value()).sum::<f64>() / tail.len() as f64)
     }
 }
 
@@ -72,7 +72,7 @@ pub fn enforce(
     let mut duty = 1.0f64;
 
     let mut power = PowerTrace::new(dt);
-    let mut freq_ghz = Vec::with_capacity(steps);
+    let mut freq = Vec::with_capacity(steps);
     let mut duties = Vec::with_capacity(steps);
     let mut last_change = 0usize;
 
@@ -87,7 +87,7 @@ pub fn enforce(
         let p_avg = p_run * duty + p_gated * (1.0 - duty);
 
         power.record(p_avg);
-        freq_ghz.push(clock.value() * duty);
+        freq.push(GigaHertz(clock.value() * duty));
         duties.push(duty);
         module.step(dt);
 
@@ -125,7 +125,7 @@ pub fn enforce(
     module.set_governor(crate::cpufreq::Governor::Performance);
 
     let settled_at = if last_change < steps { Some(last_change) } else { None };
-    DynamicsResult { power, freq_ghz, duty: duties, settled_at }
+    DynamicsResult { power, freq, duty: duties, settled_at }
 }
 
 /// Compare the dynamic loop's converged operating point against the
@@ -217,7 +217,7 @@ mod tests {
         let mut m = busy_module();
         let limit = RaplLimit::with_default_window(Watts(150.0));
         let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 100);
-        assert!(r.freq_ghz.iter().all(|&f| (f - 2.7).abs() < 1e-9));
+        assert!(r.freq.iter().all(|f| (f.value() - 2.7).abs() < 1e-9));
         assert_eq!(r.settled_at, Some(0));
     }
 
@@ -227,7 +227,7 @@ mod tests {
         let r = enforce(&mut m, RaplLimit::with_default_window(Watts(70.0)),
                         Seconds::from_millis(1.0), 123);
         assert_eq!(r.power.len(), 123);
-        assert_eq!(r.freq_ghz.len(), 123);
+        assert_eq!(r.freq.len(), 123);
         assert_eq!(r.duty.len(), 123);
         assert_eq!(r.power.duration(), Seconds(0.123));
     }

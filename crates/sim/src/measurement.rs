@@ -85,10 +85,16 @@ impl PowerSensor {
     }
 
     fn add_noise(&mut self, truth: Watts) -> Watts {
-        if self.noise_frac == 0.0 {
+        // `<=` rather than a float `==` zero test: a non-positive noise
+        // fraction means "noise-free meter" either way.
+        if self.noise_frac <= 0.0 {
             return truth;
         }
-        let normal = Normal::new(0.0, self.noise_frac).expect("valid noise distribution");
+        // With noise_frac > 0 the distribution is valid; the fallback keeps
+        // this path panic-free if it ever is not (e.g. NaN configuration).
+        let Ok(normal) = Normal::new(0.0, self.noise_frac) else {
+            return truth;
+        };
         let eps: f64 = normal.sample(&mut self.rng);
         (truth * (1.0 + eps)).max(Watts::ZERO)
     }

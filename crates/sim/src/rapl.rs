@@ -261,7 +261,7 @@ mod tests {
     }
 
     fn pstates() -> PStateTable {
-        PStateTable::evenly_spaced(1.2, 2.7, 0.1)
+        PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1))
     }
 
     fn nominal() -> ModuleVariation {

@@ -108,7 +108,7 @@ impl Scheduler {
                         (m.id, p.value())
                     })
                     .collect();
-                ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite powers"));
+                ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
                 let mut ids: Vec<usize> = ranked.into_iter().take(n).map(|(id, _)| id).collect();
                 ids.sort_unstable();
                 ids

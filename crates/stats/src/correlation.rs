@@ -6,6 +6,8 @@
 //! binning strategy. This module quantifies that relationship instead of
 //! eyeballing it.
 
+use crate::is_near_zero;
+
 /// Pearson product-moment correlation coefficient of two paired samples.
 ///
 /// Returns `None` for mismatched lengths, fewer than two points,
@@ -30,7 +32,10 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         syy += dy * dy;
         sxy += dx * dy;
     }
-    if sxx == 0.0 || syy == 0.0 {
+    // Degenerate (zero-variance) axes: guarded via `NEAR_ZERO` rather than
+    // an exact float `==` — see the constant's docs for why the threshold
+    // only reclassifies underflow residue.
+    if is_near_zero(sxx) || is_near_zero(syy) {
         return None;
     }
     Some(sxy / (sxx * syy).sqrt())

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::is_near_zero;
+
 /// A one-pass summary of a population of samples.
 ///
 /// The standard deviation is the *population* standard deviation (divide by
@@ -57,7 +59,10 @@ impl Summary {
     /// minimum is zero (the paper encounters this in Fig. 3, where one rank's
     /// synchronization overhead is "very small", producing Vt ≈ 57).
     pub fn worst_case_variation(&self) -> f64 {
-        if self.min == 0.0 {
+        // `NEAR_ZERO` guard instead of exact `== 0.0`: a tiny-but-normal
+        // minimum (Fig. 3) still yields a finite ratio; only underflow
+        // residue is treated as zero.
+        if is_near_zero(self.min) {
             f64::INFINITY
         } else {
             self.max / self.min
@@ -66,7 +71,7 @@ impl Summary {
 
     /// Coefficient of variation (`std_dev / mean`), dimensionless.
     pub fn coefficient_of_variation(&self) -> f64 {
-        if self.mean == 0.0 {
+        if is_near_zero(self.mean) {
             0.0
         } else {
             self.std_dev / self.mean
@@ -88,7 +93,7 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

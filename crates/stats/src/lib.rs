@@ -36,3 +36,20 @@ pub use histogram::Histogram;
 pub use regression::LinearFit;
 pub use speedup::SpeedupTable;
 pub use variation::{worst_case_variation, Variation};
+
+/// Threshold below which a magnitude is treated as zero by the guards that
+/// previously compared floats with `==`.
+///
+/// The value is intentionally far below any physically meaningful quantity
+/// in this project (watts, gigahertz, seconds, their sums of squares) and
+/// just above the subnormal range, so the *only* inputs it reclassifies
+/// relative to an exact `== 0.0` test are underflow residue. In particular
+/// a tiny-but-normal minimum (Fig. 3's near-zero synchronization wait,
+/// Vt ≈ 57) still divides normally instead of being clamped — a looser
+/// epsilon like `1e-12` would silently change those results.
+pub(crate) const NEAR_ZERO: f64 = 1e-300;
+
+/// Is `x` zero for the purposes of division / degeneracy guards?
+pub(crate) fn is_near_zero(x: f64) -> bool {
+    x.abs() < NEAR_ZERO
+}

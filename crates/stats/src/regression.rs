@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::is_near_zero;
+
 /// Result of fitting `y = intercept + slope * x` by least squares.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinearFit {
@@ -46,14 +48,16 @@ impl LinearFit {
             sxy += dx * dy;
             syy += dy * dy;
         }
-        if sxx == 0.0 {
+        // Vertical-line guard via `NEAR_ZERO` rather than exact `== 0.0`:
+        // only underflow residue is reclassified (see the constant's docs).
+        if is_near_zero(sxx) {
             return None;
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
-        // R² = 1 - SS_res / SS_tot. A perfectly flat response (syy == 0) is
+        // R² = 1 - SS_res / SS_tot. A perfectly flat response (syy ≈ 0) is
         // fitted exactly by the horizontal line, so report R² = 1.
-        let r_squared = if syy == 0.0 {
+        let r_squared = if is_near_zero(syy) {
             1.0
         } else {
             let ss_res: f64 = xs
@@ -97,7 +101,9 @@ pub fn mean_absolute_percentage_error(predicted: &[f64], observed: &[f64]) -> Op
     }
     let mut acc = 0.0;
     for (&p, &o) in predicted.iter().zip(observed) {
-        if o == 0.0 || !p.is_finite() || !o.is_finite() {
+        // Near-zero observations would blow up the percentage error; the
+        // guard replaces an exact `== 0.0` test (see `NEAR_ZERO`).
+        if is_near_zero(o) || !p.is_finite() || !o.is_finite() {
             return None;
         }
         acc += ((p - o) / o).abs();

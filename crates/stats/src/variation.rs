@@ -16,6 +16,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::is_near_zero;
+
 /// Which quantity a worst-case variation value describes.
 ///
 /// Purely a label — the arithmetic is identical for all three — but carrying
@@ -94,8 +96,11 @@ pub fn worst_case_variation(samples: &[f64]) -> Option<f64> {
         min = min.min(x);
         max = max.max(x);
     }
-    if min == 0.0 {
-        if max == 0.0 {
+    // `NEAR_ZERO` guards instead of exact `== 0.0`: Fig. 3's tiny-but-
+    // normal synchronization waits must still divide to a finite (huge)
+    // Vt; only underflow residue is treated as an exact zero.
+    if is_near_zero(min) {
+        if is_near_zero(max) {
             Some(1.0)
         } else {
             Some(f64::INFINITY)

@@ -34,7 +34,7 @@ fn main() {
         println!("module {id} ({label}): uncapped {:.1}", powers[id]);
         print!("  trajectory [GHz]: ");
         for step in [0usize, 2, 4, 6, 8, 10, 15, 20, 40, 299] {
-            print!("{:.2}@{}ms ", r.freq_ghz[step], step);
+            print!("{:.2}@{}ms ", r.freq[step].value(), step);
         }
         println!();
         println!(

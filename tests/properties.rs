@@ -110,7 +110,7 @@ proptest! {
             idle: Watts(8.0),
             gated_leakage_fraction: 1.0,
         };
-        let pstates = PStateTable::evenly_spaced(1.2, 2.7, 0.1);
+        let pstates = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1));
         let mut v = ModuleVariation::nominal(0, 12);
         v.dynamic = dynamic;
         v.leakage = leakage;
