@@ -28,8 +28,15 @@ impl Budgeter {
     /// *STREAM microbenchmark (the paper's choice — "it exhibited both
     /// memory and CPU boundedness").
     pub fn install(cluster: &mut Cluster, seed: u64) -> Self {
+        Self::install_with_threads(cluster, seed, 1)
+    }
+
+    /// [`Budgeter::install`] with the PVT sweep fanned over `threads` OS
+    /// threads. The resulting PVT — and therefore every plan — is
+    /// identical at any thread count.
+    pub fn install_with_threads(cluster: &mut Cluster, seed: u64, threads: usize) -> Self {
         let micro = catalog::get(WorkloadId::Stream);
-        let pvt = PowerVariationTable::generate(cluster, &micro, seed);
+        let pvt = PowerVariationTable::generate_with_threads(cluster, &micro, seed, threads);
         Budgeter { pvt, seed }
     }
 

@@ -62,9 +62,11 @@ pub fn run_region(
     let boundedness = workload.boundedness(cluster.spec().pstates.f_max());
     let run = engine::run_on_cluster(program, cluster, module_ids, &boundedness, comm);
 
-    // Measure while settings are still applied.
+    // Measure while settings are still applied. Ids outside the fleet were
+    // skipped at apply time; skip them here too so the power/time zip stays
+    // rank-aligned.
     let module_power: Vec<Watts> =
-        module_ids.iter().map(|&id| cluster.module(id).module_power()).collect();
+        module_ids.iter().filter_map(|&id| cluster.get(id).map(|m| m.module_power())).collect();
     let total_power: Watts = module_power.iter().copied().sum();
     let energy: Joules = module_power
         .iter()
@@ -75,7 +77,9 @@ pub fn run_region(
     // --- region exit (just before MPI_Finalize) ---
     release_plan(plan, cluster);
     for &id in module_ids {
-        let m = cluster.module_mut(id);
+        let Some(m) = cluster.get_mut(id) else {
+            continue;
+        };
         m.set_workload_variation(None);
         m.set_activity(PowerActivity::IDLE);
     }

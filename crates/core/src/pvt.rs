@@ -11,7 +11,7 @@
 //! *once per system*, which is the paper's key scalability argument versus
 //! per-job profiling of every allocation.
 
-use crate::testrun::measure_module_at;
+use crate::testrun::measure_module_snapshot;
 use serde::{Deserialize, Serialize};
 use vap_model::units::GigaHertz;
 use vap_sim::cluster::Cluster;
@@ -50,6 +50,22 @@ impl PowerVariationTable {
     /// given microbenchmark at `f_max` and `f_min` (the boot-time
     /// procedure). The fleet is left idle afterwards.
     pub fn generate(cluster: &mut Cluster, micro: &WorkloadSpec, seed: u64) -> Self {
+        Self::generate_with_threads(cluster, micro, seed, 1)
+    }
+
+    /// [`PowerVariationTable::generate`] with the per-module sweep fanned
+    /// over `threads` OS threads.
+    ///
+    /// The paper runs the microbenchmark "simultaneously on all modules"
+    /// at install time; here each module is measured on a private snapshot
+    /// ([`measure_module_snapshot`]), so the table is bit-for-bit identical
+    /// at any thread count — `threads = 1` is the reference serial sweep.
+    pub fn generate_with_threads(
+        cluster: &mut Cluster,
+        micro: &WorkloadSpec,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
         let f_max = cluster.spec().pstates.f_max();
         let f_min = cluster.spec().pstates.f_min();
         let n = cluster.len();
@@ -58,12 +74,14 @@ impl PowerVariationTable {
         // Put the microbenchmark on the whole fleet.
         micro.apply_to(cluster, seed);
 
-        let mut raw = Vec::with_capacity(n);
-        for id in 0..n {
-            let (cpu_max, dram_max) = measure_module_at(cluster, id, f_max);
-            let (cpu_min, dram_min) = measure_module_at(cluster, id, f_min);
-            raw.push((cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value()));
-        }
+        // Measure every module at both anchors. Each measurement steps a
+        // clone, so modules can be visited in any order by any thread.
+        let raw: Vec<(f64, f64, f64, f64)> =
+            vap_exec::par_map_modules(cluster, seed, threads, |m, _module_seed| {
+                let (cpu_max, dram_max) = measure_module_snapshot(m, f_max);
+                let (cpu_min, dram_min) = measure_module_snapshot(m, f_min);
+                (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())
+            });
 
         // Restore the fleet to idle.
         for m in cluster.modules_mut() {
@@ -212,5 +230,17 @@ mod tests {
         let (_, a) = pvt_for(16, 42);
         let (_, b) = pvt_for(16, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_table() {
+        let stream = catalog::get(WorkloadId::Stream);
+        let mut serial = Cluster::with_size(SystemSpec::ha8k(), 48, 13);
+        let reference = PowerVariationTable::generate_with_threads(&mut serial, &stream, 13, 1);
+        for threads in [2, 4, 7] {
+            let mut c = Cluster::with_size(SystemSpec::ha8k(), 48, 13);
+            let pvt = PowerVariationTable::generate_with_threads(&mut c, &stream, 13, threads);
+            assert_eq!(pvt, reference, "threads = {threads}");
+        }
     }
 }

@@ -268,7 +268,12 @@ impl SchemeId {
 ///   of FS).
 pub fn apply_plan(plan: &PowerPlan, cluster: &mut Cluster) {
     for a in &plan.allocations {
-        let m = cluster.module_mut(a.module_id);
+        // Plans validate their module ids at plan time; a plan applied to a
+        // *different* (smaller) fleet skips the missing modules instead of
+        // panicking.
+        let Some(m) = cluster.get_mut(a.module_id) else {
+            continue;
+        };
         match plan.control {
             ControlKind::PowerCapping => {
                 m.set_governor(Governor::Performance);
@@ -286,7 +291,9 @@ pub fn apply_plan(plan: &PowerPlan, cluster: &mut Cluster) {
 /// plan's modules.
 pub fn release_plan(plan: &PowerPlan, cluster: &mut Cluster) {
     for a in &plan.allocations {
-        let m = cluster.module_mut(a.module_id);
+        let Some(m) = cluster.get_mut(a.module_id) else {
+            continue;
+        };
         m.clear_cap();
         m.set_governor(Governor::Performance);
     }

@@ -11,6 +11,7 @@ use vap_model::units::{GigaHertz, Seconds, Watts};
 use vap_sim::cluster::Cluster;
 use vap_sim::cpufreq::Governor;
 use vap_sim::measurement::RaplEnergyMeter;
+use vap_sim::module::SimModule;
 use vap_workloads::spec::WorkloadSpec;
 
 /// Power measured on one module at the two anchor frequencies.
@@ -60,6 +61,26 @@ pub fn measure_module_at(cluster: &mut Cluster, module_id: usize, f: GigaHertz) 
     let powers = meter.end(m, Seconds(0.1));
     m.set_governor(saved_governor);
     powers
+}
+
+/// Measure `(cpu, dram)` average power at `f` on a *clone* of the module,
+/// leaving the module itself untouched.
+///
+/// This is the read-only form of [`measure_module_at`] the parallel PVT
+/// sweep fans over the fleet: every measurement starts from the module's
+/// current state and advances only its private clone, so the result is
+/// independent of sweep order and thread count.
+pub fn measure_module_snapshot(module: &SimModule, f: GigaHertz) -> (Watts, Watts) {
+    let mut m = module.clone();
+    m.clear_cap();
+    m.set_governor(Governor::Userspace(f));
+    let meter = RaplEnergyMeter::begin(&m);
+    // 100 ms of steady execution, stepped at the RAPL reporting interval.
+    let dt = Seconds::from_millis(10.0);
+    for _ in 0..10 {
+        m.step(dt);
+    }
+    meter.end(&m, Seconds(0.1))
 }
 
 /// Run the application's single-module test: put the workload on the
@@ -138,6 +159,21 @@ mod tests {
         let a = single_module_test_run(&mut c, 0, &dgemm, 1);
         let b = single_module_test_run(&mut c, 1, &dgemm, 1);
         assert_ne!(a.cpu_max, b.cpu_max, "manufacturing variability should show");
+    }
+
+    #[test]
+    fn snapshot_measurement_agrees_and_leaves_module_untouched() {
+        let mut c = cluster();
+        catalog::get(WorkloadId::Dgemm).apply_to(&mut c, 3);
+        let f = c.spec().pstates.f_max();
+        let energy_before = c.module(2).pkg_energy();
+        let snap = measure_module_snapshot(c.module(2), f);
+        // read-only: the real module's energy accounting did not advance
+        assert_eq!(c.module(2).pkg_energy(), energy_before);
+        // same starting state, same stepping → same reading as the
+        // in-place measurement
+        let in_place = measure_module_at(&mut c, 2, f);
+        assert_eq!(snap, in_place);
     }
 
     #[test]

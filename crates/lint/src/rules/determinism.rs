@@ -4,7 +4,9 @@
 //! produce bit-identical plans and power traces. That property dies the
 //! moment simulation state iterates a `HashMap` (randomized iteration
 //! order since Rust 1.36) or consults OS entropy / wall clocks. In
-//! `vap-sim`, `vap-mpi` and `vap-core`, non-test code must not use:
+//! `vap-sim`, `vap-mpi`, `vap-core` and `vap-exec` (the deterministic
+//! parallel execution layer lives or dies by this property), non-test
+//! code must not use:
 //!
 //! * `std::collections::HashMap` / `HashSet` — use `BTreeMap` /
 //!   `BTreeSet` / `Vec` (deterministic iteration, stable snapshots);
@@ -16,7 +18,7 @@ use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
 /// Crates whose state must replay deterministically.
-const SCOPE: [&str; 3] = ["vap-sim", "vap-mpi", "vap-core"];
+const SCOPE: [&str; 4] = ["vap-sim", "vap-mpi", "vap-core", "vap-exec"];
 
 /// `(token, message, help)` per forbidden construct.
 const FORBIDDEN: [(&str, &str, &str); 6] = [
@@ -61,7 +63,7 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core"
+        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec"
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {

@@ -198,9 +198,14 @@ fn sync_all(
 
 /// Effective per-rank rates for a job placed on `module_ids` of `cluster`,
 /// for a workload with the given CPU-boundedness. This is the bridge from
-/// the power-management state (operating points) to execution speed.
+/// the power-management state (operating points) to execution speed. Ids
+/// outside the fleet (stale job requests) are dropped rather than
+/// panicking mid-run.
 pub fn rates_on(cluster: &Cluster, module_ids: &[usize], boundedness: &Boundedness) -> Vec<f64> {
-    module_ids.iter().map(|&id| cluster.module(id).effective_rate(boundedness)).collect()
+    module_ids
+        .iter()
+        .filter_map(|&id| cluster.get(id).map(|m| m.effective_rate(boundedness)))
+        .collect()
 }
 
 /// Run `program` with one rank per module of `module_ids` on `cluster`.

@@ -104,13 +104,18 @@ pub struct AblationResult {
 }
 
 /// Run all four ablations.
+///
+/// Every sub-study fans its independent cells (sigma points, variability
+/// configurations, PVT rows, gradient on/off) over `opts.threads()`
+/// workers; results are identical at any thread count.
 pub fn run(opts: &RunOptions) -> AblationResult {
     let n = opts.modules_or(1920);
+    let threads = opts.threads();
     AblationResult {
-        sources: variation_sources(n, opts.seed),
-        thermal_vp: thermal_compounding(n, opts.seed),
-        pvt_choice: pvt_choice(n.min(256), opts.seed),
-        payoff: payoff_sweep(n.min(384), opts.seed, opts.scale),
+        sources: variation_sources(n, opts.seed, threads),
+        thermal_vp: thermal_compounding(n, opts.seed, threads),
+        pvt_choice: pvt_choice(n.min(256), opts.seed, threads),
+        payoff: payoff_sweep(n.min(384), opts.seed, opts.scale, threads),
         modules: n,
     }
 }
@@ -118,47 +123,48 @@ pub fn run(opts: &RunOptions) -> AblationResult {
 /// Ablation 4: manufacture fleets with increasing leakage spread and
 /// measure the VaFs-over-Naive speedup for NPB-BT at `Cm = 55 W` (a
 /// tight-but-feasible budget at every sigma).
-fn payoff_sweep(n: usize, seed: u64, scale: f64) -> Vec<PayoffPoint> {
+fn payoff_sweep(n: usize, seed: u64, scale: f64, threads: usize) -> Vec<PayoffPoint> {
     let bt = catalog::get(WorkloadId::Bt);
     let comm = CommParams::infiniband_fdr();
     let program = bt.program(scale.min(0.2)); // capped: 2×6 runs below
-    [0.0, 0.05, 0.10, 0.20, 0.30, 0.40]
-        .into_iter()
-        .map(|sigma| {
-            let mut spec = SystemSpec::ha8k();
-            spec.variability.leakage_sigma = sigma;
-            let mut cluster = Cluster::with_size(spec, n, seed);
-            cluster.set_activity_all(bt.activity);
-            let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
-            let vp = worst_case_variation(&powers).expect("non-empty");
+    let sigmas = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40];
+    vap_exec::par_grid(&sigmas, threads, |&sigma| {
+        let mut spec = SystemSpec::ha8k();
+        spec.variability.leakage_sigma = sigma;
+        let mut cluster = Cluster::with_size(spec, n, seed);
+        cluster.set_activity_all(bt.activity);
+        let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
+        let vp = worst_case_variation(&powers).unwrap_or(f64::NAN);
 
-            let budgeter = Budgeter::install(&mut cluster, seed);
-            let ids = all_ids(&cluster);
-            let budget = Watts(55.0 * n as f64);
-            let time_of = |scheme: SchemeId, cluster: &mut Cluster| {
-                let plan = budgeter
-                    .plan(cluster, scheme, &bt, budget, &ids)
-                    .expect("55 W/module is feasible for BT");
-                run_region(cluster, &plan, &bt, &program, &ids, &comm, seed)
+        let budgeter = Budgeter::install(&mut cluster, seed);
+        let ids = all_ids(&cluster);
+        let budget = Watts(55.0 * n as f64);
+        let time_of = |scheme: SchemeId, cluster: &mut Cluster| {
+            // 55 W/module is feasible for BT at every sigma swept; an
+            // infeasible plan poisons the point's ratios with NaN
+            // instead of panicking
+            match budgeter.plan(cluster, scheme, &bt, budget, &ids) {
+                Ok(plan) => run_region(cluster, &plan, &bt, &program, &ids, &comm, seed)
                     .makespan()
-                    .value()
-            };
-            let naive = time_of(SchemeId::Naive, &mut cluster);
-            let pc = time_of(SchemeId::Pc, &mut cluster);
-            let vafs = time_of(SchemeId::VaFs, &mut cluster);
-            PayoffPoint {
-                leakage_sigma: sigma,
-                vp,
-                vs_naive: naive / vafs,
-                vs_pc: pc / vafs,
+                    .value(),
+                Err(_) => f64::NAN,
             }
-        })
-        .collect()
+        };
+        let naive = time_of(SchemeId::Naive, &mut cluster);
+        let pc = time_of(SchemeId::Pc, &mut cluster);
+        let vafs = time_of(SchemeId::VaFs, &mut cluster);
+        PayoffPoint {
+            leakage_sigma: sigma,
+            vp,
+            vs_naive: naive / vafs,
+            vs_pc: pc / vafs,
+        }
+    })
 }
 
 /// Ablation 1: sample the same fleet three ways and survey DGEMM-activity
 /// CPU power.
-fn variation_sources(n: usize, seed: u64) -> Vec<VariationSource> {
+fn variation_sources(n: usize, seed: u64, threads: usize) -> Vec<VariationSource> {
     let base = SystemSpec::ha8k();
     let configs: Vec<(&'static str, VariabilityModel)> = vec![
         ("full (die-to-die + within-die)", base.variability),
@@ -174,57 +180,75 @@ fn variation_sources(n: usize, seed: u64) -> Vec<VariationSource> {
         ),
         ("none (control)", VariabilityModel::none()),
     ];
-    configs
-        .into_iter()
-        .map(|(label, variability)| {
-            let mut spec = base.clone();
-            spec.variability = variability;
-            let mut cluster = Cluster::with_size(spec, n, seed);
-            cluster.set_activity_all(catalog::get(WorkloadId::Dgemm).activity);
-            let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
-            let s = Summary::of(&powers).expect("non-empty fleet");
-            VariationSource { label, std_dev_w: s.std_dev, vp: s.worst_case_variation() }
-        })
-        .collect()
+    vap_exec::par_grid(&configs, threads, |&(label, variability)| {
+        let mut spec = base.clone();
+        spec.variability = variability;
+        let mut cluster = Cluster::with_size(spec, n, seed);
+        cluster.set_activity_all(catalog::get(WorkloadId::Dgemm).activity);
+        let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
+        match Summary::of(&powers) {
+            Some(s) => VariationSource { label, std_dev_w: s.std_dev, vp: s.worst_case_variation() },
+            // empty fleet: render as NaN, don't panic
+            None => VariationSource { label, std_dev_w: f64::NAN, vp: f64::NAN },
+        }
+    })
 }
 
 /// Ablation 2: manufacturing variation with and without a 20→35 °C rack
 /// inlet gradient.
-fn thermal_compounding(n: usize, seed: u64) -> (f64, f64) {
+fn thermal_compounding(n: usize, seed: u64, threads: usize) -> (f64, f64) {
     let spec = SystemSpec::ha8k();
     let act = catalog::get(WorkloadId::Dgemm).activity;
-    let vp_of = |gradient: Option<RackGradient>| {
+    let gradients = [None, Some(RackGradient { cold_c: 20.0, hot_c: 35.0 })];
+    let vps = vap_exec::par_grid(&gradients, threads, |&gradient| {
         let mut cluster = Cluster::with_thermal(spec.clone(), n, seed, gradient);
         cluster.set_activity_all(act);
         let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
-        worst_case_variation(&powers).expect("non-empty fleet")
-    };
-    (vp_of(None), vp_of(Some(RackGradient { cold_c: 20.0, hot_c: 35.0 })))
+        // an empty fleet renders as NaN, not a panic
+        worst_case_variation(&powers).unwrap_or(f64::NAN)
+    });
+    (vps[0], vps[1])
 }
 
 /// Ablation 3: calibration error under STREAM vs EP PVTs.
-fn pvt_choice(n: usize, seed: u64) -> Vec<PvtChoiceRow> {
+fn pvt_choice(n: usize, seed: u64, threads: usize) -> Vec<PvtChoiceRow> {
     let mut cluster = common::ha8k(n, seed);
     let ids = all_ids(&cluster);
-    let stream_pvt =
-        PowerVariationTable::generate(&mut cluster, &catalog::get(WorkloadId::Stream), seed);
-    let ep_pvt = PowerVariationTable::generate(&mut cluster, &catalog::get(WorkloadId::Ep), seed);
+    let stream_pvt = PowerVariationTable::generate_with_threads(
+        &mut cluster,
+        &catalog::get(WorkloadId::Stream),
+        seed,
+        threads,
+    );
+    let ep_pvt = PowerVariationTable::generate_with_threads(
+        &mut cluster,
+        &catalog::get(WorkloadId::Ep),
+        seed,
+        threads,
+    );
+    let cluster = cluster; // pristine post-PVT template, cloned per row
 
-    WorkloadId::EVALUATED
-        .iter()
-        .map(|&w| {
-            let spec = catalog::get(w);
-            let test = single_module_test_run(&mut cluster, ids[0], &spec, seed);
-            let oracle = PowerModelTable::oracle(&mut cluster, &spec, &ids, seed).expect("valid");
-            let err = |pvt: &PowerVariationTable| {
-                PowerModelTable::calibrate(pvt, &test, &ids)
-                    .expect("valid")
-                    .prediction_error_vs(&oracle)
-                    .expect("matched")
-            };
-            PvtChoiceRow { workload: w, stream_pct: err(&stream_pvt), ep_pct: err(&ep_pvt) }
-        })
-        .collect()
+    vap_exec::par_grid(&WorkloadId::EVALUATED, threads, |&w| {
+        let spec = catalog::get(w);
+        let mut fleet = cluster.clone();
+        let test = single_module_test_run(&mut fleet, ids[0], &spec, seed);
+        // calibration only errs on an empty/unknown module list; a
+        // degenerate fleet renders as NaN instead of panicking
+        let err_vs = |pvt: &PowerVariationTable, oracle: &PowerModelTable| {
+            PowerModelTable::calibrate(pvt, &test, &ids)
+                .ok()
+                .and_then(|pmt| pmt.prediction_error_vs(oracle))
+                .unwrap_or(f64::NAN)
+        };
+        match PowerModelTable::oracle(&mut fleet, &spec, &ids, seed) {
+            Ok(oracle) => PvtChoiceRow {
+                workload: w,
+                stream_pct: err_vs(&stream_pvt, &oracle),
+                ep_pct: err_vs(&ep_pvt, &oracle),
+            },
+            Err(_) => PvtChoiceRow { workload: w, stream_pct: f64::NAN, ep_pct: f64::NAN },
+        }
+    })
 }
 
 /// Render all three ablations.
@@ -286,7 +310,7 @@ mod tests {
     use super::*;
 
     fn result() -> AblationResult {
-        run(&RunOptions { modules: Some(192), seed: 2015, scale: 0.05, csv_dir: None })
+        run(&RunOptions { modules: Some(192), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn offline_ccpu(cluster: &Cluster, workload: &WorkloadSpec, cm: Watts, seed:
     let (cpu, dram) = fleet_average_models(cluster, workload, seed);
     let module = TwoPointModel::combine(&cpu, &dram);
     let raw = module.alpha_for_power(cm).unwrap_or(1.0);
-    cm - dram.power(Alpha::saturating(raw))
+    // A Cm below the workload's DRAM floor would make Ccpu negative —
+    // RAPL cannot program a negative limit; the tightest meaningful CPU
+    // cap is zero (the cell is infeasible either way).
+    (cm - dram.power(Alpha::saturating(raw))).max(Watts(0.0))
 }
 
 /// All six evaluated workloads (Table 4 / Fig. 7 order).
@@ -141,6 +144,24 @@ mod tests {
         let hi = offline_ccpu(&c, &mhd, Watts(130.0), 3);
         let at_110 = offline_ccpu(&c, &mhd, Watts(110.0), 3);
         assert!(((hi - at_110).value() - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn offline_ccpu_clamps_at_sub_dram_constraints() {
+        // Cm = 10 W is below every workload's DRAM floor (≈ 12.6 W for
+        // DGEMM at f_min's saturated α): the CPU cap must clamp to zero,
+        // not go negative.
+        let c = ha8k(16, 3);
+        for w in [WorkloadId::Dgemm, WorkloadId::Stream, WorkloadId::Mhd] {
+            let spec = catalog::get(w);
+            let ccpu = offline_ccpu(&c, &spec, Watts(10.0), 3);
+            assert!(ccpu >= Watts(0.0), "{w}: Ccpu(10) = {ccpu}");
+            assert_eq!(ccpu, Watts(0.0), "{w}: sub-DRAM Cm must clamp to exactly zero");
+        }
+        // and a barely-above-floor constraint still yields a tiny positive cap
+        let dgemm = catalog::get(WorkloadId::Dgemm);
+        let floor = offline_ccpu(&c, &dgemm, Watts(90.0), 3);
+        assert!(floor > Watts(0.0));
     }
 
     #[test]

@@ -62,11 +62,13 @@ pub struct Fig1Result {
 }
 
 /// Run the Fig. 1 study.
+///
+/// The three systems are probed independently (each builds its own fleet
+/// from a system-specific seed), so the study fans over `opts.threads()`
+/// workers with identical results at any thread count.
 pub fn run(opts: &RunOptions) -> Fig1Result {
-    let series = [SystemId::Cab, SystemId::Vulcan, SystemId::Teller]
-        .into_iter()
-        .map(|id| run_system(id, opts))
-        .collect();
+    let systems = [SystemId::Cab, SystemId::Vulcan, SystemId::Teller];
+    let series = vap_exec::par_grid(&systems, opts.threads(), |&id| run_system(id, opts));
     Fig1Result { series }
 }
 
@@ -112,15 +114,17 @@ fn run_system(id: SystemId, opts: &RunOptions) -> SystemSeries {
     }
 
     // Fig. 1 sorts units by performance characteristics.
-    units.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    units.sort_by(|a, b| a.0.total_cmp(&b.0));
     let times: Vec<f64> = units.iter().map(|u| u.0).collect();
     let powers: Vec<f64> = units.iter().map(|u| u.1).collect();
 
     SystemSeries {
         system: id,
         units: units.len(),
-        slowdown_pct: slowdown_percent_vs_best(&times).expect("positive times"),
-        power_increase_pct: increase_percent_vs_min(&powers).expect("positive powers"),
+        // non-positive times/powers cannot occur for a real fleet; an
+        // empty series renders as an empty figure rather than a panic
+        slowdown_pct: slowdown_percent_vs_best(&times).unwrap_or_default(),
+        power_increase_pct: increase_percent_vs_min(&powers).unwrap_or_default(),
     }
 }
 
@@ -166,7 +170,7 @@ mod tests {
     use super::*;
 
     fn small_opts() -> RunOptions {
-        RunOptions { modules: Some(256), seed: 2015, scale: 1.0, csv_dir: None }
+        RunOptions { modules: Some(256), seed: 2015, scale: 1.0, csv_dir: None, threads: None }
     }
 
     #[test]
@@ -212,14 +216,14 @@ mod tests {
 
     #[test]
     fn vulcan_units_are_whole_boards() {
-        let r = run(&RunOptions { modules: Some(100), seed: 1, scale: 1.0, csv_dir: None });
+        let r = run(&RunOptions { modules: Some(100), seed: 1, scale: 1.0, csv_dir: None, threads: None });
         // 100 modules → 3 whole boards of 32
         assert_eq!(r.series[1].units, 3);
     }
 
     #[test]
     fn render_lists_three_systems() {
-        let r = run(&RunOptions { modules: Some(64), seed: 1, scale: 1.0, csv_dir: None });
+        let r = run(&RunOptions { modules: Some(64), seed: 1, scale: 1.0, csv_dir: None, threads: None });
         let t = render(&r);
         assert_eq!(t.len(), 3);
         assert!(t.render().contains("Teller"));

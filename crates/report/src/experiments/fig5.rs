@@ -61,7 +61,9 @@ pub fn run(opts: &RunOptions) -> Fig5Result {
         let mut module = Vec::new();
         let pstates = cluster.spec().pstates.clone();
         for &fr in pstates.frequencies() {
-            cluster.set_frequencies(&vec![fr; ids.len()]);
+            if cluster.set_frequencies(&vec![fr; ids.len()]).is_err() {
+                continue; // unreachable: one entry per module by construction
+            }
             freqs.push(fr.value());
             let c: f64 =
                 cluster.cpu_powers().iter().map(|p| p.value()).sum::<f64>() / ids.len() as f64;
@@ -118,7 +120,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig5Result {
-        run(&RunOptions { modules: Some(64), seed: 2015, scale: 1.0, csv_dir: None })
+        run(&RunOptions { modules: Some(64), seed: 2015, scale: 1.0, csv_dir: None, threads: None })
     }
 
     #[test]
@@ -158,7 +160,7 @@ mod tests {
 
     #[test]
     fn render_reports_six_fits() {
-        let t = render(&run(&RunOptions { modules: Some(8), seed: 1, scale: 1.0, csv_dir: None }));
+        let t = render(&run(&RunOptions { modules: Some(8), seed: 1, scale: 1.0, csv_dir: None, threads: None }));
         assert_eq!(t.len(), 6);
         assert!(t.render().contains("R^2"));
     }

@@ -42,27 +42,34 @@ impl Fig6Result {
 }
 
 /// Run the calibration-accuracy study.
+///
+/// The PVT is generated once; the six workload rows then calibrate
+/// independently on private clones of the post-PVT fleet, fanned over
+/// `opts.threads()` workers with identical results at any thread count.
 pub fn run(opts: &RunOptions) -> Fig6Result {
     let n = opts.modules_or(1920);
+    let threads = opts.threads();
     let mut cluster = common::ha8k(n, opts.seed);
     let ids = all_ids(&cluster);
     let stream = catalog::get(WorkloadId::Stream);
-    let pvt = PowerVariationTable::generate(&mut cluster, &stream, opts.seed);
+    let pvt = PowerVariationTable::generate_with_threads(&mut cluster, &stream, opts.seed, threads);
+    let cluster = cluster; // pristine post-PVT template, cloned per row
 
-    let rows = WorkloadId::EVALUATED
-        .iter()
-        .map(|&w| {
-            let spec = catalog::get(w);
-            let test = single_module_test_run(&mut cluster, ids[0], &spec, opts.seed);
-            let pmt = PowerModelTable::calibrate(&pvt, &test, &ids).expect("valid inputs");
-            let oracle = PowerModelTable::oracle(&mut cluster, &spec, &ids, opts.seed)
-                .expect("valid inputs");
-            CalibrationRow {
-                workload: w,
-                error_pct: pmt.prediction_error_vs(&oracle).expect("matched tables"),
-            }
-        })
-        .collect();
+    let rows = vap_exec::par_grid(&WorkloadId::EVALUATED, threads, |&w| {
+        let spec = catalog::get(w);
+        let mut fleet = cluster.clone();
+        let test = single_module_test_run(&mut fleet, ids[0], &spec, opts.seed);
+        // calibration only errs on an empty/unknown module list; render
+        // such a degenerate fleet as NaN instead of panicking
+        let error_pct = PowerModelTable::calibrate(&pvt, &test, &ids)
+            .ok()
+            .and_then(|pmt| {
+                let oracle = PowerModelTable::oracle(&mut fleet, &spec, &ids, opts.seed).ok()?;
+                pmt.prediction_error_vs(&oracle)
+            })
+            .unwrap_or(f64::NAN);
+        CalibrationRow { workload: w, error_pct }
+    });
     Fig6Result { rows, modules: n }
 }
 
@@ -86,7 +93,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig6Result {
-        run(&RunOptions { modules: Some(128), seed: 2015, scale: 1.0, csv_dir: None })
+        run(&RunOptions { modules: Some(128), seed: 2015, scale: 1.0, csv_dir: None, threads: None })
     }
 
     #[test]
@@ -127,7 +134,7 @@ mod tests {
 
     #[test]
     fn render_lists_all_workloads() {
-        let t = render(&run(&RunOptions { modules: Some(24), seed: 1, scale: 1.0, csv_dir: None }));
+        let t = render(&run(&RunOptions { modules: Some(24), seed: 1, scale: 1.0, csv_dir: None, threads: None }));
         assert_eq!(t.len(), 6);
         assert!(t.render().contains("NPB-BT"));
     }

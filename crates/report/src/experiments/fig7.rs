@@ -66,7 +66,7 @@ impl Fig7Result {
             .filter(|r| r.workload == w)
             .map(|r| r.cm_w)
             .collect();
-        v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        v.sort_by(|a, b| b.total_cmp(a));
         v.dedup();
         v
     }
@@ -78,50 +78,77 @@ fn budget_key(cm_w: f64) -> f64 {
     cm_w
 }
 
+/// One campaign cell — all six schemes of one (workload, constraint)
+/// pair, executed on the cell's private fleet clone.
+fn run_cell(
+    budgeter: &Budgeter,
+    mut cluster: vap_sim::cluster::Cluster,
+    w: WorkloadId,
+    cm: f64,
+    ids: &[usize],
+    comm: &CommParams,
+    opts: &RunOptions,
+) -> Vec<Fig7Row> {
+    let spec = catalog::get(w);
+    let program = spec.program(opts.scale);
+    let budget = budget_for(cm, cluster.len());
+    let Ok(feas) = budgeter.feasibility(&mut cluster, &spec, budget, ids) else {
+        return Vec::new(); // empty module list — nothing to run
+    };
+    if !feas.runnable() {
+        return Vec::new();
+    }
+    let mut rows = Vec::new();
+    for scheme in SchemeId::ALL {
+        let plan = match budgeter.plan(&mut cluster, scheme, &spec, budget, ids) {
+            Ok(p) => p,
+            // a scheme's own model may call a cell infeasible even
+            // though the true profile is constrained — record
+            // nothing; the paper simply has no bar there
+            Err(_) => continue,
+        };
+        let report = run_region(&mut cluster, &plan, &spec, &program, ids, comm, opts.seed);
+        rows.push(Fig7Row {
+            workload: w,
+            cm_w: cm,
+            scheme,
+            makespan_s: report.makespan().value(),
+            total_power_w: report.total_power.value(),
+            vt: report.run.vt().unwrap_or(f64::NAN),
+        });
+    }
+    rows
+}
+
 /// Run the full campaign: every evaluated benchmark × every `X` cell of
 /// Table 4 × all six schemes.
+///
+/// Cells are independent: each builds its fleet by cloning the pristine
+/// post-PVT cluster, so the campaign fans over `opts.threads()` workers
+/// with bit-identical results at any thread count.
 pub fn run(opts: &RunOptions) -> Fig7Result {
     let n = opts.modules_or(1920);
+    let threads = opts.threads();
     let mut cluster = common::ha8k(n, opts.seed);
-    let budgeter = Budgeter::install(&mut cluster, opts.seed);
+    let budgeter = Budgeter::install_with_threads(&mut cluster, opts.seed, threads);
+    let cluster = cluster; // pristine post-PVT template, cloned per cell
     let ids = all_ids(&cluster);
     let comm = CommParams::infiniband_fdr();
 
+    let cells: Vec<(WorkloadId, f64)> = WorkloadId::EVALUATED
+        .iter()
+        .flat_map(|&w| common::CM_LEVELS_W.iter().map(move |&cm| (w, cm)))
+        .collect();
+
+    let per_cell: Vec<Vec<Fig7Row>> = vap_exec::par_grid(&cells, threads, |&(w, cm)| {
+        run_cell(&budgeter, cluster.clone(), w, cm, &ids, &comm, opts)
+    });
+
     let mut rows = Vec::new();
     let mut table = SpeedupTable::new();
-
-    for &w in &WorkloadId::EVALUATED {
-        let spec = catalog::get(w);
-        let program = spec.program(opts.scale);
-        for &cm in &common::CM_LEVELS_W {
-            let budget = budget_for(cm, n);
-            let feas = budgeter
-                .feasibility(&mut cluster, &spec, budget, &ids)
-                .expect("non-empty module list");
-            if !feas.runnable() {
-                continue;
-            }
-            for scheme in SchemeId::ALL {
-                let plan = match budgeter.plan(&mut cluster, scheme, &spec, budget, &ids) {
-                    Ok(p) => p,
-                    // a scheme's own model may call a cell infeasible even
-                    // though the true profile is constrained — record
-                    // nothing; the paper simply has no bar there
-                    Err(_) => continue,
-                };
-                let report = run_region(&mut cluster, &plan, &spec, &program, &ids, &comm, opts.seed);
-                let makespan = report.makespan().value();
-                rows.push(Fig7Row {
-                    workload: w,
-                    cm_w: cm,
-                    scheme,
-                    makespan_s: makespan,
-                    total_power_w: report.total_power.value(),
-                    vt: report.run.vt().unwrap_or(f64::NAN),
-                });
-                table.record(w.name(), budget_key(cm), scheme.name(), makespan);
-            }
-        }
+    for row in per_cell.into_iter().flatten() {
+        table.record(row.workload.name(), budget_key(row.cm_w), row.scheme.name(), row.makespan_s);
+        rows.push(row);
     }
 
     Fig7Result { rows, modules: n, table }
@@ -172,7 +199,7 @@ mod tests {
     fn campaign() -> Fig7Result {
         // 96 modules keeps the full 6-scheme × all-cells campaign fast
         // while preserving fleet statistics.
-        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, csv_dir: None })
+        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
     }
 
     #[test]

@@ -64,51 +64,79 @@ pub struct Fig8Result {
     pub modules: usize,
 }
 
+/// One panel-(i) workload: uncapped baseline plus a VaFs scenario per
+/// constraint level, executed on the panel's private fleet clone.
+fn run_panel(
+    budgeter: &Budgeter,
+    mut cluster: vap_sim::cluster::Cluster,
+    w: WorkloadId,
+    ids: &[usize],
+    comm: &CommParams,
+    opts: &RunOptions,
+) -> Vec<VafsScenario> {
+    let n = cluster.len();
+    let spec = catalog::get(w);
+    let program = spec.program(opts.scale);
+    let boundedness = spec.boundedness(cluster.spec().pstates.f_max());
+
+    // uncapped baseline
+    spec.apply_to(&mut cluster, opts.seed);
+    cluster.uncap_all();
+    let baseline = engine::run_on_cluster(&program, &cluster, ids, &boundedness, comm);
+
+    let mut scenarios = Vec::new();
+    for &cm in &common::CM_LEVELS_W {
+        let budget = budget_for(cm, n);
+        let Ok(feas) = budgeter.feasibility(&mut cluster, &spec, budget, ids) else {
+            continue; // empty module list — nothing to run
+        };
+        if !feas.runnable() {
+            continue;
+        }
+        let plan = match budgeter.plan(&mut cluster, SchemeId::VaFs, &spec, budget, ids) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let report = run_region(&mut cluster, &plan, &spec, &program, ids, comm, opts.seed);
+        scenarios.push(VafsScenario {
+            cm_w: cm,
+            // both runs cover `ids`, so the rank counts match; a mismatch
+            // renders as NaN rather than panicking mid-campaign
+            norm_time: report
+                .run
+                .normalized_to(&baseline)
+                .unwrap_or_else(|| vec![f64::NAN; ids.len()]),
+            module_power_w: report.module_power.iter().map(|p| p.value()).collect(),
+        });
+    }
+    scenarios
+}
+
 /// Run the Fig. 8 study.
+///
+/// Panel (i)'s two workloads run on private clones of the pristine
+/// post-PVT fleet, fanned over `opts.threads()` workers with identical
+/// results at any thread count; panel (ii) is a single serial scenario
+/// chain on its own 64-module fleet.
 pub fn run(opts: &RunOptions) -> Fig8Result {
     let n = opts.modules_or(1920);
+    let threads = opts.threads();
     let comm = CommParams::infiniband_fdr();
 
     // Panel (i): full fleet, *DGEMM and MHD.
     let mut cluster = common::ha8k(n, opts.seed);
-    let budgeter = Budgeter::install(&mut cluster, opts.seed);
+    let budgeter = Budgeter::install_with_threads(&mut cluster, opts.seed, threads);
+    let cluster = cluster; // pristine post-PVT template, cloned per panel
     let ids = all_ids(&cluster);
-    let mut panels = Vec::new();
-    for w in [WorkloadId::Dgemm, WorkloadId::Mhd] {
-        let spec = catalog::get(w);
-        let program = spec.program(opts.scale);
-        let boundedness = spec.boundedness(cluster.spec().pstates.f_max());
-
-        // uncapped baseline
-        spec.apply_to(&mut cluster, opts.seed);
-        cluster.uncap_all();
-        let baseline = engine::run_on_cluster(&program, &cluster, &ids, &boundedness, &comm);
-
-        let mut scenarios = Vec::new();
-        for &cm in &common::CM_LEVELS_W {
-            let budget = budget_for(cm, n);
-            let feas = budgeter.feasibility(&mut cluster, &spec, budget, &ids).expect("modules");
-            if !feas.runnable() {
-                continue;
-            }
-            let plan = match budgeter.plan(&mut cluster, SchemeId::VaFs, &spec, budget, &ids) {
-                Ok(p) => p,
-                Err(_) => continue,
-            };
-            let report = run_region(&mut cluster, &plan, &spec, &program, &ids, &comm, opts.seed);
-            scenarios.push(VafsScenario {
-                cm_w: cm,
-                norm_time: report.run.normalized_to(&baseline).expect("same ranks"),
-                module_power_w: report.module_power.iter().map(|p| p.value()).collect(),
-            });
-        }
-        panels.push((w, scenarios));
-    }
+    let panel_workloads = [WorkloadId::Dgemm, WorkloadId::Mhd];
+    let panels = vap_exec::par_grid(&panel_workloads, threads, |&w| {
+        (w, run_panel(&budgeter, cluster.clone(), w, &ids, &comm, opts))
+    });
 
     // Panel (ii): MHD on 64 modules.
     let n64 = opts.modules.map(|m| m.min(64)).unwrap_or(64);
     let mut small = common::ha8k(n64, opts.seed ^ 0x64);
-    let budgeter64 = Budgeter::install(&mut small, opts.seed ^ 0x64);
+    let budgeter64 = Budgeter::install_with_threads(&mut small, opts.seed ^ 0x64, threads);
     let ids64 = all_ids(&small);
     let mhd = catalog::get(WorkloadId::Mhd);
     // same load jitter and per-iteration noise as the Fig. 3 study this
@@ -180,7 +208,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig8Result {
-        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, csv_dir: None })
+        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
     }
 
     #[test]

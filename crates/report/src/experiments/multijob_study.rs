@@ -56,62 +56,75 @@ pub const POLICIES: [PartitionPolicy; 3] = [
 ];
 
 /// Run the study.
+///
+/// The (budget level, policy) cells are independent: each executes its
+/// three tenants on a private clone of the pristine post-PVT fleet,
+/// fanned over `opts.threads()` workers with identical results at any
+/// thread count.
 pub fn run(opts: &RunOptions) -> MultijobResult {
     let n = opts.modules_or(1920);
     let n = (n / 3) * 3; // three equal tenants
+    let threads = opts.threads();
     let tenants = vec![WorkloadId::Dgemm, WorkloadId::Mhd, WorkloadId::Stream];
     let mut cluster = common::ha8k(n, opts.seed);
-    let budgeter = Budgeter::install(&mut cluster, opts.seed);
+    let budgeter = Budgeter::install_with_threads(&mut cluster, opts.seed, threads);
     let comm = CommParams::infiniband_fdr();
 
     // Build the jobs: calibrated PMT per tenant over its third.
     let jobs: Vec<JobRequest> = tenants
         .iter()
         .enumerate()
-        .map(|(k, &w)| {
+        .filter_map(|(k, &w)| {
             let spec = catalog::get(w);
             let ids: Vec<usize> = (k * n / 3..(k + 1) * n / 3).collect();
-            let test = single_module_test_run(&mut cluster, ids[0], &spec, opts.seed);
-            let pmt = PowerModelTable::calibrate(budgeter.pvt(), &test, &ids)
-                .expect("valid calibration");
-            JobRequest { workload: w, module_ids: ids, pmt, cpu_fraction: spec.cpu_fraction }
+            let &probe = ids.first()?; // fleet smaller than 3: no tenants
+            let test = single_module_test_run(&mut cluster, probe, &spec, opts.seed);
+            // calibration only errs on an empty/unknown module list; an
+            // uncalibratable tenant drops out instead of panicking
+            let pmt = PowerModelTable::calibrate(budgeter.pvt(), &test, &ids).ok()?;
+            Some(JobRequest { workload: w, module_ids: ids, pmt, cpu_fraction: spec.cpu_fraction })
         })
         .collect();
+    let cluster = cluster; // pristine post-PVT template, cloned per cell
 
-    let mut rows = Vec::new();
-    for cm in [95.0, 85.0, 78.0, 72.0] {
+    let cells: Vec<(f64, PartitionPolicy)> = [95.0, 85.0, 78.0, 72.0]
+        .into_iter()
+        .flat_map(|cm| POLICIES.into_iter().map(move |p| (cm, p)))
+        .collect();
+
+    let per_cell = vap_exec::par_grid(&cells, threads, |&(cm, policy)| {
         let system = budget_for(cm, n);
-        for policy in POLICIES {
-            let Ok(parts) = partition(system, &jobs, policy) else {
-                continue;
-            };
-            let mut makespans = Vec::new();
-            let mut total_power = 0.0;
-            for (part, job) in parts.iter().zip(&jobs) {
-                let spec = catalog::get(job.workload);
-                let program = spec.program(opts.scale);
-                let report = run_region(
-                    &mut cluster,
-                    &part.plan,
-                    &spec,
-                    &program,
-                    &job.module_ids,
-                    &comm,
-                    opts.seed,
-                );
-                makespans.push(report.makespan().value());
-                total_power += report.total_power.value();
-            }
-            rows.push(MultijobRow {
-                cm_w: cm,
-                policy,
-                predicted_throughput: system_throughput(&parts, &jobs),
-                alphas: parts.iter().map(|p| p.alpha.value()).collect(),
-                makespans_s: makespans,
-                total_power_w: total_power,
-            });
+        let Ok(parts) = partition(system, &jobs, policy) else {
+            return None;
+        };
+        let mut fleet = cluster.clone();
+        let mut makespans = Vec::new();
+        let mut total_power = 0.0;
+        for (part, job) in parts.iter().zip(&jobs) {
+            let spec = catalog::get(job.workload);
+            let program = spec.program(opts.scale);
+            let report = run_region(
+                &mut fleet,
+                &part.plan,
+                &spec,
+                &program,
+                &job.module_ids,
+                &comm,
+                opts.seed,
+            );
+            makespans.push(report.makespan().value());
+            total_power += report.total_power.value();
         }
-    }
+        Some(MultijobRow {
+            cm_w: cm,
+            policy,
+            predicted_throughput: system_throughput(&parts, &jobs),
+            alphas: parts.iter().map(|p| p.alpha.value()).collect(),
+            makespans_s: makespans,
+            total_power_w: total_power,
+        })
+    });
+    let rows = per_cell.into_iter().flatten().collect();
 
     MultijobResult { rows, modules: n, tenants }
 }
@@ -178,7 +191,7 @@ mod tests {
     use super::*;
 
     fn result() -> MultijobResult {
-        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.03, csv_dir: None })
+        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.03, csv_dir: None, threads: None })
     }
 
     #[test]

@@ -31,27 +31,33 @@ impl Table4Result {
 }
 
 /// Classify every cell of the grid.
+///
+/// Rows are independent: each classifies its workload on a private clone
+/// of the pristine post-PVT fleet, fanned over `opts.threads()` workers
+/// with identical results at any thread count.
 pub fn run(opts: &RunOptions) -> Table4Result {
     let n = opts.modules_or(1920);
+    let threads = opts.threads();
     let mut cluster = common::ha8k(n, opts.seed);
-    let budgeter = Budgeter::install(&mut cluster, opts.seed);
+    let budgeter = Budgeter::install_with_threads(&mut cluster, opts.seed, threads);
+    let cluster = cluster; // pristine template, cloned per row
     let ids = all_ids(&cluster);
 
-    let rows = WorkloadId::EVALUATED
-        .iter()
-        .map(|&w| {
-            let spec = vap_workloads::catalog::get(w);
-            let marks = common::CM_LEVELS_W
-                .iter()
-                .map(|&cm| {
-                    budgeter
-                        .feasibility(&mut cluster, &spec, budget_for(cm, n), &ids)
-                        .expect("non-empty module list")
-                })
-                .collect();
-            (w, marks)
-        })
-        .collect();
+    let rows = vap_exec::par_grid(&WorkloadId::EVALUATED, threads, |&w| {
+        let spec = vap_workloads::catalog::get(w);
+        let mut fleet = cluster.clone();
+        let marks = common::CM_LEVELS_W
+            .iter()
+            .map(|&cm| {
+                budgeter
+                    .feasibility(&mut fleet, &spec, budget_for(cm, n), &ids)
+                    // only an empty module list errs; an unrunnable grid
+                    // cell is exactly what `–` means
+                    .unwrap_or(Feasibility::Infeasible)
+            })
+            .collect();
+        (w, marks)
+    });
 
     Table4Result { cm_levels_w: common::CM_LEVELS_W.to_vec(), rows, modules: n }
 }
@@ -82,7 +88,7 @@ mod tests {
     use super::*;
 
     fn grid() -> Table4Result {
-        run(&RunOptions { modules: Some(192), seed: 2015, scale: 1.0, csv_dir: None })
+        run(&RunOptions { modules: Some(192), seed: 2015, scale: 1.0, csv_dir: None, threads: None })
     }
 
     #[test]

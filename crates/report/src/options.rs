@@ -12,11 +12,15 @@ pub struct RunOptions {
     /// Directory to write raw per-figure CSV series into (`--csv DIR`);
     /// `None` prints tables only.
     pub csv_dir: Option<std::path::PathBuf>,
+    /// Worker threads for campaign grids and fleet sweeps (`--threads N`);
+    /// `None` means available parallelism, `1` runs serially. Results are
+    /// identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { modules: None, seed: 2015, scale: 1.0, csv_dir: None }
+        RunOptions { modules: None, seed: 2015, scale: 1.0, csv_dir: None, threads: None }
     }
 }
 
@@ -48,8 +52,19 @@ impl RunOptions {
                 "--csv" => {
                     opts.csv_dir = Some(std::path::PathBuf::from(take("--csv")?));
                 }
+                "--threads" => {
+                    let n: usize =
+                        take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = Some(n);
+                }
                 "--help" | "-h" => {
-                    return Err("usage: [--modules N] [--seed S] [--scale X] [--csv DIR]".into());
+                    return Err(
+                        "usage: [--modules N] [--seed S] [--scale X] [--csv DIR] [--threads N]"
+                            .into(),
+                    );
                 }
                 other => return Err(format!("unknown flag {other} (try --help)")),
             }
@@ -60,6 +75,12 @@ impl RunOptions {
     /// Fleet size to use given the experiment's paper-scale default.
     pub fn modules_or(&self, default: usize) -> usize {
         self.modules.unwrap_or(default)
+    }
+
+    /// Worker thread count: the `--threads` request, or the machine's
+    /// available parallelism when unset.
+    pub fn threads(&self) -> usize {
+        vap_exec::resolve_threads(self.threads)
     }
 
     /// If `--csv DIR` was given, write `content` to `DIR/name` (creating
@@ -101,6 +122,17 @@ mod tests {
         assert!(o.csv_dir.is_none());
         let o = parse(&["--csv", "/tmp/out"]).unwrap();
         assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/out")));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_resolves() {
+        let o = parse(&["--threads", "4"]).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.threads(), 4);
+        // unset: whatever the machine has, but always at least one
+        assert!(parse(&[]).unwrap().threads() >= 1);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
     }
 
     #[test]

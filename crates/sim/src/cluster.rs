@@ -9,10 +9,35 @@
 use crate::cpufreq::Governor;
 use crate::module::SimModule;
 use crate::rapl::RaplLimit;
+use std::fmt;
 use vap_model::power::PowerActivity;
 use vap_model::systems::SystemSpec;
 use vap_model::thermal::{RackGradient, ThermalEnv};
 use vap_model::units::{GigaHertz, Seconds, Watts};
+
+/// Fleet-level operations that can fail on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A per-module vector did not have one entry per module.
+    LengthMismatch {
+        /// Fleet size (entries required).
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::LengthMismatch { expected, got } => {
+                write!(f, "expected one entry per module ({expected}), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// A fleet of simulated modules.
 #[derive(Debug, Clone)]
@@ -79,13 +104,31 @@ impl Cluster {
     }
 
     /// One module by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use [`Cluster::get`] for ids that
+    /// originate outside the fleet (user options, job requests).
     pub fn module(&self, id: usize) -> &SimModule {
         &self.modules[id]
     }
 
     /// One module by id, mutably.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use [`Cluster::get_mut`] for ids
+    /// that originate outside the fleet (user options, job requests).
     pub fn module_mut(&mut self, id: usize) -> &mut SimModule {
         &mut self.modules[id]
+    }
+
+    /// One module by id, or `None` if `id` is not in the fleet.
+    pub fn get(&self, id: usize) -> Option<&SimModule> {
+        self.modules.get(id)
+    }
+
+    /// One module by id, mutably, or `None` if `id` is not in the fleet.
+    pub fn get_mut(&mut self, id: usize) -> Option<&mut SimModule> {
+        self.modules.get_mut(id)
     }
 
     /// Put the same workload activity on every module (an SPMD job).
@@ -103,21 +146,34 @@ impl Cluster {
     }
 
     /// Program per-module RAPL caps (the VaPc scheme). `caps` must have one
-    /// entry per module.
-    pub fn set_caps(&mut self, caps: &[Watts]) {
-        assert_eq!(caps.len(), self.modules.len(), "one cap per module required");
+    /// entry per module; a mismatched vector programs nothing.
+    pub fn set_caps(&mut self, caps: &[Watts]) -> Result<(), ClusterError> {
+        if caps.len() != self.modules.len() {
+            return Err(ClusterError::LengthMismatch {
+                expected: self.modules.len(),
+                got: caps.len(),
+            });
+        }
         for (m, &c) in self.modules.iter_mut().zip(caps) {
             m.set_cap(RaplLimit::with_default_window(c));
         }
+        Ok(())
     }
 
     /// Pin per-module frequencies through the userspace governor (the VaFs
-    /// scheme). `freqs` must have one entry per module.
-    pub fn set_frequencies(&mut self, freqs: &[GigaHertz]) {
-        assert_eq!(freqs.len(), self.modules.len(), "one frequency per module required");
+    /// scheme). `freqs` must have one entry per module; a mismatched vector
+    /// programs nothing.
+    pub fn set_frequencies(&mut self, freqs: &[GigaHertz]) -> Result<(), ClusterError> {
+        if freqs.len() != self.modules.len() {
+            return Err(ClusterError::LengthMismatch {
+                expected: self.modules.len(),
+                got: freqs.len(),
+            });
+        }
         for (m, &f) in self.modules.iter_mut().zip(freqs) {
             m.set_governor(Governor::Userspace(f));
         }
+        Ok(())
     }
 
     /// Remove all caps and restore the performance governor.
@@ -218,13 +274,13 @@ mod tests {
     #[test]
     fn per_module_caps_and_frequencies_apply() {
         let mut c = small_ha8k(4, 7);
-        c.set_caps(&[Watts(50.0), Watts(60.0), Watts(70.0), Watts(80.0)]);
+        c.set_caps(&[Watts(50.0), Watts(60.0), Watts(70.0), Watts(80.0)]).unwrap();
         for (i, m) in c.modules().iter().enumerate() {
             let expected = 50.0 + 10.0 * i as f64;
             assert!((m.cap().unwrap().cap.value() - expected).abs() < 0.1);
         }
         c.uncap_all();
-        c.set_frequencies(&[GigaHertz(1.5); 4]);
+        c.set_frequencies(&[GigaHertz(1.5); 4]).unwrap();
         for m in c.modules() {
             assert_eq!(m.operating_point().clock, GigaHertz(1.5));
         }
@@ -253,10 +309,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn mismatched_cap_vector_panics() {
+    fn mismatched_vectors_are_rejected_and_program_nothing() {
         let mut c = small_ha8k(4, 1);
-        c.set_caps(&[Watts(50.0); 3]);
+        assert_eq!(
+            c.set_caps(&[Watts(50.0); 3]),
+            Err(ClusterError::LengthMismatch { expected: 4, got: 3 })
+        );
+        assert!(c.modules().iter().all(|m| m.cap().is_none()), "nothing programmed");
+        assert_eq!(
+            c.set_frequencies(&[GigaHertz(1.5); 5]),
+            Err(ClusterError::LengthMismatch { expected: 4, got: 5 })
+        );
+        for m in c.modules() {
+            assert_eq!(m.operating_point().clock, GigaHertz(2.7));
+        }
+        let msg = ClusterError::LengthMismatch { expected: 4, got: 3 }.to_string();
+        assert!(msg.contains('4') && msg.contains('3'));
+    }
+
+    #[test]
+    fn checked_accessors_cover_the_fleet_and_nothing_else() {
+        let mut c = small_ha8k(4, 2);
+        assert!(c.get(3).is_some());
+        assert!(c.get(4).is_none());
+        assert!(c.get_mut(0).is_some());
+        assert!(c.get_mut(usize::MAX).is_none());
+        assert_eq!(c.get(2).map(|m| m.id), Some(2));
     }
 
     #[test]

@@ -248,10 +248,14 @@ impl WorkloadSpec {
     }
 
     /// Put this workload on a *subset* of modules (a scheduled job's
-    /// allocation), leaving the rest of the fleet untouched.
+    /// allocation), leaving the rest of the fleet untouched. Ids that are
+    /// not in the fleet (e.g. from a stale job request after a `--modules`
+    /// shrink) are ignored rather than panicking mid-campaign.
     pub fn apply_to_modules(&self, cluster: &mut Cluster, module_ids: &[usize], seed: u64) {
         for &id in module_ids {
-            let m = cluster.module_mut(id);
+            let Some(m) = cluster.get_mut(id) else {
+                continue;
+            };
             let wv = self.workload_variation(&m.base_variation().clone(), seed);
             m.set_workload_variation(if self.response == VariationResponse::faithful() {
                 None

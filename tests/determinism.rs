@@ -71,11 +71,33 @@ fn pvt_json_round_trip_preserves_plans() {
 fn experiment_drivers_are_deterministic() {
     use vap_report::experiments::fig6;
     use vap_report::RunOptions;
-    let opts = RunOptions { modules: Some(32), seed: 77, scale: 1.0, csv_dir: None };
+    let opts = RunOptions { modules: Some(32), seed: 77, scale: 1.0, csv_dir: None, threads: None };
     let a = fig6::run(&opts);
     let b = fig6::run(&opts);
     for (x, y) in a.rows.iter().zip(&b.rows) {
         assert_eq!(x.workload, y.workload);
         assert_eq!(x.error_pct, y.error_pct);
     }
+}
+
+#[test]
+fn campaigns_are_thread_count_invariant() {
+    // The contract of the vap-exec layer: a 1-thread and a 4-thread run
+    // of the same campaign must emit byte-identical CSV.
+    use vap_report::experiments::{fig7, table4};
+    use vap_report::{csv, RunOptions};
+    let at = |threads: usize| RunOptions {
+        modules: Some(48),
+        seed: 2015,
+        scale: 0.02,
+        csv_dir: None,
+        threads: Some(threads),
+    };
+    let serial = csv::fig7(&fig7::run(&at(1)));
+    let parallel = csv::fig7(&fig7::run(&at(4)));
+    assert_eq!(serial, parallel, "fig7 CSV must not depend on --threads");
+
+    let serial = csv::table4(&table4::run(&at(1)));
+    let parallel = csv::table4(&table4::run(&at(4)));
+    assert_eq!(serial, parallel, "table4 CSV must not depend on --threads");
 }
