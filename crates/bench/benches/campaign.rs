@@ -18,8 +18,8 @@ fn opts(modules: usize, scale: f64, threads: usize) -> RunOptions {
         modules: Some(modules),
         seed: 2015,
         scale,
-        csv_dir: None,
         threads: Some(threads),
+        ..RunOptions::default()
     }
 }
 

@@ -12,7 +12,7 @@ use vap_report::experiments::{fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, ta
 use vap_report::RunOptions;
 
 fn opts(modules: usize, scale: f64) -> RunOptions {
-    RunOptions { modules: Some(modules), seed: 2015, scale, csv_dir: None, threads: None }
+    RunOptions { modules: Some(modules), seed: 2015, scale, ..RunOptions::default() }
 }
 
 fn bench_tables(c: &mut Criterion) {

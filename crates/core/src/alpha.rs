@@ -45,6 +45,7 @@ pub fn raw_alpha(budget: Watts, pmt: &PowerModelTable) -> f64 {
 /// * Budget above the fleet maximum → `α = 1` ("α is set to 1.0 when we
 ///   do not have any power constraints").
 pub fn max_alpha(budget: Watts, pmt: &PowerModelTable) -> Result<Alpha, BudgetError> {
+    vap_obs::incr("alpha.solves");
     if pmt.is_empty() {
         return Err(BudgetError::NoModules);
     }

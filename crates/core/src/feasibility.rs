@@ -70,7 +70,7 @@ mod tests {
 
     fn pmt() -> PowerModelTable {
         // two modules, each module power 110→55
-        let entry = |id| {
+        let entry = |id: u64| {
             serde_json::json!({"module_id": id,
                 "cpu":  {"f_max": 2.7, "f_min": 1.2, "p_max": 100.0, "p_min": 45.0},
                 "dram": {"f_max": 2.7, "f_min": 1.2, "p_max": 10.0, "p_min": 10.0}})

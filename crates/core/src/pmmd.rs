@@ -51,6 +51,7 @@ pub fn run_region(
     seed: u64,
 ) -> RegionReport {
     assert!(!module_ids.is_empty(), "a region needs at least one rank");
+    let _region_span = vap_obs::span("pmmd.region");
     // --- region entry (just after MPI_Init) ---
     // Only the job's own modules run the application; the rest of the
     // fleet is untouched (other jobs may own it).
@@ -73,6 +74,10 @@ pub fn run_region(
         .zip(&run.rank_times)
         .map(|(&p, &t)| if t.value().is_finite() { p * t } else { Joules::ZERO })
         .sum();
+
+    vap_obs::incr("region.runs");
+    vap_obs::observe("region.makespan_s", run.makespan().value());
+    vap_obs::observe("region.total_power_w", total_power.value());
 
     // --- region exit (just before MPI_Finalize) ---
     release_plan(plan, cluster);

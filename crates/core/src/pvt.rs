@@ -78,6 +78,7 @@ impl PowerVariationTable {
         // clone, so modules can be visited in any order by any thread.
         let raw: Vec<(f64, f64, f64, f64)> =
             vap_exec::par_map_modules(cluster, seed, threads, |m, _module_seed| {
+                vap_obs::incr("pvt.modules_swept");
                 let (cpu_max, dram_max) = measure_module_snapshot(m, f_max);
                 let (cpu_min, dram_min) = measure_module_snapshot(m, f_min);
                 (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())

@@ -148,6 +148,8 @@ impl SchemeId {
     /// non-oracle schemes run (cheap) single-module tests on it and the
     /// oracle schemes measure the whole fleet.
     pub fn plan(self, cluster: &mut Cluster, req: &PlanRequest<'_>) -> Result<PowerPlan, BudgetError> {
+        vap_obs::incr("scheme.plans");
+        vap_obs::incr(self.plan_counter());
         if req.module_ids.is_empty() {
             return Err(BudgetError::NoModules);
         }
@@ -164,6 +166,19 @@ impl SchemeId {
                     budget: req.budget,
                 })
             }
+        }
+    }
+
+    /// The per-scheme plan counter (static names keep [`vap_obs::incr`]
+    /// allocation-free).
+    fn plan_counter(self) -> &'static str {
+        match self {
+            SchemeId::Naive => "scheme.plans.naive",
+            SchemeId::Pc => "scheme.plans.pc",
+            SchemeId::VaPc => "scheme.plans.va_pc",
+            SchemeId::VaPcOr => "scheme.plans.va_pc_or",
+            SchemeId::VaFs => "scheme.plans.va_fs",
+            SchemeId::VaFsOr => "scheme.plans.va_fs_or",
         }
     }
 
@@ -219,6 +234,7 @@ impl SchemeId {
         let mut chosen = None;
         // power is monotone in f: walk from the top down (few steps)
         for &f in pstates.frequencies().iter().rev() {
+            vap_obs::incr("alpha.fs_pstate_steps");
             let total: Watts = oracle_pmt
                 .entries()
                 .iter()

@@ -95,6 +95,7 @@ pub fn single_module_test_run(
     workload: &WorkloadSpec,
     seed: u64,
 ) -> TestRunResult {
+    vap_obs::incr("calib.test_runs");
     let f_max = cluster.spec().pstates.f_max();
     let f_min = cluster.spec().pstates.f_min();
     // Install the application on the test module only.

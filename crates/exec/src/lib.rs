@@ -20,10 +20,21 @@
 //! closure, so serial and parallel runs share one code path and are
 //! bit-for-bit identical by construction — the property the workspace
 //! `determinism` lint (PR 1) promises and `tests/determinism.rs` checks.
+//!
+//! # Observability
+//!
+//! When a `vap_obs` session is live on the calling thread, every fan-out
+//! registers a grid and brackets each item with
+//! [`vap_obs::SessionRef::run_item`]: metrics recorded inside the item
+//! accumulate into its `(grid, index)` cell, and the item's wall time
+//! lands on the worker's timeline lane. The serial short-circuit runs
+//! through the identical bracket (on lane 0), so the deterministic
+//! journal is byte-identical at any thread count. With no session the
+//! only cost is one relaxed atomic load per fan-out.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::Mutex;
 
 use vap_sim::cluster::Cluster;
 use vap_sim::module::SimModule;
@@ -58,32 +69,73 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    par_map_kind(items, threads, "item", f)
+}
+
+/// [`par_map`] with an observability item kind (`"item"`, `"cell"`,
+/// `"module"`) — the label under which the fan-out's grid and cells
+/// appear in a `vap_obs` journal.
+fn par_map_kind<I, T, F>(items: &[I], threads: usize, kind: &'static str, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
     let threads = threads.max(1).min(items.len().max(1));
+    // Capture the driver thread's session (if any) before fanning out;
+    // worker threads have no session of their own.
+    let obs = vap_obs::grid_session().map(|s| {
+        let grid = s.begin_grid(kind, items.len());
+        (s, grid)
+    });
+
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| match &obs {
+                Some((s, grid)) => s.run_item(*grid, kind, i, 0, || f(i, item)),
+                None => f(i, item),
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<T>> = (0..items.len()).map(|_| OnceLock::new()).collect();
+    // Mutex<Option<T>> rather than OnceLock<T>: sharing &OnceLock<T>
+    // across workers demands T: Sync, while a Mutex slot only needs
+    // T: Send. Each index is claimed exactly once, so every lock is
+    // uncontended.
+    let slots: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        for w in 0..threads {
+            let (next, slots, f, obs) = (&next, &slots, &f, &obs);
+            scope.spawn(move || {
+                let lane = (w + 1) as u32;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = match obs {
+                        Some((s, grid)) => s.run_item(*grid, kind, i, lane, || f(i, &items[i])),
+                        None => f(i, &items[i]),
+                    };
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(out);
+                    }
                 }
-                // Each index is claimed exactly once, so the slot is empty.
-                let _ = slots[i].set(f(i, &items[i]));
             });
         }
     });
     slots
         .into_iter()
         .map(|slot| {
+            let slot = slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
             // vap:allow(no-panic-in-lib): every index in [0, len) is claimed
-            // exactly once by the atomic counter, and a worker panic would
-            // already have propagated out of the scope above.
-            slot.into_inner().expect("every work item produced a result")
+            // exactly once by the atomic counter, no worker holds a lock
+            // across a panic, and a worker panic would already have
+            // propagated out of the scope above.
+            slot.expect("every work item produced a result")
         })
         .collect()
 }
@@ -102,7 +154,7 @@ where
     T: Send,
     F: Fn(&C) -> T + Sync,
 {
-    par_map(cells, threads, |_, cell| f(cell))
+    par_map_kind(cells, threads, "cell", |_, cell| f(cell))
 }
 
 /// Derive a per-module seed from a campaign seed and a module index.
@@ -131,7 +183,7 @@ where
     T: Send,
     F: Fn(&SimModule, u64) -> T + Sync,
 {
-    par_map(cluster.modules(), threads, |i, m| f(m, module_seed(seed, i)))
+    par_map_kind(cluster.modules(), threads, "module", |i, m| f(m, module_seed(seed, i)))
 }
 
 #[cfg(test)]
@@ -210,5 +262,38 @@ mod tests {
         assert_eq!(resolve_threads(Some(0)), 1, "0 means serial, not 'no threads'");
         assert_eq!(resolve_threads(Some(6)), 6);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn observed_fanouts_record_cells_per_item() {
+        let session = vap_obs::Session::install();
+        let items: Vec<u32> = (0..5).collect();
+        let out = par_map(&items, 3, |_, &x| {
+            vap_obs::incr("test.work");
+            x * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        let report = session.finish();
+        assert!(report.journal_jsonl.contains("\"exec.items\":5"));
+        assert!(report.journal_jsonl.contains("\"test.work\":5"));
+    }
+
+    #[test]
+    fn observed_journal_is_thread_count_invariant() {
+        let journal = |threads: usize| {
+            let session = vap_obs::Session::install();
+            let items: Vec<u64> = (0..40).collect();
+            let _ = par_map(&items, threads, |i, &x| {
+                vap_obs::incr("test.items");
+                vap_obs::observe("test.values", (x * 3) as f64);
+                vap_obs::label_item(|| format!("item-{i}"));
+                x
+            });
+            session.finish().journal_jsonl
+        };
+        let serial = journal(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, journal(threads), "journal differs at threads = {threads}");
+        }
     }
 }

@@ -11,6 +11,7 @@ use crate::source::SourceFile;
 pub mod determinism;
 pub mod float_eq;
 pub mod no_panic;
+pub mod no_println;
 pub mod raw_unit_f64;
 
 /// A domain-invariant check.
@@ -29,6 +30,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(raw_unit_f64::RawUnitF64),
         Box::new(no_panic::NoPanicInLib),
+        Box::new(no_println::NoPrintlnInLib),
         Box::new(float_eq::FloatEq),
         Box::new(determinism::Determinism),
     ]

@@ -169,6 +169,11 @@ pub fn run_recorded(
         }
     }
 
+    vap_obs::incr("mpi.runs");
+    // Aggregate wait across ranks; a hung rank's INFINITY is counted in
+    // the histogram's nonfinite bin rather than poisoning the sum stats.
+    vap_obs::observe("mpi.wait_s", wait.iter().sum());
+
     RunResult {
         rank_times: t.into_iter().map(Seconds).collect(),
         compute_time: compute.into_iter().map(Seconds).collect(),

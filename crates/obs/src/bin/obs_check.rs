@@ -1,0 +1,62 @@
+//! Schema validator for vap-obs artifacts (the CI smoke check).
+//!
+//! ```text
+//! obs-check <journal.jsonl> [trace.json] [metrics.csv]
+//! ```
+//!
+//! Each artifact is parsed into the `vap_obs::export` schema types and —
+//! for the journal — re-serialized and compared byte-for-byte (serde
+//! round-trip). Exit code 0 on success, 1 on validation failure, 2 on
+//! usage/IO errors.
+
+use vap_obs::{validate_journal, validate_metrics_csv, validate_trace};
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 3 {
+        eprintln!("usage: obs-check <journal.jsonl> [trace.json] [metrics.csv]");
+        std::process::exit(2);
+    }
+
+    let journal = read(&args[0]);
+    match validate_journal(&journal) {
+        Ok(stats) => println!(
+            "{}: OK ({} lines, {} grids, {} cells)",
+            args[0], stats.lines, stats.grids, stats.cells
+        ),
+        Err(e) => {
+            eprintln!("obs-check: {}: {e}", args[0]);
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = args.get(1) {
+        match validate_trace(&read(path)) {
+            Ok(events) => println!("{path}: OK ({events} events)"),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = args.get(2) {
+        match validate_metrics_csv(&read(path)) {
+            Ok(rows) => println!("{path}: OK ({rows} rows)"),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,17 +1,12 @@
 //! Regenerate the ablation studies (variation sources, thermal
 //! compounding, PVT microbenchmark choice).
 use vap_report::experiments::ablations;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = ablations::run(&opts);
-    opts.maybe_write_csv("ablations.csv", &vap_report::csv::ablations(&result));
-    println!("{}", ablations::render(&result));
+    vap_report::cli::run_main(|opts| {
+        let result = ablations::run(opts);
+        opts.maybe_write_csv("ablations.csv", &vap_report::csv::ablations(&result));
+        println!("{}", ablations::render(&result));
+        Ok(())
+    })
 }

@@ -1,16 +1,11 @@
 //! Regenerate Fig. 1 (per-socket power and performance variation).
 use vap_report::experiments::fig1;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig1::run(&opts);
-    opts.maybe_write_csv("fig1.csv", &vap_report::csv::fig1(&result));
-    println!("{}", fig1::render(&result).render());
+    vap_report::cli::run_main(|opts| {
+        let result = fig1::run(opts);
+        opts.maybe_write_csv("fig1.csv", &vap_report::csv::fig1(&result));
+        println!("{}", fig1::render(&result).render());
+        Ok(())
+    })
 }

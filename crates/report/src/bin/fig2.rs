@@ -1,16 +1,11 @@
 //! Regenerate Fig. 2 (HA8K module power/frequency/time under uniform caps).
 use vap_report::experiments::fig2;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig2::run(&opts);
-    opts.maybe_write_csv("fig2.csv", &vap_report::csv::fig2(&result));
-    println!("{}", fig2::render(&result));
+    vap_report::cli::run_main(|opts| {
+        let result = fig2::run(opts);
+        opts.maybe_write_csv("fig2.csv", &vap_report::csv::fig2(&result));
+        println!("{}", fig2::render(&result));
+        Ok(())
+    })
 }

@@ -1,16 +1,11 @@
 //! Regenerate Fig. 3 (MHD synchronization overhead under uniform caps).
 use vap_report::experiments::fig3;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig3::run(&opts);
-    opts.maybe_write_csv("fig3.csv", &vap_report::csv::fig3(&result));
-    println!("{}", fig3::render(&result).render());
+    vap_report::cli::run_main(|opts| {
+        let result = fig3::run(opts);
+        opts.maybe_write_csv("fig3.csv", &vap_report::csv::fig3(&result));
+        println!("{}", fig3::render(&result).render());
+        Ok(())
+    })
 }

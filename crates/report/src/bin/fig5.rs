@@ -1,16 +1,11 @@
 //! Regenerate Fig. 5 (power vs frequency linearity).
 use vap_report::experiments::fig5;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig5::run(&opts);
-    opts.maybe_write_csv("fig5.csv", &vap_report::csv::fig5(&result));
-    println!("{}", fig5::render(&result).render());
+    vap_report::cli::run_main(|opts| {
+        let result = fig5::run(opts);
+        opts.maybe_write_csv("fig5.csv", &vap_report::csv::fig5(&result));
+        println!("{}", fig5::render(&result).render());
+        Ok(())
+    })
 }

@@ -1,16 +1,11 @@
 //! Regenerate Fig. 7 (speedup over the Naive scheme).
 use vap_report::experiments::fig7;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig7::run(&opts);
-    opts.maybe_write_csv("fig7.csv", &vap_report::csv::fig7(&result));
-    println!("{}", fig7::render(&result));
+    vap_report::cli::run_main(|opts| {
+        let result = fig7::run(opts);
+        opts.maybe_write_csv("fig7.csv", &vap_report::csv::fig7(&result));
+        println!("{}", fig7::render(&result));
+        Ok(())
+    })
 }

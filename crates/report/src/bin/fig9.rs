@@ -1,16 +1,11 @@
 //! Regenerate Fig. 9 (total power vs constraint audit).
 use vap_report::experiments::fig9;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = fig9::run(&opts);
-    opts.maybe_write_csv("fig9.csv", &vap_report::csv::fig9(&result));
-    println!("{}", fig9::render(&result));
+    vap_report::cli::run_main(|opts| {
+        let result = fig9::run(opts);
+        opts.maybe_write_csv("fig9.csv", &vap_report::csv::fig9(&result));
+        println!("{}", fig9::render(&result));
+        Ok(())
+    })
 }

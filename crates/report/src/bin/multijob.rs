@@ -1,16 +1,11 @@
 //! Run the multi-tenant budget-partitioning study (paper §7 future work).
 use vap_report::experiments::multijob_study;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = multijob_study::run(&opts);
-    opts.maybe_write_csv("multijob.csv", &multijob_study::to_csv(&result));
-    println!("{}", multijob_study::render(&result).render());
+    vap_report::cli::run_main(|opts| {
+        let result = multijob_study::run(opts);
+        opts.maybe_write_csv("multijob.csv", &multijob_study::to_csv(&result));
+        println!("{}", multijob_study::render(&result).render());
+        Ok(())
+    })
 }

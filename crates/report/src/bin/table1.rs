@@ -1,4 +1,7 @@
 //! Regenerate Table 1 (power measurement techniques).
 fn main() {
-    println!("{}", vap_report::experiments::table1::run().render());
+    vap_report::cli::run_main(|_opts| {
+        println!("{}", vap_report::experiments::table1::run().render());
+        Ok(())
+    })
 }

@@ -1,16 +1,11 @@
 //! Regenerate Table 4 (feasible power constraints).
 use vap_report::experiments::table4;
-use vap_report::RunOptions;
 
 fn main() {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    let result = table4::run(&opts);
-    opts.maybe_write_csv("table4.csv", &vap_report::csv::table4(&result));
-    println!("{}", table4::render(&result).render());
+    vap_report::cli::run_main(|opts| {
+        let result = table4::run(opts);
+        opts.maybe_write_csv("table4.csv", &vap_report::csv::table4(&result));
+        println!("{}", table4::render(&result).render());
+        Ok(())
+    })
 }

@@ -185,7 +185,7 @@ mod tests {
     use crate::options::RunOptions;
 
     fn opts() -> RunOptions {
-        RunOptions { modules: Some(16), seed: 1, scale: 0.02, csv_dir: None, threads: None }
+        RunOptions { modules: Some(16), seed: 1, scale: 0.02, ..RunOptions::default() }
     }
 
     #[test]
@@ -232,8 +232,7 @@ mod tests {
             modules: Some(32),
             seed: 1,
             scale: 0.02,
-            csv_dir: None,
-            threads: None,
+            ..RunOptions::default()
         });
         let c7 = fig7(&campaign);
         assert_eq!(c7.lines().count(), campaign.rows.len() + 1);

@@ -310,7 +310,7 @@ mod tests {
     use super::*;
 
     fn result() -> AblationResult {
-        run(&RunOptions { modules: Some(192), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(192), seed: 2015, scale: 0.05, ..RunOptions::default() })
     }
 
     #[test]

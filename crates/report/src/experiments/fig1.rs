@@ -170,7 +170,7 @@ mod tests {
     use super::*;
 
     fn small_opts() -> RunOptions {
-        RunOptions { modules: Some(256), seed: 2015, scale: 1.0, csv_dir: None, threads: None }
+        RunOptions { modules: Some(256), seed: 2015, scale: 1.0, ..RunOptions::default() }
     }
 
     #[test]
@@ -216,14 +216,14 @@ mod tests {
 
     #[test]
     fn vulcan_units_are_whole_boards() {
-        let r = run(&RunOptions { modules: Some(100), seed: 1, scale: 1.0, csv_dir: None, threads: None });
+        let r = run(&RunOptions { modules: Some(100), seed: 1, scale: 1.0, ..RunOptions::default() });
         // 100 modules → 3 whole boards of 32
         assert_eq!(r.series[1].units, 3);
     }
 
     #[test]
     fn render_lists_three_systems() {
-        let r = run(&RunOptions { modules: Some(64), seed: 1, scale: 1.0, csv_dir: None, threads: None });
+        let r = run(&RunOptions { modules: Some(64), seed: 1, scale: 1.0, ..RunOptions::default() });
         let t = render(&r);
         assert_eq!(t.len(), 3);
         assert!(t.render().contains("Teller"));

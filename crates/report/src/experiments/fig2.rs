@@ -234,7 +234,7 @@ mod tests {
     use super::*;
 
     fn small() -> Fig2Result {
-        run(&RunOptions { modules: Some(192), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(192), seed: 2015, scale: 0.05, ..RunOptions::default() })
     }
 
     #[test]
@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn render_produces_all_panels() {
-        let r = run(&RunOptions { modules: Some(32), seed: 1, scale: 0.02, csv_dir: None, threads: None });
+        let r = run(&RunOptions { modules: Some(32), seed: 1, scale: 0.02, ..RunOptions::default() });
         let s = render(&r);
         assert!(s.contains("Fig. 2(i) *DGEMM"));
         assert!(s.contains("Fig. 2(ii) MHD"));

@@ -126,7 +126,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig3Result {
-        run(&RunOptions { modules: Some(64), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(64), seed: 2015, scale: 0.05, ..RunOptions::default() })
     }
 
     #[test]
@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn render_has_all_rows() {
-        let t = render(&run(&RunOptions { modules: Some(16), seed: 1, scale: 0.02, csv_dir: None, threads: None }));
+        let t = render(&run(&RunOptions { modules: Some(16), seed: 1, scale: 0.02, ..RunOptions::default() }));
         assert_eq!(t.len(), 5);
         assert!(t.render().contains("Mean sendrecv"));
     }

@@ -120,7 +120,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig5Result {
-        run(&RunOptions { modules: Some(64), seed: 2015, scale: 1.0, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(64), seed: 2015, scale: 1.0, ..RunOptions::default() })
     }
 
     #[test]
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn render_reports_six_fits() {
-        let t = render(&run(&RunOptions { modules: Some(8), seed: 1, scale: 1.0, csv_dir: None, threads: None }));
+        let t = render(&run(&RunOptions { modules: Some(8), seed: 1, scale: 1.0, ..RunOptions::default() }));
         assert_eq!(t.len(), 6);
         assert!(t.render().contains("R^2"));
     }

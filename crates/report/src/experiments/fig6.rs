@@ -93,7 +93,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig6Result {
-        run(&RunOptions { modules: Some(128), seed: 2015, scale: 1.0, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(128), seed: 2015, scale: 1.0, ..RunOptions::default() })
     }
 
     #[test]
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn render_lists_all_workloads() {
-        let t = render(&run(&RunOptions { modules: Some(24), seed: 1, scale: 1.0, csv_dir: None, threads: None }));
+        let t = render(&run(&RunOptions { modules: Some(24), seed: 1, scale: 1.0, ..RunOptions::default() }));
         assert_eq!(t.len(), 6);
         assert!(t.render().contains("NPB-BT"));
     }

@@ -105,7 +105,10 @@ fn run_cell(
             // a scheme's own model may call a cell infeasible even
             // though the true profile is constrained — record
             // nothing; the paper simply has no bar there
-            Err(_) => continue,
+            Err(_) => {
+                vap_obs::incr("scheme.fallbacks");
+                continue;
+            }
         };
         let report = run_region(&mut cluster, &plan, &spec, &program, ids, comm, opts.seed);
         rows.push(Fig7Row {
@@ -130,7 +133,10 @@ pub fn run(opts: &RunOptions) -> Fig7Result {
     let n = opts.modules_or(1920);
     let threads = opts.threads();
     let mut cluster = common::ha8k(n, opts.seed);
-    let budgeter = Budgeter::install_with_threads(&mut cluster, opts.seed, threads);
+    let budgeter = {
+        let _install = vap_obs::span("fig7.install");
+        Budgeter::install_with_threads(&mut cluster, opts.seed, threads)
+    };
     let cluster = cluster; // pristine post-PVT template, cloned per cell
     let ids = all_ids(&cluster);
     let comm = CommParams::infiniband_fdr();
@@ -140,9 +146,12 @@ pub fn run(opts: &RunOptions) -> Fig7Result {
         .flat_map(|&w| common::CM_LEVELS_W.iter().map(move |&cm| (w, cm)))
         .collect();
 
+    let campaign = vap_obs::span("fig7.campaign");
     let per_cell: Vec<Vec<Fig7Row>> = vap_exec::par_grid(&cells, threads, |&(w, cm)| {
+        vap_obs::label_item(|| format!("{w}@{cm}W"));
         run_cell(&budgeter, cluster.clone(), w, cm, &ids, &comm, opts)
     });
+    drop(campaign);
 
     let mut rows = Vec::new();
     let mut table = SpeedupTable::new();
@@ -199,7 +208,7 @@ mod tests {
     fn campaign() -> Fig7Result {
         // 96 modules keeps the full 6-scheme × all-cells campaign fast
         // while preserving fleet statistics.
-        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(96), scale: 0.05, ..RunOptions::default() })
     }
 
     #[test]

@@ -128,7 +128,7 @@ mod tests {
     use super::*;
 
     fn result() -> Fig9Result {
-        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.05, ..RunOptions::default() })
     }
 
     #[test]

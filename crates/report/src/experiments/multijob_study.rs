@@ -191,7 +191,7 @@ mod tests {
     use super::*;
 
     fn result() -> MultijobResult {
-        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.03, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(96), seed: 2015, scale: 0.03, ..RunOptions::default() })
     }
 
     #[test]

@@ -88,7 +88,7 @@ mod tests {
     use super::*;
 
     fn grid() -> Table4Result {
-        run(&RunOptions { modules: Some(192), seed: 2015, scale: 1.0, csv_dir: None, threads: None })
+        run(&RunOptions { modules: Some(192), seed: 2015, scale: 1.0, ..RunOptions::default() })
     }
 
     #[test]

@@ -20,11 +20,16 @@
 //! Binaries accept `--modules N` (fleet size; default the paper's scale),
 //! `--seed S`, `--scale X` (workload duration multiplier) and `--csv DIR`
 //! (dump each figure's raw plottable series, see [`csv`]) so the full
-//! 1,920-module campaign and quick laptop runs share one code path.
+//! 1,920-module campaign and quick laptop runs share one code path. The
+//! observability flags `--trace-out DIR` (deterministic `journal.jsonl`,
+//! per-cell `metrics.csv`, Perfetto-loadable `trace.json`) and
+//! `--metrics` (summary on stdout) record any run through [`cli::run_main`]
+//! without changing its results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod csv;
 pub mod experiments;
 pub mod options;

@@ -16,11 +16,27 @@ pub struct RunOptions {
     /// `None` means available parallelism, `1` runs serially. Results are
     /// identical at any thread count.
     pub threads: Option<usize>,
+    /// Directory to write observability artifacts into (`--trace-out DIR`):
+    /// a deterministic `journal.jsonl`, a `metrics.csv`, and a Chrome
+    /// trace-event `trace.json` (load it in Perfetto / `chrome://tracing`).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Print a metrics summary after the run (`--metrics`). Either this or
+    /// `trace_out` turns the recorder on; with both off, instrumentation is
+    /// a single relaxed atomic load per site.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { modules: None, seed: 2015, scale: 1.0, csv_dir: None, threads: None }
+        RunOptions {
+            modules: None,
+            seed: 2015,
+            scale: 1.0,
+            csv_dir: None,
+            threads: None,
+            trace_out: None,
+            metrics: false,
+        }
     }
 }
 
@@ -60,9 +76,16 @@ impl RunOptions {
                     }
                     opts.threads = Some(n);
                 }
+                "--trace-out" => {
+                    opts.trace_out = Some(std::path::PathBuf::from(take("--trace-out")?));
+                }
+                "--metrics" => {
+                    opts.metrics = true;
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--modules N] [--seed S] [--scale X] [--csv DIR] [--threads N]"
+                        "usage: [--modules N] [--seed S] [--scale X] [--csv DIR] [--threads N] \
+                         [--trace-out DIR] [--metrics]"
                             .into(),
                     );
                 }
@@ -133,6 +156,17 @@ mod tests {
         assert!(parse(&[]).unwrap().threads() >= 1);
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = parse(&["--trace-out", "/tmp/obs", "--metrics"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("/tmp/obs")));
+        assert!(o.metrics);
+        let o = parse(&[]).unwrap();
+        assert!(o.trace_out.is_none());
+        assert!(!o.metrics);
+        assert!(parse(&["--trace-out"]).is_err());
     }
 
     #[test]

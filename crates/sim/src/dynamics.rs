@@ -14,9 +14,36 @@
 
 use crate::module::SimModule;
 use crate::rapl::{self, RaplController, RaplDecision, RaplLimit, MIN_DUTY};
-use crate::trace::PowerTrace;
+use crate::trace::{PowerTrace, TraceError};
 use serde::{Deserialize, Serialize};
 use vap_model::units::{GigaHertz, Seconds, Watts};
+
+/// Why a dynamics run could not start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicsError {
+    /// The control interval is not a positive, finite duration.
+    InvalidInterval(TraceError),
+    /// Zero control intervals were requested.
+    NoSteps,
+}
+
+impl std::fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicsError::InvalidInterval(_) => write!(f, "invalid control interval"),
+            DynamicsError::NoSteps => write!(f, "need at least one control interval"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DynamicsError::InvalidInterval(e) => Some(e),
+            DynamicsError::NoSteps => None,
+        }
+    }
+}
 
 /// Outcome of a dynamic enforcement run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,14 +91,16 @@ pub fn enforce(
     limit: RaplLimit,
     dt: Seconds,
     steps: usize,
-) -> DynamicsResult {
-    assert!(steps > 0, "need at least one control interval");
+) -> Result<DynamicsResult, DynamicsError> {
+    if steps == 0 {
+        return Err(DynamicsError::NoSteps);
+    }
     let pstates = module.pstates().clone();
     let mut controller = RaplController::new(limit);
     let mut clock = pstates.uncapped();
     let mut duty = 1.0f64;
 
-    let mut power = PowerTrace::new(dt);
+    let mut power = PowerTrace::new(dt).map_err(DynamicsError::InvalidInterval)?;
     let mut freq = Vec::with_capacity(steps);
     let mut duties = Vec::with_capacity(steps);
     let mut last_change = 0usize;
@@ -125,7 +154,7 @@ pub fn enforce(
     module.set_governor(crate::cpufreq::Governor::Performance);
 
     let settled_at = if last_change < steps { Some(last_change) } else { None };
-    DynamicsResult { power, freq, duty: duties, settled_at }
+    Ok(DynamicsResult { power, freq, duty: duties, settled_at })
 }
 
 /// Compare the dynamic loop's converged operating point against the
@@ -136,7 +165,7 @@ pub fn validate_against_steady_state(
     limit: RaplLimit,
     dt: Seconds,
     steps: usize,
-) -> (f64, f64) {
+) -> Result<(f64, f64), DynamicsError> {
     let analytic = rapl::steady_state(
         limit.cap,
         &module.power_model().cpu,
@@ -147,8 +176,8 @@ pub fn validate_against_steady_state(
     )
     .effective_frequency(module.pstates())
     .value();
-    let dynamic = enforce(module, limit, dt, steps).converged_frequency().value();
-    (analytic, dynamic)
+    let dynamic = enforce(module, limit, dt, steps)?.converged_frequency().value();
+    Ok((analytic, dynamic))
 }
 
 #[cfg(test)]
@@ -176,7 +205,7 @@ mod tests {
     fn loop_converges_fast_and_respects_the_cap() {
         let mut m = busy_module();
         let limit = RaplLimit::with_default_window(Watts(70.0));
-        let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 500);
+        let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 500).unwrap();
         // settles within tens of control intervals (tens of ms)
         let settle = r.settling_time().expect("loop should settle");
         assert!(settle.millis() < 100.0, "settled after {settle:?}");
@@ -192,7 +221,8 @@ mod tests {
         for cap_w in [95.0, 80.0, 65.0, 55.0] {
             let limit = RaplLimit::with_default_window(Watts(cap_w));
             let (analytic, dynamic) =
-                validate_against_steady_state(&mut m, limit, Seconds::from_millis(1.0), 400);
+                validate_against_steady_state(&mut m, limit, Seconds::from_millis(1.0), 400)
+                    .unwrap();
             assert!(
                 (analytic - dynamic).abs() <= 0.11,
                 "cap {cap_w} W: analytic {analytic:.3} GHz vs dynamic {dynamic:.3} GHz"
@@ -204,7 +234,7 @@ mod tests {
     fn sub_fmin_cap_drives_duty_modulation_dynamically() {
         let mut m = busy_module();
         let limit = RaplLimit::with_default_window(Watts(40.0));
-        let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 600);
+        let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 600).unwrap();
         let final_duty = *r.duty.last().unwrap();
         assert!(final_duty < 1.0, "expected modulation, duty = {final_duty}");
         assert!(r.converged_power() <= Watts(41.0));
@@ -216,7 +246,7 @@ mod tests {
     fn generous_cap_never_throttles() {
         let mut m = busy_module();
         let limit = RaplLimit::with_default_window(Watts(150.0));
-        let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 100);
+        let r = enforce(&mut m, limit, Seconds::from_millis(1.0), 100).unwrap();
         assert!(r.freq.iter().all(|f| (f.value() - 2.7).abs() < 1e-9));
         assert_eq!(r.settled_at, Some(0));
     }
@@ -225,7 +255,7 @@ mod tests {
     fn trace_is_fully_recorded() {
         let mut m = busy_module();
         let r = enforce(&mut m, RaplLimit::with_default_window(Watts(70.0)),
-                        Seconds::from_millis(1.0), 123);
+                        Seconds::from_millis(1.0), 123).unwrap();
         assert_eq!(r.power.len(), 123);
         assert_eq!(r.freq.len(), 123);
         assert_eq!(r.duty.len(), 123);
@@ -233,10 +263,28 @@ mod tests {
     }
 
     #[test]
+    fn bad_arguments_are_errors_not_panics() {
+        let mut m = busy_module();
+        let limit = RaplLimit::with_default_window(Watts(70.0));
+        assert_eq!(
+            enforce(&mut m, limit, Seconds::from_millis(1.0), 0),
+            Err(DynamicsError::NoSteps)
+        );
+        let err = enforce(&mut m, limit, Seconds(0.0), 10).unwrap_err();
+        assert!(matches!(err, DynamicsError::InvalidInterval(_)));
+        // the error chain names the offending interval
+        let source = std::error::Error::source(&err).expect("chained cause");
+        assert!(source.to_string().contains("sampling interval"));
+        assert!(
+            validate_against_steady_state(&mut m, limit, Seconds(-1.0), 10).is_err()
+        );
+    }
+
+    #[test]
     fn module_is_restored_after_enforcement() {
         let mut m = busy_module();
         let _ = enforce(&mut m, RaplLimit::with_default_window(Watts(60.0)),
-                        Seconds::from_millis(1.0), 50);
+                        Seconds::from_millis(1.0), 50).unwrap();
         assert_eq!(m.operating_point().clock, GigaHertz(2.7));
     }
 }

@@ -146,7 +146,9 @@ pub fn steady_state(
     let p_run = model.power(f_min, activity, variation, thermal);
     let p_gated = model.gated_power(variation, thermal);
     let duty = if cap <= p_gated { 0.0 } else { (cap - p_gated) / (p_run - p_gated) };
+    vap_obs::incr("rapl.clock_modulated");
     if duty < MIN_DUTY {
+        vap_obs::incr("rapl.cap_clamped");
         RaplSteadyState::ClockModulated { duty: MIN_DUTY, floored: true }
     } else {
         RaplSteadyState::ClockModulated { duty: duty.min(1.0), floored: false }

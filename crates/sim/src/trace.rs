@@ -8,6 +8,22 @@
 use serde::{Deserialize, Serialize};
 use vap_model::units::{Joules, Seconds, Watts};
 
+/// A rejected trace configuration: the sampling interval must be a
+/// positive, finite duration for the integrations to make sense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceError {
+    /// The rejected sampling interval.
+    pub dt: Seconds,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sampling interval must be positive and finite, got {}", self.dt)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// An equally sampled power time series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerTrace {
@@ -16,13 +32,15 @@ pub struct PowerTrace {
 }
 
 impl PowerTrace {
-    /// Create an empty trace sampled every `dt`.
-    ///
-    /// # Panics
-    /// Panics on a non-positive sampling interval.
-    pub fn new(dt: Seconds) -> Self {
-        assert!(dt.value() > 0.0, "sampling interval must be positive");
-        PowerTrace { dt, samples: Vec::new() }
+    /// Create an empty trace sampled every `dt`. Rejects non-positive and
+    /// non-finite intervals instead of panicking, so callers fed from
+    /// config files or CLI flags get a recoverable error.
+    pub fn new(dt: Seconds) -> Result<Self, TraceError> {
+        if dt.value() > 0.0 && dt.value().is_finite() {
+            Ok(PowerTrace { dt, samples: Vec::new() })
+        } else {
+            Err(TraceError { dt })
+        }
     }
 
     /// Sampling interval.
@@ -108,7 +126,7 @@ mod tests {
     use super::*;
 
     fn trace_of(vals: &[f64]) -> PowerTrace {
-        let mut t = PowerTrace::new(Seconds(0.001));
+        let mut t = PowerTrace::new(Seconds(0.001)).unwrap();
         for &v in vals {
             t.record(Watts(v));
         }
@@ -126,7 +144,7 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let t = PowerTrace::new(Seconds(0.001));
+        let t = PowerTrace::new(Seconds(0.001)).unwrap();
         assert!(t.is_empty());
         assert_eq!(t.average(), None);
         assert_eq!(t.peak(), None);
@@ -152,8 +170,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_dt_panics() {
-        let _ = PowerTrace::new(Seconds(0.0));
+    fn invalid_intervals_are_rejected_not_panicked() {
+        for dt in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = PowerTrace::new(Seconds(dt)).unwrap_err();
+            assert_eq!(err.dt.value().to_bits(), dt.to_bits());
+            assert!(err.to_string().contains("sampling interval"));
+        }
     }
 }

@@ -29,7 +29,8 @@ fn main() {
     for (label, id) in [("most power-hungry", hungry), ("most efficient", frugal)] {
         let mut module: SimModule = cluster.module(id).clone();
         let limit = RaplLimit::with_default_window(cap);
-        let r = enforce(&mut module, limit, Seconds::from_millis(1.0), 300);
+        let r = enforce(&mut module, limit, Seconds::from_millis(1.0), 300)
+            .expect("positive dt and steps");
 
         println!("module {id} ({label}): uncapped {:.1}", powers[id]);
         print!("  trajectory [GHz]: ");
@@ -45,7 +46,8 @@ fn main() {
             cap
         );
         let (analytic, dynamic) =
-            validate_against_steady_state(&mut module, limit, Seconds::from_millis(1.0), 300);
+            validate_against_steady_state(&mut module, limit, Seconds::from_millis(1.0), 300)
+                .expect("positive dt and steps");
         println!(
             "  analytic steady state {:.3} GHz vs dynamic {:.3} GHz (|Δ| = {:.3})\n",
             analytic,

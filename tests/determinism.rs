@@ -71,7 +71,7 @@ fn pvt_json_round_trip_preserves_plans() {
 fn experiment_drivers_are_deterministic() {
     use vap_report::experiments::fig6;
     use vap_report::RunOptions;
-    let opts = RunOptions { modules: Some(32), seed: 77, scale: 1.0, csv_dir: None, threads: None };
+    let opts = RunOptions { modules: Some(32), seed: 77, scale: 1.0, ..RunOptions::default() };
     let a = fig6::run(&opts);
     let b = fig6::run(&opts);
     for (x, y) in a.rows.iter().zip(&b.rows) {
@@ -90,8 +90,8 @@ fn campaigns_are_thread_count_invariant() {
         modules: Some(48),
         seed: 2015,
         scale: 0.02,
-        csv_dir: None,
         threads: Some(threads),
+        ..RunOptions::default()
     };
     let serial = csv::fig7(&fig7::run(&at(1)));
     let parallel = csv::fig7(&fig7::run(&at(4)));
@@ -100,4 +100,34 @@ fn campaigns_are_thread_count_invariant() {
     let serial = csv::table4(&table4::run(&at(1)));
     let parallel = csv::table4(&table4::run(&at(4)));
     assert_eq!(serial, parallel, "table4 CSV must not depend on --threads");
+}
+
+#[test]
+fn observability_journal_is_thread_count_invariant() {
+    // Recording a campaign must not perturb it, and the journal itself is
+    // part of the deterministic surface: byte-identical at any --threads.
+    use vap_report::experiments::fig7;
+    use vap_report::{csv, RunOptions};
+    let observed = |threads: usize| {
+        let session = vap_obs::Session::install();
+        let run = fig7::run(&RunOptions {
+            modules: Some(48),
+            seed: 2015,
+            scale: 0.02,
+            threads: Some(threads),
+            ..RunOptions::default()
+        });
+        (csv::fig7(&run), session.finish())
+    };
+    let (csv_1, report_1) = observed(1);
+    let (csv_4, report_4) = observed(4);
+    assert_eq!(csv_1, csv_4, "recording must not perturb results");
+    assert_eq!(
+        report_1.journal_jsonl, report_4.journal_jsonl,
+        "journal must be byte-identical at any thread count"
+    );
+    assert_eq!(report_1.metrics_csv, report_4.metrics_csv);
+    // sanity: the journal actually observed the campaign
+    assert!(report_1.journal_jsonl.contains("scheme.plans"));
+    assert!(report_1.journal_jsonl.contains("\"kind\":\"cell\""));
 }

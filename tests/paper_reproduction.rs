@@ -7,7 +7,7 @@ use vap_report::RunOptions;
 use vap_workloads::spec::WorkloadId;
 
 fn opts(modules: usize, scale: f64) -> RunOptions {
-    RunOptions { modules: Some(modules), seed: 2015, scale, csv_dir: None, threads: None }
+    RunOptions { modules: Some(modules), seed: 2015, scale, ..RunOptions::default() }
 }
 
 #[test]
