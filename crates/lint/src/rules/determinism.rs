@@ -4,9 +4,10 @@
 //! produce bit-identical plans and power traces. That property dies the
 //! moment simulation state iterates a `HashMap` (randomized iteration
 //! order since Rust 1.36) or consults OS entropy / wall clocks. In
-//! `vap-sim`, `vap-mpi`, `vap-core` and `vap-exec` (the deterministic
-//! parallel execution layer lives or dies by this property), non-test
-//! code must not use:
+//! `vap-sim`, `vap-mpi`, `vap-core`, `vap-exec` (the deterministic
+//! parallel execution layer lives or dies by this property) and
+//! `vap-sched` (the discrete-event runtime replays traces byte-for-byte),
+//! non-test code must not use:
 //!
 //! * `std::collections::HashMap` / `HashSet` — use `BTreeMap` /
 //!   `BTreeSet` / `Vec` (deterministic iteration, stable snapshots);
@@ -18,7 +19,7 @@ use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
 /// Crates whose state must replay deterministically.
-const SCOPE: [&str; 4] = ["vap-sim", "vap-mpi", "vap-core", "vap-exec"];
+const SCOPE: [&str; 5] = ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched"];
 
 /// `(token, message, help)` per forbidden construct.
 const FORBIDDEN: [(&str, &str, &str); 6] = [
@@ -63,7 +64,7 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec"
+        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched"
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
@@ -77,9 +78,7 @@ impl Rule for Determinism {
             for (token, message, help) in FORBIDDEN {
                 for pos in word_occurrences(line, token) {
                     // `rand::rng` must be the function, not `rand::rngs::`
-                    if token == "rand::rng"
-                        && line[pos + token.len()..].chars().next() != Some('(')
-                    {
+                    if token == "rand::rng" && !line[pos + token.len()..].starts_with('(') {
                         continue;
                     }
                     out.push(Finding {
@@ -130,6 +129,11 @@ mod tests {
     #[test]
     fn out_of_scope_crates_are_ignored() {
         assert!(findings("vap-report", "use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn the_sched_runtime_is_in_scope() {
+        assert_eq!(findings("vap-sched", "let q = HashMap::new();\n").len(), 1);
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl Rule for NoPanicInLib {
             for (needle, followed_by, message) in PANICS {
                 for pos in occurrences(line, needle) {
                     if let Some(req) = followed_by {
-                        if line[pos + needle.len()..].chars().next() != Some(req) {
+                        if !line[pos + needle.len()..].starts_with(req) {
                             continue;
                         }
                     }

@@ -19,7 +19,7 @@ fn main() {
         opts.maybe_write_csv("fig3.csv", &vap_report::csv::fig3(&r3));
         println!("{}", fig3::render(&r3).render());
 
-        let r5 = fig5::run(opts);
+        let r5 = fig5::run(opts)?;
         opts.maybe_write_csv("fig5.csv", &vap_report::csv::fig5(&r5));
         println!("{}", fig5::render(&r5).render());
 
@@ -50,6 +50,10 @@ fn main() {
         let mj = multijob_study::run(opts);
         opts.maybe_write_csv("multijob.csv", &multijob_study::to_csv(&mj));
         println!("{}", multijob_study::render(&mj).render());
+
+        let ss = sched_study::run(opts);
+        opts.maybe_write_csv("schedstudy.csv", &sched_study::to_csv(&ss));
+        println!("{}", sched_study::render(&ss).render());
         Ok(())
     })
 }

@@ -215,7 +215,8 @@ mod tests {
 
     #[test]
     fn fig5_and_fig6_csvs_parse_back() {
-        let r5 = crate::experiments::fig5::run(&RunOptions { modules: Some(8), ..opts() });
+        let r5 =
+            crate::experiments::fig5::run(&RunOptions { modules: Some(8), ..opts() }).unwrap();
         let csv = fig5(&r5);
         // 2 workloads × 16 p-states + header
         assert_eq!(csv.lines().count(), 33);

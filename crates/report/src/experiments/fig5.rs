@@ -44,8 +44,38 @@ pub struct Fig5Result {
     pub modules: usize,
 }
 
+/// A frequency sweep produced a series no line can be fitted to (fewer
+/// than two distinct frequencies, or a non-finite power reading).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    /// The workload whose sweep failed.
+    pub workload: WorkloadId,
+    /// The power domain being fitted (`Module`, `CPU`, or `DRAM`).
+    pub domain: &'static str,
+    /// Sweep points that were available.
+    pub points: usize,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot fit {} {} power vs frequency: {} usable sweep point(s)",
+            self.workload, self.domain, self.points
+        )
+    }
+}
+
+impl std::error::Error for FitError {}
+
 /// Run the Fig. 5 sweep.
-pub fn run(opts: &RunOptions) -> Fig5Result {
+///
+/// # Errors
+///
+/// [`FitError`] if any workload's sweep yields a series that cannot be
+/// fitted — possible only with a degenerate p-state table (< 2
+/// frequencies), which no shipped [`SystemSpec`](vap_model::systems::SystemSpec) has.
+pub fn run(opts: &RunOptions) -> Result<Fig5Result, FitError> {
     let n = opts.modules_or(64);
     let mut cluster = common::ha8k(n, opts.seed);
     let ids = all_ids(&cluster);
@@ -75,11 +105,15 @@ pub fn run(opts: &RunOptions) -> Fig5Result {
         }
         cluster.uncap_all();
 
+        let fit = |domain: &'static str, ys: &[f64]| {
+            LinearFit::fit(&freqs, ys)
+                .ok_or(FitError { workload: w, domain, points: freqs.len() })
+        };
         workloads.push(LinearityResult {
             workload: w,
-            module_fit: LinearFit::fit(&freqs, &module).expect("sweep has >= 2 points"),
-            cpu_fit: LinearFit::fit(&freqs, &cpu).expect("sweep has >= 2 points"),
-            dram_fit: LinearFit::fit(&freqs, &dram).expect("sweep has >= 2 points"),
+            module_fit: fit("Module", &module)?,
+            cpu_fit: fit("CPU", &cpu)?,
+            dram_fit: fit("DRAM", &dram)?,
             freqs_ghz: freqs,
             module_w: module,
             cpu_w: cpu,
@@ -90,7 +124,7 @@ pub fn run(opts: &RunOptions) -> Fig5Result {
         m.set_workload_variation(None);
         m.set_activity(vap_model::power::PowerActivity::IDLE);
     }
-    Fig5Result { workloads, modules: n }
+    Ok(Fig5Result { workloads, modules: n })
 }
 
 /// Render the R² table.
@@ -121,6 +155,7 @@ mod tests {
 
     fn result() -> Fig5Result {
         run(&RunOptions { modules: Some(64), seed: 2015, scale: 1.0, ..RunOptions::default() })
+            .unwrap()
     }
 
     #[test]
@@ -160,7 +195,10 @@ mod tests {
 
     #[test]
     fn render_reports_six_fits() {
-        let t = render(&run(&RunOptions { modules: Some(8), seed: 1, scale: 1.0, ..RunOptions::default() }));
+        let t = render(
+            &run(&RunOptions { modules: Some(8), seed: 1, scale: 1.0, ..RunOptions::default() })
+                .unwrap(),
+        );
         assert_eq!(t.len(), 6);
         assert!(t.render().contains("R^2"));
     }

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod multijob_study;
+pub mod sched_study;
 pub mod table1;
 pub mod table2;
 pub mod table4;

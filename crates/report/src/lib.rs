@@ -16,6 +16,8 @@
 //! | Fig. 7 (speedup over Naive) | [`experiments::fig7`] | `... --bin fig7` |
 //! | Fig. 8 (VaFs detailed behaviour) | [`experiments::fig8`] | `... --bin fig8` |
 //! | Fig. 9 (total power per scheme) | [`experiments::fig9`] | `... --bin fig9` |
+//! | §7 multi-tenant partitioning (extension) | [`experiments::multijob_study`] | `... --bin multijob` |
+//! | §7 online power scheduling (extension) | [`experiments::sched_study`] | `... --bin schedstudy` |
 //!
 //! Binaries accept `--modules N` (fleet size; default the paper's scale),
 //! `--seed S`, `--scale X` (workload duration multiplier) and `--csv DIR`

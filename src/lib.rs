@@ -32,6 +32,7 @@
 //! | [`workloads`] | the seven benchmarks as power/comm models + real compute kernels |
 //! | [`core`] | **the contribution**: PVT, test runs, PMT calibration, α solver, the six schemes, PMMDs |
 //! | [`stats`] | Vp/Vf/Vt, summaries, OLS + R², speedup accounting |
+//! | [`sched`] | deterministic discrete-event cluster runtime with online variation-aware power scheduling |
 //! | [`report`] | one regenerable driver per paper table/figure |
 //!
 //! ## Quickstart
@@ -72,6 +73,7 @@ pub use vap_core as core;
 pub use vap_model as model;
 pub use vap_mpi as mpi;
 pub use vap_report as report;
+pub use vap_sched as sched;
 pub use vap_sim as sim;
 pub use vap_stats as stats;
 pub use vap_workloads as workloads;
@@ -90,6 +92,9 @@ pub mod prelude {
     pub use vap_model::units::{GigaHertz, Joules, Seconds, Watts};
     pub use vap_mpi::comm::CommParams;
     pub use vap_mpi::program::{Op, Program, ProgramBuilder};
+    pub use vap_sched::{
+        QueueDiscipline, ReallocPolicy, SchedConfig, SchedReport, SchedRuntime, Trace, TraceGen,
+    };
     pub use vap_sim::cluster::Cluster;
     pub use vap_sim::scheduler::{AllocationPolicy, Scheduler};
     pub use vap_workloads::catalog;

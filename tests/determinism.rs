@@ -103,6 +103,35 @@ fn campaigns_are_thread_count_invariant() {
 }
 
 #[test]
+fn sched_study_is_seed_and_thread_count_invariant() {
+    // The scheduling study replays a discrete-event trace on every grid
+    // cell; its CSV (and the simulated Perfetto timeline riding along)
+    // must be byte-identical across thread counts and same-seed reruns.
+    use vap_report::experiments::sched_study;
+    use vap_report::RunOptions;
+    let at = |threads: usize| RunOptions {
+        modules: Some(48),
+        seed: 2015,
+        scale: 0.05,
+        threads: Some(threads),
+        ..RunOptions::default()
+    };
+    let serial = sched_study::run(&at(1));
+    let parallel = sched_study::run(&at(4));
+    assert_eq!(
+        sched_study::to_csv(&serial),
+        sched_study::to_csv(&parallel),
+        "schedstudy CSV must not depend on --threads"
+    );
+    assert_eq!(
+        serial.timeline_json, parallel.timeline_json,
+        "simulated timeline must not depend on --threads"
+    );
+    let again = sched_study::run(&at(1));
+    assert_eq!(sched_study::to_csv(&serial), sched_study::to_csv(&again));
+}
+
+#[test]
 fn observability_journal_is_thread_count_invariant() {
     // Recording a campaign must not perturb it, and the journal itself is
     // part of the deterministic surface: byte-identical at any --threads.

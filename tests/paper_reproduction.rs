@@ -59,7 +59,7 @@ fn fig3_sync_wait_explodes_under_caps_and_fig8_tames_it() {
 
 #[test]
 fn fig5_linearity_justifies_the_two_point_model() {
-    let r = fig5::run(&opts(64, 1.0));
+    let r = fig5::run(&opts(64, 1.0)).unwrap();
     for w in &r.workloads {
         // paper band: 0.991-0.999
         assert!(w.module_fit.r_squared > 0.99, "{}: {}", w.workload, w.module_fit.r_squared);
