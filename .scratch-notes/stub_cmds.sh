@@ -1,0 +1,667 @@
+cd /root/repo/.scratch-typecheck/stubs && mkdir -p serde/src serde_derive/src serde_json/src rand/src rand_distr/src crossbeam/src parking_lot/src proptest/src criterion/src
+
+cat > serde/Cargo.toml <<'EOF'
+[package]
+name = "serde"
+version = "1.0.0"
+edition = "2021"
+[features]
+default = []
+derive = []
+[dependencies]
+serde_derive = { path = "../serde_derive" }
+EOF
+
+cat > serde/src/lib.rs <<'EOF'
+//! Typecheck-only stub of serde: blanket-implemented marker traits plus
+//! the derive re-exports. Runtime behavior lives in serde_json's stub.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T {}
+}
+pub mod ser {
+    pub use super::Serialize;
+}
+EOF
+
+cat > serde_derive/Cargo.toml <<'EOF'
+[package]
+name = "serde_derive"
+version = "1.0.0"
+edition = "2021"
+[lib]
+proc-macro = true
+EOF
+
+cat > serde_derive/src/lib.rs <<'EOF'
+//! No-op derive macros; the stub serde traits are blanket-implemented.
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+EOF
+
+cat > serde_json/Cargo.toml <<'EOF'
+[package]
+name = "serde_json"
+version = "1.0.0"
+edition = "2021"
+[features]
+default = []
+float_roundtrip = []
+[dependencies]
+serde = { path = "../serde" }
+EOF
+
+cat > serde_json/src/lib.rs <<'EOF'
+//! Typecheck-only stub of serde_json: signatures match, bodies panic.
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+}
+
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub")
+    }
+}
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn to_string_pretty<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn from_str<'a, T: Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn from_value<T: for<'de> Deserialize<'de>>(_v: Value) -> Result<T> {
+    unimplemented!("serde_json stub")
+}
+
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)*) => {
+        $crate::Value::Null
+    };
+}
+EOF
+echo done
+
+### NEXT ###
+
+cd /root/repo/.scratch-typecheck/stubs
+
+cat > rand/Cargo.toml <<'EOF'
+[package]
+name = "rand"
+version = "0.9.0"
+edition = "2021"
+EOF
+
+cat > rand/src/lib.rs <<'EOF'
+//! Typecheck-only stub of rand 0.9's used surface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore {
+    fn random<T>(&mut self) -> T {
+        unimplemented!("rand stub")
+    }
+    fn random_range<T, R>(&mut self, _range: R) -> T {
+        unimplemented!("rand stub")
+    }
+    fn sample<T, D: distr::Distribution<T>>(&mut self, _distr: D) -> T {
+        unimplemented!("rand stub")
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    pub struct StdRng;
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            unimplemented!("rand stub")
+        }
+    }
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(_state: u64) -> Self {
+            unimplemented!("rand stub")
+        }
+    }
+}
+
+pub mod distr {
+    pub trait Distribution<T> {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, _rng: &mut R) {
+            unimplemented!("rand stub")
+        }
+    }
+}
+
+pub fn rng() -> rngs::StdRng {
+    unimplemented!("rand stub")
+}
+EOF
+
+cat > rand_distr/Cargo.toml <<'EOF'
+[package]
+name = "rand_distr"
+version = "0.5.0"
+edition = "2021"
+[dependencies]
+rand = { path = "../rand" }
+EOF
+
+cat > rand_distr/src/lib.rs <<'EOF'
+//! Typecheck-only stub of rand_distr's used surface.
+pub use rand::distr::Distribution;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Normal;
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal;
+#[derive(Debug, Clone, Copy)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rand_distr stub")
+    }
+}
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    pub fn new(_mean: f64, _std_dev: f64) -> Result<Self, NormalError> {
+        unimplemented!("rand_distr stub")
+    }
+}
+impl LogNormal {
+    pub fn new(_mu: f64, _sigma: f64) -> Result<Self, NormalError> {
+        unimplemented!("rand_distr stub")
+    }
+}
+impl Distribution<f64> for Normal {
+    fn sample<R: rand::RngCore + ?Sized>(&self, _rng: &mut R) -> f64 {
+        unimplemented!("rand_distr stub")
+    }
+}
+impl Distribution<f64> for LogNormal {
+    fn sample<R: rand::RngCore + ?Sized>(&self, _rng: &mut R) -> f64 {
+        unimplemented!("rand_distr stub")
+    }
+}
+EOF
+
+cat > crossbeam/Cargo.toml <<'EOF'
+[package]
+name = "crossbeam"
+version = "0.8.0"
+edition = "2021"
+EOF
+
+cat > crossbeam/src/lib.rs <<'EOF'
+//! Typecheck-only stub of crossbeam's scoped threads, backed by
+//! std::thread::scope so the kernels actually run in the harness.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+EOF
+
+cat > parking_lot/Cargo.toml <<'EOF'
+[package]
+name = "parking_lot"
+version = "0.12.0"
+edition = "2021"
+EOF
+
+cat > parking_lot/src/lib.rs <<'EOF'
+//! Typecheck-only stub (the workspace declares but does not use it).
+EOF
+echo done
+
+### NEXT ###
+
+cd /root/repo/.scratch-typecheck/stubs
+
+cat > proptest/Cargo.toml <<'EOF'
+[package]
+name = "proptest"
+version = "1.0.0"
+edition = "2021"
+EOF
+
+cat > proptest/src/lib.rs <<'EOF'
+//! Typecheck-only stub of proptest: the `proptest!` macro swallows its
+//! body (property bodies are not typechecked in the harness).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    pub trait Strategy: Sized {
+        type Value;
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, _f: F) -> Mapped<O> {
+            Mapped(std::marker::PhantomData)
+        }
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+    pub struct Mapped<T>(std::marker::PhantomData<T>);
+    impl<T> Strategy for Mapped<T> {
+        type Value = T;
+    }
+
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    pub mod prop {
+        pub mod collection {
+            pub use crate::collection::*;
+        }
+    }
+}
+
+pub mod collection {
+    use crate::prelude::{Mapped, Strategy};
+    pub fn vec<S: Strategy>(_element: S, _size: std::ops::Range<usize>) -> Mapped<Vec<S::Value>> {
+        Mapped(std::marker::PhantomData)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($tt:tt)*) => {};
+}
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => {};
+}
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => {};
+}
+#[macro_export]
+macro_rules! prop_assume {
+    ($($tt:tt)*) => {};
+}
+EOF
+
+cat > criterion/Cargo.toml <<'EOF'
+[package]
+name = "criterion"
+version = "0.5.0"
+edition = "2021"
+EOF
+
+cat > criterion/src/lib.rs <<'EOF'
+//! Typecheck-only stub of criterion's used surface; bodies panic.
+pub struct Criterion;
+pub struct Bencher;
+pub struct BenchmarkGroup;
+pub struct BenchmarkId;
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, _f: F) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup {
+        unimplemented!("criterion stub")
+    }
+}
+
+impl BenchmarkGroup {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: impl Into<String>, _f: F) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn finish(self) {}
+}
+
+impl BenchmarkId {
+    pub fn new(_name: impl Into<String>, _param: impl std::fmt::Display) -> Self {
+        BenchmarkId
+    }
+    pub fn from_parameter(_param: impl std::fmt::Display) -> Self {
+        BenchmarkId
+    }
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, _routine: F) {
+        unimplemented!("criterion stub")
+    }
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        _setup: S,
+        _routine: F,
+    ) {
+        unimplemented!("criterion stub")
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($($tt:tt)*) => {};
+}
+#[macro_export]
+macro_rules! criterion_main {
+    ($($tt:tt)*) => {
+        fn main() {}
+    };
+}
+EOF
+echo done
+
+### NEXT ###
+
+cd /root/repo/.scratch-typecheck && python3 - <<'EOF'
+import re
+t = open('Cargo.toml').read()
+t = t.replace('members = ["crates/*"]', 'members = ["crates/*", "stubs/*"]')
+repl = {
+ 'rand = "0.9"': 'rand = { path = "stubs/rand" }',
+ 'rand_distr = "0.5"': 'rand_distr = { path = "stubs/rand_distr" }',
+ 'proptest = "1"': 'proptest = { path = "stubs/proptest" }',
+ 'criterion = "0.5"': 'criterion = { path = "stubs/criterion" }',
+ 'crossbeam = "0.8"': 'crossbeam = { path = "stubs/crossbeam" }',
+ 'parking_lot = "0.12"': 'parking_lot = { path = "stubs/parking_lot" }',
+ 'serde = { version = "1", features = ["derive"] }': 'serde = { path = "stubs/serde", features = ["derive"] }',
+ 'serde_json = { version = "1", features = ["float_roundtrip"] }': 'serde_json = { path = "stubs/serde_json", features = ["float_roundtrip"] }',
+}
+for k, v in repl.items():
+    assert k in t, k
+    t = t.replace(k, v)
+open('Cargo.toml','w').write(t)
+print("rewritten")
+EOF
+CARGO_NET_OFFLINE=1 cargo check --workspace --all-targets 2>&1 | tail -40
+
+### NEXT ###
+
+sed -i 's/    pub struct StdRng;/    #[derive(Debug, Clone)]\n    pub struct StdRng;/' stubs/rand/src/lib.rs && CARGO_NET_OFFLINE=1 cargo check --workspace --all-targets 2>&1 | grep -E "^(error|warning: unused|    Checking|   Compiling)" | head -40
+
+### NEXT ###
+
+sed -i 's/pub struct Any<T>(std::marker::PhantomData<T>);/pub struct Any<T>(pub std::marker::PhantomData<T>);/; s/pub struct Mapped<T>(std::marker::PhantomData<T>);/pub struct Mapped<T>(pub std::marker::PhantomData<T>);/' stubs/proptest/src/lib.rs && CARGO_NET_OFFLINE=1 cargo check --workspace --all-targets 2>&1 | grep -vE "^(    Checking|   Compiling|    Finished)" | head -60
+
+### NEXT ###
+
+python3 - <<'EOF'
+p = 'stubs/proptest/src/lib.rs'
+t = open(p).read()
+add = '''
+    impl<T> Strategy for std::ops::Range<T> {
+        type Value = T;
+    }
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+    }
+
+'''
+anchor = "    pub fn any<T>() -> Any<T> {"
+assert anchor in t
+t = t.replace(anchor, add + anchor)
+open(p, 'w').write(t)
+EOF
+CARGO_NET_OFFLINE=1 cargo check --workspace --all-targets 2>&1 | grep -E "^error|Finished" | head
+
+### NEXT ###
+
+cd /root/repo/.scratch-typecheck/stubs && cat > rand/src/lib.rs <<'EOF'
+//! Functional stand-in for rand 0.9's used surface: a real (SplitMix64)
+//! generator so simulation code runs, though streams differ from the
+//! real StdRng (ChaCha12). Determinism properties (same seed -> same
+//! bytes, thread-count invariance) are unaffected.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait FromRng {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+pub trait Rng: RngCore {
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+    fn sample<T, D: distr::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+pub mod distr {
+    pub trait Distribution<T> {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+pub mod seq {
+    use crate::Rng;
+    pub trait SliceRandom {
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher-Yates; modulo bias is irrelevant for a test stand-in
+            for i in (1..self.len()).rev() {
+                let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub fn rng() -> rngs::StdRng {
+    unimplemented!("unseeded entropy is forbidden in this workspace (determinism lint)")
+}
+EOF
+
+cat > rand_distr/src/lib.rs <<'EOF'
+//! Functional stand-in for rand_distr's used surface (Box-Muller).
+pub use rand::distr::Distribution;
+use rand::Rng;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+#[derive(Debug, Clone, Copy)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal parameters")
+    }
+}
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+}
+impl Distribution<f64> for Normal {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u clamped away from 0 so ln() stays finite
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        let v: f64 = rng.random();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        self.mean + self.std_dev * z
+    }
+}
+impl Distribution<f64> for LogNormal {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+EOF
+echo done
+
+### NEXT ###
+
+cd /root/repo && mkdir -p .scratch-baseline && git archive HEAD | tar -x -C .scratch-baseline && cp -r .scratch-typecheck/stubs .scratch-baseline/ && cd .scratch-baseline && python3 - <<'EOF'
+t = open('Cargo.toml').read()
+t = t.replace('members = ["crates/*"]', 'members = ["crates/*", "stubs/*"]')
+repl = {
+ 'rand = "0.9"': 'rand = { path = "stubs/rand" }',
+ 'rand_distr = "0.5"': 'rand_distr = { path = "stubs/rand_distr" }',
+ 'proptest = "1"': 'proptest = { path = "stubs/proptest" }',
+ 'criterion = "0.5"': 'criterion = { path = "stubs/criterion" }',
+ 'crossbeam = "0.8"': 'crossbeam = { path = "stubs/crossbeam" }',
+ 'parking_lot = "0.12"': 'parking_lot = { path = "stubs/parking_lot" }',
+ 'serde = { version = "1", features = ["derive"] }': 'serde = { path = "stubs/serde", features = ["derive"] }',
+ 'serde_json = { version = "1", features = ["float_roundtrip"] }': 'serde_json = { path = "stubs/serde_json", features = ["float_roundtrip"] }',
+}
+for k, v in repl.items():
+    if k in t:
+        t = t.replace(k, v)
+    else:
+        print("MISSING:", k)
+# drop vap-obs if absent at HEAD
+open('Cargo.toml','w').write(t)
+print("ok")
+EOF
+grep -n "vap-obs" Cargo.toml | head -3

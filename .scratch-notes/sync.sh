@@ -1,0 +1,24 @@
+#!/bin/sh
+# refresh the scratch harness copy of first-party sources
+cd /root/repo
+cp -r Cargo.toml lint-baseline.toml .scratch-typecheck/ 2>/dev/null
+rm -rf .scratch-typecheck/crates .scratch-typecheck/src .scratch-typecheck/tests .scratch-typecheck/examples
+cp -r crates src tests examples .scratch-typecheck/
+cd .scratch-typecheck && python3 - <<'PYEOF'
+t = open('Cargo.toml').read()
+t = t.replace('members = ["crates/*"]', 'members = ["crates/*", "stubs/*"]')
+repl = {
+ 'rand = "0.9"': 'rand = { path = "stubs/rand" }',
+ 'rand_distr = "0.5"': 'rand_distr = { path = "stubs/rand_distr" }',
+ 'proptest = "1"': 'proptest = { path = "stubs/proptest" }',
+ 'criterion = "0.5"': 'criterion = { path = "stubs/criterion" }',
+ 'crossbeam = "0.8"': 'crossbeam = { path = "stubs/crossbeam" }',
+ 'parking_lot = "0.12"': 'parking_lot = { path = "stubs/parking_lot" }',
+ 'serde = { version = "1", features = ["derive"] }': 'serde = { path = "stubs/serde", features = ["derive"] }',
+ 'serde_json = { version = "1", features = ["float_roundtrip"] }': 'serde_json = { path = "stubs/serde_json", features = ["float_roundtrip"] }',
+}
+for k, v in repl.items():
+    if k in t:
+        t = t.replace(k, v)
+open('Cargo.toml','w').write(t)
+PYEOF

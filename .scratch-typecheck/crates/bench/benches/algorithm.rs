@@ -1,0 +1,213 @@
+//! Microbenchmarks of the budgeting algorithm and its substrates.
+//!
+//! The paper's scalability claim is that budgeting costs one closed-form
+//! solve over the module list (versus an NP-hard ILP per decision in prior
+//! work). `alpha_solve_*` quantifies that: the solve is linear in the
+//! fleet and takes microseconds even at 100k modules. The remaining
+//! groups time the once-per-system and per-job pipeline stages, plus the
+//! hot inner layers (RAPL steady state, SPMD engine, scheduler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vap_core::alpha::{allocations, max_alpha};
+use vap_core::budgeter::Budgeter;
+use vap_core::pmt::PowerModelTable;
+use vap_core::pvt::PowerVariationTable;
+use vap_core::schemes::{PlanRequest, SchemeId};
+use vap_core::testrun::single_module_test_run;
+use vap_model::systems::SystemSpec;
+use vap_model::units::{GigaHertz, Watts};
+use vap_mpi::comm::CommParams;
+use vap_mpi::engine;
+use vap_mpi::program::{Op, ProgramBuilder};
+use vap_sim::cluster::Cluster;
+use vap_sim::rapl;
+use vap_sim::scheduler::{AllocationPolicy, Scheduler};
+use vap_workloads::catalog;
+use vap_workloads::spec::WorkloadId;
+
+const SEED: u64 = 2015;
+
+/// A synthetic PMT of `n` modules (spread anchors, no cluster needed).
+fn synthetic_pmt(n: usize) -> PowerModelTable {
+    let entries: Vec<serde_json::Value> = (0..n)
+        .map(|id| {
+            let k = 0.9 + 0.2 * (id % 97) as f64 / 97.0;
+            serde_json::json!({
+                "module_id": id,
+                "cpu":  {"f_max": 2.7, "f_min": 1.2, "p_max": 100.0 * k, "p_min": 48.0 * k},
+                "dram": {"f_max": 2.7, "f_min": 1.2, "p_max": 12.0 * k, "p_min": 10.0 * k},
+            })
+        })
+        .collect();
+    serde_json::from_value(serde_json::json!({ "entries": entries })).expect("valid PMT")
+}
+
+fn bench_alpha_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alpha_solver");
+    for n in [1_000usize, 10_000, 100_000] {
+        let pmt = synthetic_pmt(n);
+        let budget = Watts(80.0 * n as f64);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("solve_and_allocate", n), &pmt, |b, pmt| {
+            b.iter(|| {
+                let a = max_alpha(black_box(budget), pmt).expect("feasible");
+                black_box(allocations(pmt, a))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("pvt_generation_256_modules", |b| {
+        let stream = catalog::get(WorkloadId::Stream);
+        b.iter_with_setup(
+            || Cluster::with_size(SystemSpec::ha8k(), 256, SEED),
+            |mut cluster| black_box(PowerVariationTable::generate(&mut cluster, &stream, SEED)),
+        )
+    });
+
+    let mut cluster = Cluster::with_size(SystemSpec::ha8k(), 256, SEED);
+    let pvt = PowerVariationTable::generate(&mut cluster, &catalog::get(WorkloadId::Stream), SEED);
+    let ids: Vec<usize> = (0..256).collect();
+    let mhd = catalog::get(WorkloadId::Mhd);
+
+    g.bench_function("single_module_test_run", |b| {
+        b.iter(|| black_box(single_module_test_run(&mut cluster, 0, &mhd, SEED)))
+    });
+
+    let test = single_module_test_run(&mut cluster, 0, &mhd, SEED);
+    g.bench_function("pmt_calibration_256_modules", |b| {
+        b.iter(|| black_box(PowerModelTable::calibrate(&pvt, &test, &ids).expect("valid")))
+    });
+
+    g.bench_function("vapc_plan_end_to_end_256", |b| {
+        let req = PlanRequest {
+            budget: Watts(80.0 * 256.0),
+            module_ids: &ids,
+            workload: &mhd,
+            pvt: &pvt,
+            seed: SEED,
+        };
+        b.iter(|| black_box(SchemeId::VaPc.plan(&mut cluster, &req).expect("feasible")))
+    });
+
+    g.bench_function("budgeter_install_128", |b| {
+        b.iter_with_setup(
+            || Cluster::with_size(SystemSpec::ha8k(), 128, SEED),
+            |mut cluster| black_box(Budgeter::install(&mut cluster, SEED)),
+        )
+    });
+    g.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+
+    let spec = SystemSpec::ha8k();
+    let v = vap_model::variability::ModuleVariation::nominal(0, 12);
+    g.bench_function("rapl_steady_state_solve", |b| {
+        b.iter(|| {
+            black_box(rapl::steady_state(
+                black_box(Watts(68.25)),
+                &spec.power_model.cpu,
+                1.0,
+                &v,
+                1.0,
+                &spec.pstates,
+            ))
+        })
+    });
+
+    // SPMD engine: 1000-iteration stencil across 1024 ranks
+    let rates: Vec<f64> = (0..1024).map(|i| 0.5 + 0.5 * (i % 13) as f64 / 13.0).collect();
+    let body = [Op::Compute { work: 0.1 }, Op::Sendrecv { offset: 1, bytes: 1 << 20 }];
+    let program = ProgramBuilder::new().iterations(1000, &body).build();
+    let comm = CommParams::infiniband_fdr();
+    g.throughput(Throughput::Elements((1000 * 1024) as u64));
+    g.bench_function("engine_stencil_1024r_1000it", |b| {
+        b.iter(|| black_box(engine::run(&program, &rates, &comm)))
+    });
+
+    let cluster = Cluster::with_size(SystemSpec::ha8k(), 1024, SEED);
+    let act = catalog::get(WorkloadId::Mhd).activity;
+    g.bench_function("scheduler_power_aware_1024", |b| {
+        let s = Scheduler::new(AllocationPolicy::LowestPowerFirst);
+        b.iter(|| black_box(s.allocate(&cluster, 256, act, SEED)))
+    });
+
+    g.bench_function("module_cap_resolve", |b| {
+        let mut m = cluster.module(0).clone();
+        m.set_activity(act);
+        b.iter(|| {
+            m.set_cap(vap_sim::rapl::RaplLimit::with_default_window(Watts(70.0)));
+            black_box(m.operating_point())
+        })
+    });
+
+    g.bench_function("linear_fit_16_points", |b| {
+        let xs: Vec<f64> = (0..16).map(|i| 1.2 + 0.1 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 26.0 + 27.7 * x).collect();
+        b.iter(|| black_box(vap_stats::LinearFit::fit(&xs, &ys)))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Ablation: planning cost of oracle calibration vs PVT calibration —
+    // the deployment argument for the paper's approach (O(1) test runs vs
+    // O(fleet) measurement per application).
+    let mut g = c.benchmark_group("ablation_calibration_cost");
+    g.sample_size(10);
+    let mut cluster = Cluster::with_size(SystemSpec::ha8k(), 128, SEED);
+    let pvt = PowerVariationTable::generate(&mut cluster, &catalog::get(WorkloadId::Stream), SEED);
+    let ids: Vec<usize> = (0..128).collect();
+    let bt = catalog::get(WorkloadId::Bt);
+
+    g.bench_function("pvt_calibrated_plan_128", |b| {
+        let req = PlanRequest {
+            budget: Watts(70.0 * 128.0),
+            module_ids: &ids,
+            workload: &bt,
+            pvt: &pvt,
+            seed: SEED,
+        };
+        b.iter(|| black_box(SchemeId::VaPc.plan(&mut cluster, &req).expect("feasible")))
+    });
+    g.bench_function("oracle_measured_plan_128", |b| {
+        let req = PlanRequest {
+            budget: Watts(70.0 * 128.0),
+            module_ids: &ids,
+            workload: &bt,
+            pvt: &pvt,
+            seed: SEED,
+        };
+        b.iter(|| black_box(SchemeId::VaPcOr.plan(&mut cluster, &req).expect("feasible")))
+    });
+    g.finish();
+
+    // Ablation: cost of the P-state granularity on frequency snapping.
+    let mut g = c.benchmark_group("ablation_pstate_floor");
+    for steps in [0.1, 0.05, 0.01] {
+        let table = vap_model::pstate::PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(steps));
+        g.bench_with_input(
+            BenchmarkId::new("floor", format!("{steps}GHz")),
+            &table,
+            |b, t| b.iter(|| black_box(t.floor(GigaHertz(2.0400001)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    algorithm,
+    bench_alpha_solver,
+    bench_pipeline_stages,
+    bench_substrates,
+    bench_ablations
+);
+criterion_main!(algorithm);

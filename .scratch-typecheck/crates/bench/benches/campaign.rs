@@ -1,0 +1,59 @@
+//! Serial vs parallel campaign execution (the vap-exec layer).
+//!
+//! Benchmarks the Fig. 7 campaign and the Table 4 feasibility grid at a
+//! reduced fleet size with `--threads 1` against `--threads N` (the
+//! host's available parallelism, and fixed 2/4-thread points for
+//! cross-host comparability). The outputs are bit-identical at every
+//! thread count — `tests/determinism.rs` enforces that — so these
+//! benches measure pure wall-clock scaling. Measured numbers are
+//! recorded in `BENCH_campaign.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vap_report::experiments::{fig7, table4};
+use vap_report::RunOptions;
+
+fn opts(modules: usize, scale: f64, threads: usize) -> RunOptions {
+    RunOptions {
+        modules: Some(modules),
+        seed: 2015,
+        scale,
+        threads: Some(threads),
+        ..RunOptions::default()
+    }
+}
+
+fn thread_points() -> Vec<usize> {
+    let hw = vap_exec::available_parallelism();
+    let mut points = vec![1, 2, 4, hw];
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+fn bench_fig7_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_fig7_48");
+    g.sample_size(10);
+    for threads in thread_points() {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            let o = opts(48, 0.02, threads);
+            b.iter(|| black_box(fig7::run(&o)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_table4_96");
+    g.sample_size(10);
+    for threads in thread_points() {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            let o = opts(96, 1.0, threads);
+            b.iter(|| black_box(table4::run(&o)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(campaign, bench_fig7_campaign, bench_table4_grid);
+criterion_main!(campaign);

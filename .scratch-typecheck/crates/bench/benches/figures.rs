@@ -1,0 +1,70 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each bench runs the same driver that regenerates the corresponding
+//! artifact (`cargo run -p vap-report --bin figN`), at a reduced fleet
+//! size so the suite completes in minutes. The absolute numbers these
+//! produce are wall-clock costs of the *reproduction pipeline*; the
+//! scientific outputs live in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vap_report::experiments::{fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, table4};
+use vap_report::RunOptions;
+
+fn opts(modules: usize, scale: f64) -> RunOptions {
+    RunOptions { modules: Some(modules), seed: 2015, scale, ..RunOptions::default() }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_measurement_techniques", |b| {
+        b.iter(|| black_box(vap_report::experiments::table1::run().render()))
+    });
+    c.bench_function("table2_systems", |b| {
+        b.iter(|| black_box(vap_report::experiments::table2::run().render()))
+    });
+    c.bench_function("table4_feasibility_grid_64", |b| {
+        let o = opts(64, 1.0);
+        b.iter(|| black_box(table4::run(&o)))
+    });
+}
+
+fn bench_variability_figures(c: &mut Criterion) {
+    c.bench_function("fig1_three_system_survey_128", |b| {
+        let o = opts(128, 1.0);
+        b.iter(|| black_box(fig1::run(&o)))
+    });
+    c.bench_function("fig2_uniform_cap_analysis_64", |b| {
+        let o = opts(64, 0.02);
+        b.iter(|| black_box(fig2::run(&o)))
+    });
+    c.bench_function("fig3_mhd_sync_overhead_64", |b| {
+        let o = opts(64, 0.02);
+        b.iter(|| black_box(fig3::run(&o)))
+    });
+    c.bench_function("fig5_linearity_sweep_64", |b| {
+        let o = opts(64, 1.0);
+        b.iter(|| black_box(fig5::run(&o)))
+    });
+}
+
+fn bench_budgeting_figures(c: &mut Criterion) {
+    c.bench_function("fig6_calibration_accuracy_64", |b| {
+        let o = opts(64, 1.0);
+        b.iter(|| black_box(fig6::run(&o)))
+    });
+    c.bench_function("fig7_full_campaign_48", |b| {
+        let o = opts(48, 0.02);
+        b.iter(|| black_box(fig7::run(&o)))
+    });
+    c.bench_function("fig8_vafs_detail_48", |b| {
+        let o = opts(48, 0.02);
+        b.iter(|| black_box(fig8::run(&o)))
+    });
+    c.bench_function("fig9_power_audit_48", |b| {
+        let o = opts(48, 0.02);
+        b.iter(|| black_box(fig9::run(&o)))
+    });
+}
+
+criterion_group!(figures, bench_tables, bench_variability_figures, bench_budgeting_figures);
+criterion_main!(figures);

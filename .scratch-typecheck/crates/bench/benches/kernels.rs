@@ -1,0 +1,129 @@
+//! Criterion benchmarks of the real compute kernels.
+//!
+//! These ground the workload models: the relative frequency sensitivity
+//! and memory intensity assumed by `vap-workloads::catalog` can be sanity
+//! checked against how these kernels actually behave on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vap_workloads::kernels::{dgemm, ep, linesolve, montecarlo, stencil, stream};
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm");
+    for n in [128usize, 256] {
+        let a = dgemm::Matrix::pseudo_random(n, 1);
+        let b_m = dgemm::Matrix::pseudo_random(n, 2);
+        g.throughput(Throughput::Elements(dgemm::flops(n)));
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| black_box(dgemm::matmul_blocked(&a, &b_m, threads())))
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| black_box(dgemm::matmul_naive(&a, &b_m)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    let len = 1 << 22; // 32 MiB per array
+    let bv: Vec<f64> = vec![1.0; len];
+    let cv: Vec<f64> = vec![2.0; len];
+    let mut av: Vec<f64> = vec![0.0; len];
+    g.throughput(Throughput::Bytes(stream::traffic(len).triad));
+    g.bench_function("triad_32MiB", |b| {
+        b.iter(|| {
+            stream::triad(&bv, &cv, &mut av, 3.0, threads());
+            black_box(av[0])
+        })
+    });
+    let mut cw: Vec<f64> = vec![0.0; len];
+    g.throughput(Throughput::Bytes(stream::traffic(len).copy));
+    g.bench_function("copy_32MiB", |b| {
+        b.iter(|| {
+            stream::copy(&bv, &mut cw, threads());
+            black_box(cw[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_ep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ep");
+    let attempts = 1_000_000u64;
+    g.throughput(Throughput::Elements(attempts));
+    g.bench_function("marsaglia_1M_seq", |b| {
+        b.iter(|| black_box(ep::generate(attempts, 42)))
+    });
+    g.bench_function("marsaglia_1M_par", |b| {
+        b.iter(|| black_box(ep::generate_parallel(attempts, 42, threads())))
+    });
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil");
+    let n = 32;
+    g.throughput(Throughput::Elements((n * n * n) as u64 * 4));
+    g.bench_function("leapfrog_32cubed_4steps", |b| {
+        b.iter_with_setup(
+            || stencil::LeapfrogGrid::spike(n),
+            |mut grid| {
+                grid.run(4, 1.0 / 8.0);
+                black_box(grid.total_mass())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo");
+    let steps = 200_000u64;
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function("metropolis_200k", |b| {
+        let mut s = montecarlo::Sampler::new(0.5, 7);
+        b.iter(|| black_box(s.block(steps)))
+    });
+    g.finish();
+}
+
+fn bench_linesolve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linesolve");
+    for n in [256usize, 4096] {
+        let t = linesolve::Tridiag::diagonally_dominant(n, 5);
+        let p = linesolve::Pentadiag::diagonally_dominant(n, 6);
+        let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("thomas", n), &n, |b, _| {
+            b.iter(|| black_box(t.solve(&d)))
+        });
+        g.bench_with_input(BenchmarkId::new("pentadiag", n), &n, |b, _| {
+            b.iter(|| black_box(p.solve(&d)))
+        });
+    }
+    // NPB BT's actual structure: 5x5 blocks
+    let n = 512;
+    let bt = linesolve::BlockTridiag::diagonally_dominant(n, 7);
+    let d: Vec<linesolve::BVec> = (0..n).map(|i| [(i as f64 * 0.1).sin(); 5]).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("block_thomas_5x5_512", |b| b.iter(|| black_box(bt.solve(&d))));
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_dgemm,
+    bench_stream,
+    bench_ep,
+    bench_stencil,
+    bench_montecarlo,
+    bench_linesolve
+);
+criterion_main!(kernels);

@@ -1,0 +1,1 @@
+//! Shared configuration for the vap benchmark suite (see benches/).

@@ -1,0 +1,177 @@
+//! Power Measurement and Management Directives (PMMDs).
+//!
+//! The paper instruments applications with TAU-based directives "just
+//! after `MPI_Init` and just before `MPI_Finalize`" (§5, step 1): the
+//! region of interest where power settings are applied and power is
+//! measured. [`run_region`] is that bracket for simulated applications:
+//! it installs the workload, applies the plan at region entry, executes
+//! the SPMD program, accounts power and energy, and restores the fleet at
+//! region exit.
+
+use crate::schemes::{apply_plan, release_plan, PowerPlan};
+use serde::{Deserialize, Serialize};
+use vap_model::power::PowerActivity;
+use vap_model::units::{Joules, Seconds, Watts};
+use vap_mpi::comm::CommParams;
+use vap_mpi::engine::{self, RunResult};
+use vap_mpi::program::Program;
+use vap_sim::cluster::Cluster;
+use vap_workloads::spec::WorkloadSpec;
+
+/// What the PMMD bracket measured across the region of interest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionReport {
+    /// Per-rank execution results.
+    pub run: RunResult,
+    /// Per-module average power while the module's rank was running.
+    pub module_power: Vec<Watts>,
+    /// Σ of per-module busy power — the fleet draw while the application
+    /// executes, the quantity Fig. 9 audits against the constraint.
+    pub total_power: Watts,
+    /// Total energy: Σᵢ (module power × that rank's execution time).
+    pub energy: Joules,
+}
+
+impl RegionReport {
+    /// Application completion time.
+    pub fn makespan(&self) -> Seconds {
+        self.run.makespan()
+    }
+}
+
+/// Execute `program` for `workload` on `module_ids` of `cluster` under
+/// `plan`, with full PMMD bracketing.
+pub fn run_region(
+    cluster: &mut Cluster,
+    plan: &PowerPlan,
+    workload: &WorkloadSpec,
+    program: &Program,
+    module_ids: &[usize],
+    comm: &CommParams,
+    seed: u64,
+) -> RegionReport {
+    assert!(!module_ids.is_empty(), "a region needs at least one rank");
+    let _region_span = vap_obs::span("pmmd.region");
+    // --- region entry (just after MPI_Init) ---
+    // Only the job's own modules run the application; the rest of the
+    // fleet is untouched (other jobs may own it).
+    workload.apply_to_modules(cluster, module_ids, seed);
+    apply_plan(plan, cluster);
+
+    // Execute: module operating points are in steady state for the whole
+    // region (RAPL converges in milliseconds; regions run for minutes).
+    let boundedness = workload.boundedness(cluster.spec().pstates.f_max());
+    let run = engine::run_on_cluster(program, cluster, module_ids, &boundedness, comm);
+
+    // Measure while settings are still applied. Ids outside the fleet were
+    // skipped at apply time; skip them here too so the power/time zip stays
+    // rank-aligned.
+    let module_power: Vec<Watts> =
+        module_ids.iter().filter_map(|&id| cluster.get(id).map(|m| m.module_power())).collect();
+    let total_power: Watts = module_power.iter().copied().sum();
+    let energy: Joules = module_power
+        .iter()
+        .zip(&run.rank_times)
+        .map(|(&p, &t)| if t.value().is_finite() { p * t } else { Joules::ZERO })
+        .sum();
+
+    vap_obs::incr("region.runs");
+    vap_obs::observe("region.makespan_s", run.makespan().value());
+    vap_obs::observe("region.total_power_w", total_power.value());
+
+    // --- region exit (just before MPI_Finalize) ---
+    release_plan(plan, cluster);
+    for &id in module_ids {
+        let Some(m) = cluster.get_mut(id) else {
+            continue;
+        };
+        m.set_workload_variation(None);
+        m.set_activity(PowerActivity::IDLE);
+    }
+
+    RegionReport { run, module_power, total_power, energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvt::PowerVariationTable;
+    use crate::schemes::{PlanRequest, SchemeId};
+    use vap_model::systems::SystemSpec;
+    use vap_workloads::catalog;
+    use vap_workloads::spec::WorkloadId;
+
+    const SEED: u64 = 23;
+
+    fn setup(n: usize) -> (Cluster, PowerVariationTable) {
+        let mut c = Cluster::with_size(SystemSpec::ha8k(), n, SEED);
+        let pvt = PowerVariationTable::generate(&mut c, &catalog::get(WorkloadId::Stream), SEED);
+        (c, pvt)
+    }
+
+    fn run_with(scheme: SchemeId, per_module: Watts, n: usize) -> RegionReport {
+        let (mut c, pvt) = setup(n);
+        let w = catalog::get(WorkloadId::Mhd);
+        let ids: Vec<usize> = (0..n).collect();
+        let req = PlanRequest {
+            budget: per_module * n as f64,
+            module_ids: &ids,
+            workload: &w,
+            pvt: &pvt,
+            seed: SEED,
+        };
+        let plan = scheme.plan(&mut c, &req).unwrap();
+        let program = w.program(0.02); // short run for tests
+        run_region(&mut c, &plan, &w, &program, &ids, &CommParams::infiniband_fdr(), SEED)
+    }
+
+    #[test]
+    fn region_reports_power_within_budget_for_pc() {
+        let n = 16;
+        let report = run_with(SchemeId::VaPc, Watts(80.0), n);
+        assert!(report.total_power <= Watts(80.0 * n as f64) * 1.01);
+        assert_eq!(report.module_power.len(), n);
+        assert!(report.makespan().value() > 0.0);
+        assert!(report.energy.value() > 0.0);
+    }
+
+    #[test]
+    fn fleet_is_restored_after_region() {
+        let (mut c, pvt) = setup(8);
+        let w = catalog::get(WorkloadId::Bt);
+        let ids: Vec<usize> = (0..8).collect();
+        let req = PlanRequest {
+            budget: Watts(8.0 * 80.0),
+            module_ids: &ids,
+            workload: &w,
+            pvt: &pvt,
+            seed: SEED,
+        };
+        let plan = SchemeId::VaFs.plan(&mut c, &req).unwrap();
+        let before: Vec<f64> = c.module_powers().iter().map(|p| p.value()).collect();
+        let program = w.program(0.01);
+        let _ = run_region(&mut c, &plan, &w, &program, &ids, &CommParams::ideal(), SEED);
+        let after: Vec<f64> = c.module_powers().iter().map(|p| p.value()).collect();
+        assert_eq!(before, after, "region must leave the fleet as it found it");
+    }
+
+    #[test]
+    fn tighter_budget_runs_slower() {
+        let loose = run_with(SchemeId::VaFs, Watts(90.0), 8);
+        let tight = run_with(SchemeId::VaFs, Watts(65.0), 8);
+        assert!(tight.makespan() > loose.makespan());
+        assert!(tight.total_power < loose.total_power);
+    }
+
+    #[test]
+    fn energy_is_power_times_time_per_rank() {
+        let report = run_with(SchemeId::VaPc, Watts(85.0), 4);
+        let hand: f64 = report
+            .module_power
+            .iter()
+            .zip(&report.run.rank_times)
+            .map(|(p, t)| p.value() * t.value())
+            .sum();
+        assert!((report.energy.value() - hand).abs() < 1e-9);
+    }
+}

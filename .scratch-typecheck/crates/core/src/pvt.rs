@@ -1,0 +1,247 @@
+//! The Power Variation Table (PVT).
+//!
+//! "The PVT is generated when the system is installed by executing
+//! representative microbenchmarks on each module. The power parameters ...
+//! are measured for each module, and the variation scales are obtained by
+//! dividing each of these module power values by the respective average"
+//! (§5.2). The paper uses *STREAM as the single microbenchmark; the
+//! multi-PVT extension in [`crate::dynamic`] explores using several.
+//!
+//! Generation walks every module of the fleet — an O(fleet) cost paid
+//! *once per system*, which is the paper's key scalability argument versus
+//! per-job profiling of every allocation.
+
+use crate::testrun::measure_module_snapshot;
+use serde::{Deserialize, Serialize};
+use vap_model::units::GigaHertz;
+use vap_sim::cluster::Cluster;
+use vap_workloads::spec::WorkloadSpec;
+
+/// Variation scales for one module: its power at each anchor divided by
+/// the fleet average at that anchor (Fig. 6's left table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PvtEntry {
+    /// The module this entry describes.
+    pub module_id: usize,
+    /// CPU power scale at `f_max`.
+    pub cpu_max: f64,
+    /// CPU power scale at `f_min`.
+    pub cpu_min: f64,
+    /// DRAM power scale at `f_max`.
+    pub dram_max: f64,
+    /// DRAM power scale at `f_min`.
+    pub dram_min: f64,
+}
+
+/// The system-wide, application-independent Power Variation Table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerVariationTable {
+    /// Name of the microbenchmark the table was generated with.
+    pub microbenchmark: String,
+    /// Maximum-frequency anchor.
+    pub f_max: GigaHertz,
+    /// Minimum-frequency anchor.
+    pub f_min: GigaHertz,
+    entries: Vec<PvtEntry>,
+}
+
+impl PowerVariationTable {
+    /// Generate the PVT by sweeping every module of the fleet with the
+    /// given microbenchmark at `f_max` and `f_min` (the boot-time
+    /// procedure). The fleet is left idle afterwards.
+    pub fn generate(cluster: &mut Cluster, micro: &WorkloadSpec, seed: u64) -> Self {
+        Self::generate_with_threads(cluster, micro, seed, 1)
+    }
+
+    /// [`PowerVariationTable::generate`] with the per-module sweep fanned
+    /// over `threads` OS threads.
+    ///
+    /// The paper runs the microbenchmark "simultaneously on all modules"
+    /// at install time; here each module is measured on a private snapshot
+    /// ([`measure_module_snapshot`]), so the table is bit-for-bit identical
+    /// at any thread count — `threads = 1` is the reference serial sweep.
+    pub fn generate_with_threads(
+        cluster: &mut Cluster,
+        micro: &WorkloadSpec,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let f_max = cluster.spec().pstates.f_max();
+        let f_min = cluster.spec().pstates.f_min();
+        let n = cluster.len();
+        assert!(n > 0, "cannot generate a PVT for an empty fleet");
+
+        // Put the microbenchmark on the whole fleet.
+        micro.apply_to(cluster, seed);
+
+        // Measure every module at both anchors. Each measurement steps a
+        // clone, so modules can be visited in any order by any thread.
+        let raw: Vec<(f64, f64, f64, f64)> =
+            vap_exec::par_map_modules(cluster, seed, threads, |m, _module_seed| {
+                vap_obs::incr("pvt.modules_swept");
+                let (cpu_max, dram_max) = measure_module_snapshot(m, f_max);
+                let (cpu_min, dram_min) = measure_module_snapshot(m, f_min);
+                (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())
+            });
+
+        // Restore the fleet to idle.
+        for m in cluster.modules_mut() {
+            m.set_workload_variation(None);
+            m.set_activity(vap_model::power::PowerActivity::IDLE);
+        }
+
+        let nf = n as f64;
+        let avg = raw.iter().fold([0.0f64; 4], |mut acc, r| {
+            acc[0] += r.0 / nf;
+            acc[1] += r.1 / nf;
+            acc[2] += r.2 / nf;
+            acc[3] += r.3 / nf;
+            acc
+        });
+        let entries = raw
+            .into_iter()
+            .enumerate()
+            .map(|(module_id, r)| PvtEntry {
+                module_id,
+                cpu_max: r.0 / avg[0],
+                cpu_min: r.1 / avg[1],
+                dram_max: r.2 / avg[2],
+                dram_min: r.3 / avg[3],
+            })
+            .collect();
+
+        PowerVariationTable {
+            microbenchmark: micro.id.name().to_string(),
+            f_max,
+            f_min,
+            entries,
+        }
+    }
+
+    /// Number of modules covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for one module.
+    pub fn entry(&self, module_id: usize) -> Option<&PvtEntry> {
+        self.entries.get(module_id).filter(|e| e.module_id == module_id)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[PvtEntry] {
+        &self.entries
+    }
+
+    /// Serialize to JSON (the PVT is a per-system artifact worth
+    /// persisting — it is generated once at install time).
+    pub fn to_json(&self) -> String {
+        // vap:allow(no-panic-in-lib): serde_json cannot fail on this plain
+        // data structure (no maps with non-string keys, no custom Serialize)
+        serde_json::to_string_pretty(self).expect("PVT serialization cannot fail")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_model::systems::SystemSpec;
+    use vap_workloads::catalog;
+    use vap_workloads::spec::WorkloadId;
+
+    fn pvt_for(n: usize, seed: u64) -> (Cluster, PowerVariationTable) {
+        let mut c = Cluster::with_size(SystemSpec::ha8k(), n, seed);
+        let stream = catalog::get(WorkloadId::Stream);
+        let pvt = PowerVariationTable::generate(&mut c, &stream, seed);
+        (c, pvt)
+    }
+
+    #[test]
+    fn scales_average_to_one() {
+        let (_, pvt) = pvt_for(64, 3);
+        assert_eq!(pvt.len(), 64);
+        for field in [
+            |e: &PvtEntry| e.cpu_max,
+            |e: &PvtEntry| e.cpu_min,
+            |e: &PvtEntry| e.dram_max,
+            |e: &PvtEntry| e.dram_min,
+        ] {
+            let mean: f64 = pvt.entries().iter().map(field).sum::<f64>() / pvt.len() as f64;
+            assert!((mean - 1.0).abs() < 1e-6, "mean scale {mean}");
+        }
+    }
+
+    #[test]
+    fn scales_spread_reflects_manufacturing_variation() {
+        let (_, pvt) = pvt_for(256, 5);
+        let max = pvt.entries().iter().map(|e| e.cpu_max).fold(f64::MIN, f64::max);
+        let min = pvt.entries().iter().map(|e| e.cpu_max).fold(f64::MAX, f64::min);
+        assert!(max / min > 1.1, "CPU scale spread {max}/{min}");
+        // DRAM varies more than CPU (paper: DRAM Vp ≈ 2.8 vs module ≈ 1.3)
+        let dmax = pvt.entries().iter().map(|e| e.dram_max).fold(f64::MIN, f64::max);
+        let dmin = pvt.entries().iter().map(|e| e.dram_max).fold(f64::MAX, f64::min);
+        assert!(dmax / dmin > max / min, "DRAM spread should exceed CPU spread");
+    }
+
+    #[test]
+    fn generation_leaves_fleet_idle() {
+        let (c, _) = pvt_for(8, 7);
+        for m in c.modules() {
+            assert_eq!(m.activity(), vap_model::power::PowerActivity::IDLE);
+            assert!(m.cap().is_none());
+        }
+    }
+
+    #[test]
+    fn metadata_records_microbenchmark_and_anchors() {
+        let (_, pvt) = pvt_for(4, 1);
+        assert_eq!(pvt.microbenchmark, "*STREAM");
+        assert_eq!(pvt.f_max, GigaHertz(2.7));
+        assert_eq!(pvt.f_min, GigaHertz(1.2));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (_, pvt) = pvt_for(4, 9);
+        let json = pvt.to_json();
+        let back = PowerVariationTable::from_json(&json).unwrap();
+        assert_eq!(pvt, back);
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let (_, pvt) = pvt_for(8, 11);
+        assert_eq!(pvt.entry(3).unwrap().module_id, 3);
+        assert!(pvt.entry(8).is_none());
+        assert!(!pvt.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (_, a) = pvt_for(16, 42);
+        let (_, b) = pvt_for(16, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_table() {
+        let stream = catalog::get(WorkloadId::Stream);
+        let mut serial = Cluster::with_size(SystemSpec::ha8k(), 48, 13);
+        let reference = PowerVariationTable::generate_with_threads(&mut serial, &stream, 13, 1);
+        for threads in [2, 4, 7] {
+            let mut c = Cluster::with_size(SystemSpec::ha8k(), 48, 13);
+            let pvt = PowerVariationTable::generate_with_threads(&mut c, &stream, 13, threads);
+            assert_eq!(pvt, reference, "threads = {threads}");
+        }
+    }
+}

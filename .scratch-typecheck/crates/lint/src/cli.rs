@@ -1,0 +1,409 @@
+//! Argument parsing and the analysis driver.
+//!
+//! [`scan`] is the pure pipeline (walk → lex → rules → suppress →
+//! baseline-classify) and is what the self-check integration test calls;
+//! [`run`] wraps it with rendering, baseline writing and exit codes so
+//! `main.rs` stays a two-liner.
+//!
+//! Exit codes: `0` clean (or violations found but `--deny` not given),
+//! `1` new findings under `--deny`, `2` usage or I/O error.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use crate::baseline::Baseline;
+use crate::diag::{self, Finding, Status, Summary};
+use crate::rules;
+use crate::source::SourceFile;
+use crate::walker;
+
+/// Output format selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// rustc-style diagnostics (default).
+    Human,
+    /// Stable machine-readable JSON (`--format json`).
+    Json,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root to analyze.
+    pub root: PathBuf,
+    /// Exit nonzero when new (non-baselined) findings exist.
+    pub deny: bool,
+    /// Output format.
+    pub format: Format,
+    /// Explicit baseline path (default: `<root>/lint-baseline.toml`,
+    /// tolerated missing unless given explicitly).
+    pub baseline: Option<PathBuf>,
+    /// Regenerate the baseline from current findings instead of reporting.
+    pub write_baseline: bool,
+    /// Run only these rules (empty = all).
+    pub rules: Vec<String>,
+    /// Print the rule table and exit.
+    pub list_rules: bool,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+impl Options {
+    /// Defaults rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Options {
+        Options {
+            root: root.into(),
+            deny: false,
+            format: Format::Human,
+            baseline: None,
+            write_baseline: false,
+            rules: Vec::new(),
+            list_rules: false,
+            help: false,
+        }
+    }
+}
+
+/// Usage text for `--help` and argument errors.
+pub const USAGE: &str = "\
+vap-lint: domain-invariant static analysis for the vap workspace
+
+USAGE: vap-lint [OPTIONS]
+
+OPTIONS:
+  --deny                exit 1 if any new (non-baselined) finding exists
+  --format <human|json> output format (default: human)
+  --root <dir>          workspace root (default: current directory)
+  --baseline <file>     baseline file (default: <root>/lint-baseline.toml)
+  --write-baseline      regenerate the baseline from current findings
+  --rule <name>         run only this rule (repeatable)
+  --list-rules          print the rule table and exit
+  -h, --help            print this help
+";
+
+/// Parse command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::new(".");
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" => opts.deny = true,
+            "--format" => {
+                opts.format = match value(&mut i, "--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (human|json)")),
+                }
+            }
+            "--root" => opts.root = PathBuf::from(value(&mut i, "--root")?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value(&mut i, "--baseline")?)),
+            "--write-baseline" => opts.write_baseline = true,
+            "--rule" => opts.rules.push(value(&mut i, "--rule")?),
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => opts.help = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Everything a scan produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All findings (including suppressed), sorted by location.
+    pub findings: Vec<Finding>,
+    /// Aggregate counts.
+    pub summary: Summary,
+    /// Non-allowed findings grouped as `(rule, path, count)` — the shape
+    /// a regenerated baseline is built from.
+    pub counts: Vec<(String, String, usize)>,
+}
+
+/// Walk the workspace, run the rules, apply `vap:allow` and the baseline.
+pub fn scan(opts: &Options) -> Result<Outcome, String> {
+    let all = rules::all_rules();
+    for name in &opts.rules {
+        if !all.iter().any(|r| r.name() == name) {
+            return Err(format!("unknown rule `{name}` (see --list-rules)"));
+        }
+    }
+    let active: Vec<_> = all
+        .into_iter()
+        .filter(|r| opts.rules.is_empty() || opts.rules.iter().any(|n| n == r.name()))
+        .collect();
+
+    let baseline = load_baseline(opts)?;
+    let files = walker::workspace_files(&opts.root)
+        .map_err(|e| format!("walking {}: {e}", opts.root.display()))?;
+    // An empty walk means the root is not a workspace (wrong --root, moved
+    // checkout). Erroring beats a green "0 files scanned" in a CI gate.
+    if files.is_empty() {
+        return Err(format!(
+            "no Rust sources found under {} — is this the workspace root?",
+            opts.root.display()
+        ));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for wf in &files {
+        let text = fs::read_to_string(&wf.abs)
+            .map_err(|e| format!("reading {}: {e}", wf.abs.display()))?;
+        let sf = SourceFile::from_source(&wf.rel, &wf.crate_name, &text);
+        let mut raw = Vec::new();
+        for rule in &active {
+            rule.check(&sf, &mut raw);
+        }
+        for mut f in raw {
+            if sf.is_allowed(f.rule, f.line - 1) {
+                f.status = Status::Allowed;
+            }
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.column, a.rule).cmp(&(&b.path, b.line, b.column, b.rule))
+    });
+
+    // Classify against the baseline: within each (rule, path) group the
+    // first `baseline.count()` non-allowed findings are accepted debt,
+    // anything beyond is new.
+    let mut seen: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings.iter_mut().filter(|f| f.status != Status::Allowed) {
+        let n = seen.entry((f.rule.to_string(), f.path.clone())).or_insert(0);
+        f.status =
+            if *n < baseline.count(f.rule, &f.path) { Status::Baselined } else { Status::New };
+        *n += 1;
+    }
+
+    let mut summary = Summary { files: files.len(), ..Summary::default() };
+    for f in &findings {
+        summary.total += 1;
+        match f.status {
+            Status::New => summary.new += 1,
+            Status::Baselined => summary.baselined += 1,
+            Status::Allowed => summary.allowed += 1,
+        }
+    }
+    // Entries for rules excluded by --rule produce no findings this run;
+    // only judge staleness for the rules that actually executed.
+    summary.stale_baseline_entries = baseline
+        .entries
+        .iter()
+        .filter(|e| active.iter().any(|r| r.name() == e.rule))
+        .filter(|e| {
+            seen.get(&(e.rule.clone(), e.path.clone())).copied().unwrap_or(0) < e.count
+        })
+        .count();
+
+    let counts = seen.into_iter().map(|((rule, path), n)| (rule, path, n)).collect();
+    Ok(Outcome { findings, summary, counts })
+}
+
+/// Full CLI behavior; returns the process exit code.
+pub fn run(opts: &Options) -> i32 {
+    if opts.help {
+        print!("{USAGE}");
+        return 0;
+    }
+    if opts.list_rules {
+        for rule in rules::all_rules() {
+            println!("{:<16} {}", rule.name(), rule.description());
+        }
+        return 0;
+    }
+    let outcome = match scan(opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("vap-lint: error: {e}");
+            return 2;
+        }
+    };
+    if opts.write_baseline {
+        let b = Baseline::from_counts(&outcome.counts);
+        let path = baseline_path(opts);
+        if let Err(e) = fs::write(&path, b.render()) {
+            eprintln!("vap-lint: error: writing {}: {e}", path.display());
+            return 2;
+        }
+        println!(
+            "vap-lint: wrote {} baseline entr{} to {}",
+            b.entries.len(),
+            if b.entries.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return 0;
+    }
+    match opts.format {
+        Format::Human => print!("{}", diag::render_human(&outcome.findings, &outcome.summary, opts.deny)),
+        Format::Json => print!("{}", diag::render_json(&outcome.findings, &outcome.summary)),
+    }
+    if opts.deny && outcome.summary.new > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Effective baseline path for `opts`.
+fn baseline_path(opts: &Options) -> PathBuf {
+    match &opts.baseline {
+        Some(p) => p.clone(),
+        None => opts.root.join("lint-baseline.toml"),
+    }
+}
+
+/// Load the baseline; a missing *default* baseline is an empty one, a
+/// missing *explicit* baseline is an error — except under
+/// `--write-baseline`, where the file is about to be created anyway.
+fn load_baseline(opts: &Options) -> Result<Baseline, String> {
+    let path = baseline_path(opts);
+    match fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) if opts.baseline.is_none() || opts.write_baseline => Ok(Baseline::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse_args(&args(&[
+            "--deny",
+            "--format",
+            "json",
+            "--root",
+            "/ws",
+            "--rule",
+            "float-eq",
+            "--rule",
+            "determinism",
+        ]))
+        .unwrap();
+        assert!(o.deny);
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.root, PathBuf::from("/ws"));
+        assert_eq!(o.rules, ["float-eq", "determinism"]);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(parse_args(&args(&["--format", "xml"])).is_err());
+        assert!(parse_args(&args(&["--format"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let mut o = Options::new(".");
+        o.rules.push("no-such-rule".into());
+        assert!(scan(&o).is_err());
+    }
+
+    /// Build a scratch workspace with one offending crate.
+    fn scratch_workspace(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("vap-lint-cli-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/core/src")).unwrap();
+        fs::write(root.join("crates/core/Cargo.toml"), "[package]\nname = \"vap-core\"\n")
+            .unwrap();
+        fs::write(
+            root.join("crates/core/src/lib.rs"),
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+             pub fn g(y: Option<u32>) -> u32 {\n    y.unwrap()\n}\n",
+        )
+        .unwrap();
+        root
+    }
+
+    #[test]
+    fn baseline_splits_old_debt_from_new() {
+        let root = scratch_workspace("split");
+        fs::write(
+            root.join("lint-baseline.toml"),
+            "[[entry]]\nrule = \"no-panic-in-lib\"\npath = \"crates/core/src/lib.rs\"\ncount = 1\n",
+        )
+        .unwrap();
+        let out = scan(&Options::new(&root)).unwrap();
+        assert_eq!(out.summary.new, 1);
+        assert_eq!(out.summary.baselined, 1);
+        assert_eq!(out.summary.stale_baseline_entries, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn overcounting_baseline_is_reported_stale() {
+        let root = scratch_workspace("stale");
+        fs::write(
+            root.join("lint-baseline.toml"),
+            "[[entry]]\nrule = \"no-panic-in-lib\"\npath = \"crates/core/src/lib.rs\"\ncount = 5\n",
+        )
+        .unwrap();
+        let out = scan(&Options::new(&root)).unwrap();
+        assert_eq!(out.summary.new, 0);
+        assert_eq!(out.summary.baselined, 2);
+        assert_eq!(out.summary.stale_baseline_entries, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_default_baseline_means_everything_is_new() {
+        let root = scratch_workspace("nobase");
+        let out = scan(&Options::new(&root)).unwrap();
+        assert_eq!(out.summary.new, 2);
+        assert_eq!(out.counts, [("no-panic-in-lib".into(), "crates/core/src/lib.rs".into(), 2)]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rule_filter_does_not_mark_other_rules_baseline_stale() {
+        let root = scratch_workspace("filter-stale");
+        fs::write(
+            root.join("lint-baseline.toml"),
+            "[[entry]]\nrule = \"no-panic-in-lib\"\npath = \"crates/core/src/lib.rs\"\ncount = 2\n",
+        )
+        .unwrap();
+        let mut o = Options::new(&root);
+        o.rules.push("float-eq".into());
+        let out = scan(&o).unwrap();
+        assert_eq!(out.summary.stale_baseline_entries, 0, "unrun rule must not look stale");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_or_missing_root_is_an_error_not_a_clean_pass() {
+        let root = std::env::temp_dir()
+            .join(format!("vap-lint-cli-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        assert!(scan(&Options::new(&root)).is_err(), "empty dir must not scan clean");
+        assert!(scan(&Options::new(root.join("nope"))).is_err(), "missing dir must error");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_explicit_baseline_is_an_error() {
+        let root = scratch_workspace("explicit");
+        let mut o = Options::new(&root);
+        o.baseline = Some(root.join("nope.toml"));
+        assert!(scan(&o).is_err());
+        // ... unless we are about to create it with --write-baseline.
+        o.write_baseline = true;
+        assert!(scan(&o).is_ok());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,225 @@
+//! Diagnostics: the [`Finding`] record plus rustc-style human rendering
+//! and a stable JSON format (`--format json`).
+
+use std::fmt::Write as _;
+
+/// How a finding is classified after suppression and baselining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// A fresh violation — fails the build under `--deny`.
+    New,
+    /// Accepted debt recorded in `lint-baseline.toml`.
+    Baselined,
+    /// Suppressed by an inline `vap:allow` marker.
+    Allowed,
+}
+
+impl Status {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::New => "new",
+            Status::Baselined => "baselined",
+            Status::Allowed => "allowed",
+        }
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired (e.g. `float-eq`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+    /// Human message for this site.
+    pub message: String,
+    /// Trimmed raw source line.
+    pub snippet: String,
+    /// Rule-level remediation hint.
+    pub help: &'static str,
+    /// Classification (set after suppression/baselining).
+    pub status: Status,
+}
+
+/// Aggregate counts for the run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Files scanned.
+    pub files: usize,
+    /// All findings, including suppressed ones.
+    pub total: usize,
+    /// Findings classified [`Status::New`].
+    pub new: usize,
+    /// Findings classified [`Status::Baselined`].
+    pub baselined: usize,
+    /// Findings classified [`Status::Allowed`].
+    pub allowed: usize,
+    /// Baseline entries whose recorded count exceeds what was found —
+    /// debt paid off; the baseline can be regenerated tighter.
+    pub stale_baseline_entries: usize,
+}
+
+/// Render findings the way rustc renders lints.
+pub fn render_human(findings: &[Finding], summary: &Summary, deny: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        if f.status == Status::Allowed {
+            continue;
+        }
+        let (level, note) = match f.status {
+            Status::New if deny => ("error", ""),
+            Status::New => ("warning", ""),
+            _ => ("warning", " (baselined)"),
+        };
+        let gutter = " ".repeat(f.line.to_string().len());
+        let _ = writeln!(out, "{level}[{rule}]: {msg}{note}", rule = f.rule, msg = f.message);
+        let _ = writeln!(out, "{gutter}--> {}:{}:{}", f.path, f.line, f.column);
+        let _ = writeln!(out, "{gutter} |");
+        let _ = writeln!(out, "{} | {}", f.line, f.snippet);
+        let _ = writeln!(out, "{gutter} |");
+        let _ = writeln!(out, "{gutter} = help: {}", f.help);
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "vap-lint: {} files scanned, {} findings ({} new, {} baselined, {} allowed)",
+        summary.files, summary.total, summary.new, summary.baselined, summary.allowed
+    );
+    if summary.stale_baseline_entries > 0 {
+        let _ = writeln!(
+            out,
+            "vap-lint: {} baseline entr{} now overcount — run with --write-baseline to burn down",
+            summary.stale_baseline_entries,
+            if summary.stale_baseline_entries == 1 { "y" } else { "ies" }
+        );
+    }
+    out
+}
+
+/// Render findings as a stable JSON document.
+///
+/// Schema (`version` 1):
+/// ```json
+/// {
+///   "version": 1,
+///   "findings": [
+///     {"rule": "...", "path": "...", "line": 1, "column": 1,
+///      "message": "...", "snippet": "...", "help": "...", "status": "new"}
+///   ],
+///   "summary": {"files": 0, "total": 0, "new": 0, "baselined": 0, "allowed": 0}
+/// }
+/// ```
+pub fn render_json(findings: &[Finding], summary: &Summary) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \"message\": {}, \"snippet\": {}, \"help\": {}, \"status\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            f.column,
+            json_str(&f.message),
+            json_str(&f.snippet),
+            json_str(f.help),
+            json_str(f.status.name()),
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"summary\": {{\"files\": {}, \"total\": {}, \"new\": {}, \"baselined\": {}, \"allowed\": {}}}\n}}\n",
+        summary.files, summary.total, summary.new, summary.baselined, summary.allowed
+    );
+    out
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "float-eq",
+            path: "crates/stats/src/x.rs".into(),
+            line: 33,
+            column: 12,
+            message: "floating-point `==` comparison".into(),
+            snippet: "if sxx == 0.0 {".into(),
+            help: "compare with an explicit tolerance".into(),
+            status: Status::New,
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let s = Summary { files: 1, total: 1, new: 1, ..Summary::default() };
+        let text = render_human(&[finding()], &s, true);
+        assert!(text.contains("error[float-eq]"));
+        assert!(text.contains("--> crates/stats/src/x.rs:33:12"));
+        assert!(text.contains("33 | if sxx == 0.0 {"));
+        assert!(text.contains("= help:"));
+        assert!(text.contains("1 findings (1 new, 0 baselined, 0 allowed)"));
+    }
+
+    #[test]
+    fn warn_level_without_deny() {
+        let s = Summary { files: 1, total: 1, new: 1, ..Summary::default() };
+        let text = render_human(&[finding()], &s, false);
+        assert!(text.contains("warning[float-eq]"));
+    }
+
+    /// Snapshot of the JSON schema: field names, order and escaping are a
+    /// contract for CI consumers; change `version` if you change them.
+    #[test]
+    fn json_schema_snapshot() {
+        let mut f = finding();
+        f.snippet = "say \"hi\"\tok".into();
+        let s = Summary { files: 2, total: 1, new: 1, ..Summary::default() };
+        let expected = "{\n  \"version\": 1,\n  \"findings\": [\n    {\"rule\": \"float-eq\", \
+                        \"path\": \"crates/stats/src/x.rs\", \"line\": 33, \"column\": 12, \
+                        \"message\": \"floating-point `==` comparison\", \
+                        \"snippet\": \"say \\\"hi\\\"\\tok\", \
+                        \"help\": \"compare with an explicit tolerance\", \"status\": \"new\"}\n  ],\n  \
+                        \"summary\": {\"files\": 2, \"total\": 1, \"new\": 1, \"baselined\": 0, \"allowed\": 0}\n}\n";
+        assert_eq!(render_json(&[f], &s), expected);
+    }
+
+    #[test]
+    fn empty_findings_render_compact_array() {
+        let s = Summary::default();
+        let json = render_json(&[], &s);
+        assert!(json.contains("\"findings\": []"));
+    }
+}

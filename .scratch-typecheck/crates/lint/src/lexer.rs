@@ -1,0 +1,340 @@
+//! A minimal, line-preserving Rust lexer.
+//!
+//! The rules in this analyzer are token-level, so a full parse is not
+//! needed — but naive substring matching would trip over `".unwrap()"`
+//! appearing inside string literals or doc comments. [`scrub`] therefore
+//! rewrites a source file so that the *contents* of every comment, string
+//! literal, raw string, byte string and character literal are replaced by
+//! spaces, while line and column positions of all real code are preserved
+//! exactly. Comment text is captured separately so `vap:allow` markers
+//! survive the scrubbing.
+
+/// The result of scrubbing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Scrubbed {
+    /// Source lines with comment and literal contents blanked to spaces.
+    /// Column positions of surviving code are identical to the input.
+    pub code: Vec<String>,
+    /// `(line index, comment text)` for every line that carried a comment.
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scrub `src`, blanking comments and literals while preserving layout.
+pub fn scrub(src: &str) -> Scrubbed {
+    let mut out = Scrubbed::default();
+    let mut state = State::Code;
+    for line in src.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        // line comments never span lines
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        // an unterminated ordinary string or char at EOL is a syntax error
+        // in real Rust unless the line ends with `\`; be forgiving and
+        // stay in-state so multi-line strings scrub correctly.
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push(' ');
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        state = State::RawStr(hashes);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                    }
+                    'b' if next == Some('\'') => {
+                        // byte char literal b'x'
+                        state = State::Char;
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    'b' if next == Some('"') => {
+                        state = State::Str;
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '\'' => {
+                        if is_lifetime(&chars, i) {
+                            code.push(c);
+                            i += 1;
+                        } else {
+                            state = State::Char;
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        code.push_str("  ");
+                        i += 2;
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        code.push_str("  ");
+                        i += 2;
+                        state = State::BlockComment(depth + 1);
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        code.push(' ');
+                        i += 1;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        for _ in 0..(1 + hashes as usize) {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '\'' {
+                        code.push(' ');
+                        i += 1;
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let idx = out.code.len();
+        out.code.push(code);
+        if !comment.trim().is_empty() {
+            out.comments.push((idx, comment));
+        }
+    }
+    out
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` etc. starting at `i`?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Number of `#`s and total chars consumed by the raw-string opener.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish `'a` (lifetime) from `'a'` (char literal) at position `i`
+/// of a `'`.
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some(c) if c.is_alphabetic() || *c == '_' => {
+            // `'x'` is a char literal; `'static` / `'a,` are lifetimes
+            chars.get(i + 2) != Some(&'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Per-line flags marking `#[cfg(test)]`-gated regions (the attribute
+/// line through the closing brace of the item it gates). Attributes that
+/// gate a braceless item (`#[cfg(test)] use foo;`) end at the `;`.
+pub fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut line = 0usize;
+    while line < code.len() {
+        let compact: String = code[line].chars().filter(|c| !c.is_whitespace()).collect();
+        if !compact.contains("#[cfg(test)]") {
+            line += 1;
+            continue;
+        }
+        // walk forward from the end of this line to the gated item's body
+        let mut depth = 0i32;
+        let mut end = code.len() - 1;
+        let mut entered = false;
+        'scan: for (li, l) in code.iter().enumerate().skip(line) {
+            let start_col = if li == line {
+                // skip past the attribute itself so `#[cfg(test)]`'s own
+                // brackets don't confuse the scan
+                l.find(']').map(|p| p + 1).unwrap_or(0)
+            } else {
+                0
+            };
+            for (ci, c) in l.char_indices() {
+                if ci < start_col {
+                    continue;
+                }
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth <= 0 {
+                            end = li;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !entered && depth == 0 => {
+                        end = li;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for flag in in_test.iter_mut().take(end + 1).skip(line) {
+            *flag = true;
+        }
+        line = end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scrub("let x = \".unwrap()\"; // .expect(\nlet y = 1;");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(!s.code[0].contains("expect"));
+        assert_eq!(s.code[1], "let y = 1;");
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].1.contains(".expect("));
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let src = "abc(\"xy\", 0.0)";
+        let s = scrub(src);
+        assert_eq!(s.code[0].len(), src.len());
+        assert_eq!(s.code[0].find("0.0"), src.find("0.0"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let s = scrub("let a = r#\"panic!\"#; let b = 'x'; let c: &'static str = \"\";");
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("'static"), "lifetimes survive: {}", s.code[0]);
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = scrub("a /* one /* two */ still */ b\n/* open\nunreachable!()\n*/ c");
+        assert!(s.code[0].starts_with('a'));
+        assert!(s.code[0].trim_end().ends_with('b'));
+        assert!(!s.code[2].contains("unreachable"));
+        assert!(s.code[3].trim_end().ends_with('c'));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blank() {
+        let s = scrub("let x = \"line one\npanic!()\";\nlet y = 2;");
+        assert!(!s.code[1].contains("panic"));
+        assert_eq!(s.code[2], "let y = 2;");
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}";
+        let s = scrub(src);
+        let flags = test_regions(&s.code);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}";
+        let s = scrub(src);
+        let flags = test_regions(&s.code);
+        assert_eq!(flags, vec![true, true, false]);
+    }
+}

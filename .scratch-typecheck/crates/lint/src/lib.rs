@@ -1,0 +1,37 @@
+//! # vap-lint
+//!
+//! A workspace-wide domain-invariant static analyzer for the vap
+//! reproduction. The simulation campaigns sweep 1,920 modules for hours;
+//! a single mixed-up quantity (a module budget passed as a CPU cap) or a
+//! nondeterministic iteration order silently corrupts every downstream
+//! figure. These invariants are therefore machine-enforced rather than
+//! left to convention:
+//!
+//! | Rule | What it forbids |
+//! |------|-----------------|
+//! | `raw-unit-f64` | bare `f64` carrying power/frequency/time/energy in `vap-core`/`vap-model`/`vap-sim` APIs — use the `Watts`/`GigaHertz`/`Seconds`/`Joules` newtypes |
+//! | `no-panic-in-lib` | `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` outside `#[cfg(test)]` in library code |
+//! | `float-eq` | `==` / `!=` against floating-point literals outside tests |
+//! | `determinism` | `HashMap`/`HashSet` state and `thread_rng` / `SystemTime::now` / `Instant::now` wall-clock or OS entropy in `vap-sim`/`vap-mpi`/`vap-core` |
+//!
+//! The analyzer is deliberately dependency-free: it carries its own
+//! comment/string-scrubbing lexer, directory walker, TOML-subset baseline
+//! parser and JSON emitter, so it builds (and can be bootstrapped with a
+//! bare `rustc`) even where the crates.io registry is unreachable.
+//!
+//! Findings can be suppressed inline with
+//! `// vap:allow(rule-name): reason` on the offending line or in the
+//! comment block above it, or accepted wholesale through the checked-in
+//! `lint-baseline.toml` which existing debt burns down against.
+
+pub mod baseline;
+pub mod cli;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walker;
+
+pub use cli::{run, Options};
+pub use diag::{Finding, Status};
+pub use source::SourceFile;

@@ -1,0 +1,14 @@
+//! `vap-lint` binary: parse arguments, delegate to [`vap_lint::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vap_lint::cli::parse_args(&args) {
+        Ok(opts) => ExitCode::from(vap_lint::run(&opts) as u8),
+        Err(e) => {
+            eprintln!("vap-lint: error: {e}\n\n{}", vap_lint::cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

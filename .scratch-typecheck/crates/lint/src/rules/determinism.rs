@@ -1,0 +1,151 @@
+//! `determinism`: the simulation core must be replay-deterministic.
+//!
+//! `tests/determinism.rs` asserts that two campaigns with the same seed
+//! produce bit-identical plans and power traces. That property dies the
+//! moment simulation state iterates a `HashMap` (randomized iteration
+//! order since Rust 1.36) or consults OS entropy / wall clocks. In
+//! `vap-sim`, `vap-mpi`, `vap-core`, `vap-exec` (the deterministic
+//! parallel execution layer lives or dies by this property) and
+//! `vap-sched` (the discrete-event runtime replays traces byte-for-byte),
+//! non-test code must not use:
+//!
+//! * `std::collections::HashMap` / `HashSet` — use `BTreeMap` /
+//!   `BTreeSet` / `Vec` (deterministic iteration, stable snapshots);
+//! * `thread_rng()` / `rand::rng()` — use a seeded `StdRng`;
+//! * `SystemTime::now()` / `Instant::now()` — simulated time only.
+
+use super::{word_occurrences, Rule};
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+/// Crates whose state must replay deterministically.
+const SCOPE: [&str; 5] = ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched"];
+
+/// `(token, message, help)` per forbidden construct.
+const FORBIDDEN: [(&str, &str, &str); 6] = [
+    (
+        "HashMap",
+        "`HashMap` has nondeterministic iteration order",
+        "use BTreeMap or a Vec keyed by module id — campaign replays must be bit-identical",
+    ),
+    (
+        "HashSet",
+        "`HashSet` has nondeterministic iteration order",
+        "use BTreeSet or a sorted Vec — campaign replays must be bit-identical",
+    ),
+    (
+        "thread_rng",
+        "`thread_rng()` draws OS entropy",
+        "use a seeded rand::rngs::StdRng threaded from the campaign seed",
+    ),
+    (
+        "rand::rng",
+        "`rand::rng()` draws OS entropy",
+        "use a seeded rand::rngs::StdRng threaded from the campaign seed",
+    ),
+    (
+        "SystemTime::now",
+        "wall-clock time in simulation logic",
+        "simulation time is stepped explicitly (Seconds); wall clocks break replay",
+    ),
+    (
+        "Instant::now",
+        "monotonic clock in simulation logic",
+        "simulation time is stepped explicitly (Seconds); wall clocks break replay",
+    ),
+];
+
+/// The `determinism` rule.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !SCOPE.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for (i, line) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for (token, message, help) in FORBIDDEN {
+                for pos in word_occurrences(line, token) {
+                    // `rand::rng` must be the function, not `rand::rngs::`
+                    if token == "rand::rng" && !line[pos + token.len()..].starts_with('(') {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: "determinism",
+                        path: file.path.clone(),
+                        line: i + 1,
+                        column: pos + 1,
+                        message: message.to_string(),
+                        snippet: file.snippet(i).to_string(),
+                        help,
+                        status: Status::New,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings(crate_name: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/sim/src/x.rs", crate_name, src);
+        let mut out = Vec::new();
+        Determinism.check(&f, &mut out);
+        out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
+        out
+    }
+
+    #[test]
+    fn fires_on_hash_collections_and_entropy() {
+        let src = "use std::collections::HashMap;\nlet s: HashSet<u32> = HashSet::new();\n\
+                   let mut rng = rand::rng();\nlet r = thread_rng();\n\
+                   let t = std::time::Instant::now();\nlet w = SystemTime::now();\n";
+        let hits = findings("vap-sim", src);
+        assert_eq!(hits.len(), 7); // HashSet appears twice on its line
+    }
+
+    #[test]
+    fn quiet_on_deterministic_alternatives() {
+        let src = "use std::collections::BTreeMap;\nlet rng = StdRng::seed_from_u64(seed);\n\
+                   use rand::rngs::StdRng;\nlet m: BTreeMap<u32, u32> = BTreeMap::new();\n";
+        assert!(findings("vap-sim", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        assert!(findings("vap-report", "use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn the_sched_runtime_is_in_scope() {
+        assert_eq!(findings("vap-sched", "let q = HashMap::new();\n").len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(findings("vap-sim", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "// vap:allow(determinism): scratch map is drained into a sorted Vec\n\
+                   let mut m = HashMap::new();\n";
+        assert!(findings("vap-core", src).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! `float-eq`: no exact `==` / `!=` on floating-point values.
+//!
+//! Exact float equality silently misclassifies values a ULP away — a
+//! near-zero variance slipping past `sxx == 0.0` turns a correlation
+//! into `inf`. Comparisons must use an explicit tolerance.
+//!
+//! Without type inference the rule keys on the operands: a comparison
+//! fires when either side is a floating-point literal (`0.0`, `1e-6`,
+//! `2f64`) or an `f64::`/`f32::` associated constant. Variable-vs-
+//! variable float comparisons are out of reach of a lexical pass — the
+//! literal form is both the common and the dangerous one.
+
+use super::Rule;
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+/// The `float-eq` rule.
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= against floating-point operands outside tests"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (i, line) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for (pos, op) in comparison_ops(line) {
+                let lhs = token_before(line, pos);
+                let rhs = token_after(line, pos + 2);
+                if is_float_operand(&lhs) || is_float_operand(&rhs) {
+                    out.push(Finding {
+                        rule: "float-eq",
+                        path: file.path.clone(),
+                        line: i + 1,
+                        column: pos + 1,
+                        message: format!("floating-point `{op}` comparison"),
+                        snippet: file.snippet(i).to_string(),
+                        help: "compare with an explicit tolerance, e.g. \
+                               `(a - b).abs() < EPS` or a documented near-zero guard",
+                        status: Status::New,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Byte positions of real `==` / `!=` operators (not `<=`, `>=`, `=>`,
+/// `+=`, `===`-like runs, or pattern `..=`).
+fn comparison_ops(line: &str) -> Vec<(usize, &'static str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let pair = &bytes[i..i + 2];
+        if pair == b"==" {
+            let before = i.checked_sub(1).map(|j| bytes[j]);
+            let after = bytes.get(i + 2);
+            let op_char = |b: Option<&u8>| {
+                matches!(b, Some(b'=' | b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' | b'.'))
+            };
+            if !op_char(before.as_ref()) && !op_char(after) {
+                out.push((i, "=="));
+            }
+            i += 2;
+        } else if pair == b"!=" && bytes.get(i + 2) != Some(&b'=') {
+            out.push((i, "!="));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The operand-ish token ending just before byte `pos` (skipping spaces).
+fn token_before(line: &str, pos: usize) -> String {
+    let trimmed = line[..pos].trim_end();
+    let tail: Vec<char> = trimmed
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect();
+    tail.into_iter().rev().collect()
+}
+
+/// The operand-ish token starting at/after byte `pos` (skipping spaces).
+fn token_after(line: &str, pos: usize) -> String {
+    line[pos..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect()
+}
+
+/// Is `tok` a float literal (`1.0`, `1e-6`, `2f64`) or an `f64::`/`f32::`
+/// constant path?
+fn is_float_operand(tok: &str) -> bool {
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else { return false };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    // a float literal has a decimal point or an exponent; `2f64` had its
+    // suffix stripped above, leaving a bare int — catch it by comparing
+    // lengths
+    t.contains('.') || t.contains('e') || t.contains('E') || t.len() != tok.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/stats/src/x.rs", "vap-stats", src);
+        let mut out = Vec::new();
+        FloatEq.check(&f, &mut out);
+        out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
+        out
+    }
+
+    #[test]
+    fn fires_on_float_literal_comparisons() {
+        assert_eq!(findings("if sxx == 0.0 || syy == 0.0 {\n").len(), 2);
+        assert_eq!(findings("if x != 1e-6 {\n").len(), 1);
+        assert_eq!(findings("if 2.5 == y {\n").len(), 1);
+        assert_eq!(findings("if x == 2f64 {\n").len(), 1);
+        assert_eq!(findings("if x == f64::INFINITY {\n").len(), 1);
+    }
+
+    #[test]
+    fn quiet_on_integer_and_structural_comparisons() {
+        let src = "if xs.len() != ys.len() { }\nif i % 2 == 0 { }\n\
+                   if name == other { }\nlet f = |x| x <= 0.5;\nlet g = x >= 1.0;\n\
+                   for i in 0..=3 { }\nif version == 1 { }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { assert!(x == 0.0); }\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "if x == 0.0 { } // vap:allow(float-eq): sentinel compares exactly\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! The pluggable rule registry.
+//!
+//! A rule is a stateless checker over one [`SourceFile`]; the registry in
+//! [`all_rules`] is the single place a new rule is wired in. Rules only
+//! *report* — suppression (`vap:allow`) and baselining are applied
+//! uniformly by the driver in [`crate::cli`].
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+
+pub mod determinism;
+pub mod float_eq;
+pub mod no_panic;
+pub mod no_println;
+pub mod raw_unit_f64;
+
+/// A domain-invariant check.
+pub trait Rule {
+    /// Stable kebab-case name (used in diagnostics, `vap:allow`, the
+    /// baseline and `--rule`).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Scan one file, appending findings.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// Every registered rule, in diagnostic order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(raw_unit_f64::RawUnitF64),
+        Box::new(no_panic::NoPanicInLib),
+        Box::new(no_println::NoPrintlnInLib),
+        Box::new(float_eq::FloatEq),
+        Box::new(determinism::Determinism),
+    ]
+}
+
+/// Shared helper: is the byte at `idx` part of an identifier?
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Shared helper: does `needle` occur in `hay` at `pos` on identifier
+/// boundaries (no ident char directly before or after)?
+pub(crate) fn on_word_boundary(hay: &str, pos: usize, len: usize) -> bool {
+    let before_ok = pos == 0 || !hay[..pos].chars().next_back().is_some_and(is_ident_char);
+    let after_ok = !hay[pos + len..].chars().next().is_some_and(is_ident_char);
+    before_ok && after_ok
+}
+
+/// Shared helper: all word-boundary occurrences of `needle` in `line`.
+pub(crate) fn word_occurrences(line: &str, needle: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find(needle) {
+        let pos = from + rel;
+        if on_word_boundary(line, pos, needle.len()) {
+            hits.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    hits
+}

@@ -1,0 +1,138 @@
+//! `no-panic-in-lib`: library code must not contain reachable panics.
+//!
+//! A campaign over 1,920 simulated modules dies hours in if a stray
+//! `.unwrap()` meets an edge case; library crates must surface errors as
+//! `Result` (`vap_core::error::BudgetError` for budgeting decisions)
+//! instead. Forbidden outside `#[cfg(test)]`: `.unwrap()`, `.expect(..)`,
+//! `panic!`, `unreachable!`, `todo!`, `unimplemented!`.
+//!
+//! Binary entry points (`src/bin/**`, a crate's `src/main.rs`) are exempt
+//! — top-level error reporting in a CLI may abort. Existing debt is
+//! carried by `lint-baseline.toml` and burned down over time.
+
+use super::{on_word_boundary, word_occurrences, Rule};
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+/// `(needle, must_be_followed_by, message)` per forbidden construct.
+const PANICS: [(&str, Option<char>, &str); 6] = [
+    (".unwrap()", None, "`.unwrap()` can panic"),
+    (".expect", Some('('), "`.expect(..)` can panic"),
+    ("panic!", None, "explicit `panic!`"),
+    ("unreachable!", None, "`unreachable!` can panic"),
+    ("todo!", None, "`todo!` panics when reached"),
+    ("unimplemented!", None, "`unimplemented!` panics when reached"),
+];
+
+/// The `no-panic-in-lib` rule.
+pub struct NoPanicInLib;
+
+impl Rule for NoPanicInLib {
+    fn name(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside #[cfg(test)] in library code"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // binaries may panic at top level
+        if file.path.contains("/bin/") || file.path.ends_with("src/main.rs") {
+            return;
+        }
+        for (i, line) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for (needle, followed_by, message) in PANICS {
+                for pos in occurrences(line, needle) {
+                    if let Some(req) = followed_by {
+                        if !line[pos + needle.len()..].starts_with(req) {
+                            continue;
+                        }
+                    }
+                    out.push(Finding {
+                        rule: "no-panic-in-lib",
+                        path: file.path.clone(),
+                        line: i + 1,
+                        column: pos + 1,
+                        message: format!("{message} in library code"),
+                        snippet: file.snippet(i).to_string(),
+                        help: "return a Result (e.g. vap_core::error::BudgetError) or restructure \
+                               so the failure case cannot arise; vap:allow with a reason if the \
+                               panic is provably unreachable",
+                        status: Status::New,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Occurrences of `needle` in `line`; for needles starting with `.` the
+/// word boundary only applies at the end (method calls follow idents).
+fn occurrences(line: &str, needle: &str) -> Vec<usize> {
+    if needle.starts_with('.') {
+        let mut hits = Vec::new();
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(needle) {
+            let pos = from + rel;
+            if !line[pos + needle.len()..].chars().next().is_some_and(super::is_ident_char) {
+                hits.push(pos);
+            }
+            from = pos + needle.len();
+        }
+        hits
+    } else {
+        word_occurrences(line, needle)
+            .into_iter()
+            .filter(|&p| on_word_boundary(line, p, needle.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, "vap-core", src);
+        let mut out = Vec::new();
+        NoPanicInLib.check(&f, &mut out);
+        out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
+        out
+    }
+
+    #[test]
+    fn fires_on_each_construct() {
+        let src = "let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\n\
+                   unreachable!();\ntodo!();\nunimplemented!();\n";
+        let hits = findings("crates/core/src/x.rs", src);
+        assert_eq!(hits.len(), 6);
+    }
+
+    #[test]
+    fn quiet_on_non_panicking_relatives() {
+        let src = "let a = x.unwrap_or(0);\nlet b = y.unwrap_or_else(|| 1);\n\
+                   let c = z.unwrap_or_default();\nlet d = r.expect_err(\"e\");\n\
+                   #[should_panic]\nlet e = \"panic!\";\n// panic! in a comment\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_and_binaries_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+        assert!(findings("crates/report/src/bin/fig1.rs", "x.unwrap();\n").is_empty());
+        assert!(findings("crates/lint/src/main.rs", "x.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "// vap:allow(no-panic-in-lib): serialization of plain structs cannot fail\n\
+                   let s = serde_json::to_string(&x).expect(\"infallible\");\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! `no-println-in-lib`: library code must not write to stdout/stderr.
+//!
+//! All user-visible output belongs to the CLI layer (`vap-report`
+//! binaries, `vap-lint`'s driver) or to the structured observability
+//! channel (`vap_obs` counters and spans, exported as journal/CSV/trace
+//! artifacts). A stray `println!` deep inside a sweep corrupts piped CSV
+//! output, interleaves nondeterministically across worker threads, and is
+//! invisible to the journal. Forbidden outside `#[cfg(test)]`:
+//! `println!`, `print!`, `eprintln!`, `eprint!`.
+//!
+//! Exempt: binary entry points (`src/bin/**`, a crate's `src/main.rs`)
+//! and the two crates whose *job* is terminal output — `vap-report`
+//! (drivers print rendered tables) and `vap-lint` (diagnostic renderer).
+
+use super::{word_occurrences, Rule};
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+/// Macros that write to stdout/stderr.
+const PRINTS: [(&str, &str); 4] = [
+    ("println!", "`println!` writes to stdout"),
+    ("print!", "`print!` writes to stdout"),
+    ("eprintln!", "`eprintln!` writes to stderr"),
+    ("eprint!", "`eprint!` writes to stderr"),
+];
+
+/// Crates whose library code legitimately talks to the terminal.
+const EXEMPT_CRATES: [&str; 2] = ["vap-report", "vap-lint"];
+
+/// The `no-println-in-lib` rule.
+pub struct NoPrintlnInLib;
+
+impl Rule for NoPrintlnInLib {
+    fn name(&self) -> &'static str {
+        "no-println-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "no println!/print!/eprintln!/eprint! outside #[cfg(test)] in library code"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // binaries and the terminal-facing crates may print
+        if file.path.contains("/bin/")
+            || file.path.ends_with("src/main.rs")
+            || EXEMPT_CRATES.contains(&file.crate_name.as_str())
+        {
+            return;
+        }
+        for (i, line) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for (needle, message) in PRINTS {
+                // word boundaries keep `print!` from also matching inside
+                // `println!`/`eprint!`/`eprintln!`
+                for pos in word_occurrences(line, needle) {
+                    out.push(Finding {
+                        rule: "no-println-in-lib",
+                        path: file.path.clone(),
+                        line: i + 1,
+                        column: pos + 1,
+                        message: format!("{message} in library code"),
+                        snippet: file.snippet(i).to_string(),
+                        help: "route output through the CLI layer or record it via vap_obs \
+                               (incr/observe/span) so it lands in the journal; vap:allow with \
+                               a reason if terminal output is genuinely intended here",
+                        status: Status::New,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings(path: &str, krate: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, krate, src);
+        let mut out = Vec::new();
+        NoPrintlnInLib.check(&f, &mut out);
+        out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
+        out
+    }
+
+    #[test]
+    fn fires_on_each_macro() {
+        let src = "println!(\"x\");\nprint!(\"x\");\neprintln!(\"x\");\neprint!(\"x\");\n";
+        let hits = findings("crates/core/src/x.rs", "vap-core", src);
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|f| f.rule == "no-println-in-lib"));
+    }
+
+    #[test]
+    fn macro_names_do_not_double_count() {
+        // `print!` must not also fire inside `println!`/`eprintln!`
+        let hits = findings("crates/core/src/x.rs", "vap-core", "println!(\"x\");\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("println!"));
+    }
+
+    #[test]
+    fn quiet_in_comments_strings_and_tests() {
+        let src = "// println! in a comment\nlet s = \"println!(hidden)\";\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(findings("crates/core/src/x.rs", "vap-core", src).is_empty());
+    }
+
+    #[test]
+    fn binaries_and_terminal_crates_are_exempt() {
+        let src = "println!(\"table\");\n";
+        assert!(findings("crates/report/src/bin/fig1.rs", "vap-report", src).is_empty());
+        assert!(findings("crates/lint/src/main.rs", "vap-lint", src).is_empty());
+        assert!(findings("crates/report/src/cli.rs", "vap-report", src).is_empty());
+        assert!(findings("crates/lint/src/cli.rs", "vap-lint", src).is_empty());
+        // but the same line in a model crate fires
+        assert_eq!(findings("crates/model/src/units.rs", "vap-model", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "// vap:allow(no-println-in-lib): progress line requested by the operator\n\
+                   eprintln!(\"sweep {i}\");\n";
+        assert!(findings("crates/core/src/x.rs", "vap-core", src).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Workspace discovery: which `.rs` files belong to which crate.
+//!
+//! Dependency-free stand-in for `cargo metadata` + `walkdir`: the
+//! workspace layout is known (a root package plus `crates/*`), so the
+//! walker enumerates each member's `src/` tree and reads the package name
+//! from the first `name = "..."` line of its `Cargo.toml`. Results are
+//! sorted so runs are reproducible byte-for-byte — the ordering is part
+//! of the JSON output and baseline contract.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for analysis.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes (the diagnostic and
+    /// baseline key).
+    pub rel: String,
+    /// Cargo package the file belongs to (e.g. `vap-core`).
+    pub crate_name: String,
+}
+
+/// Enumerate every member crate's `src/**/*.rs`, sorted by relative path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    for member in member_dirs(root)? {
+        let manifest = member.join("Cargo.toml");
+        let Some(crate_name) = package_name(&manifest) else {
+            continue; // not a package (or unreadable): nothing to attribute
+        };
+        let src = member.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut |p| {
+                files.push(WorkspaceFile {
+                    rel: relative(root, p),
+                    abs: p.to_path_buf(),
+                    crate_name: crate_name.clone(),
+                });
+            })?;
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// The workspace members: the root package plus every `crates/*` dir.
+fn member_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = vec![root.to_path_buf()];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut subdirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        dirs.extend(subdirs);
+    }
+    Ok(dirs)
+}
+
+/// Recursively visit `.rs` files under `dir` in sorted order.
+fn collect_rs(dir: &Path, visit: &mut dyn FnMut(&Path)) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, visit)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            visit(&path);
+        }
+    }
+    Ok(())
+}
+
+/// The `name = "..."` of a `[package]`, straight off the manifest text.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                let value = value.trim();
+                let name = value.trim_matches('"');
+                if !name.is_empty() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// A scratch dir unique to this test process (no tempfile dep).
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vap-lint-walker-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn finds_member_sources_with_crate_names() {
+        let root = scratch("basic");
+        fs::create_dir_all(root.join("src")).unwrap();
+        fs::write(root.join("Cargo.toml"), "[package]\nname = \"vap\"\n").unwrap();
+        fs::write(root.join("src/lib.rs"), "").unwrap();
+        fs::create_dir_all(root.join("crates/core/src/sub")).unwrap();
+        fs::write(root.join("crates/core/Cargo.toml"), "[package]\nname = \"vap-core\"\n")
+            .unwrap();
+        fs::write(root.join("crates/core/src/lib.rs"), "").unwrap();
+        fs::write(root.join("crates/core/src/sub/m.rs"), "").unwrap();
+        fs::write(root.join("crates/core/src/notes.txt"), "").unwrap();
+
+        let files = workspace_files(&root).unwrap();
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(rels, ["crates/core/src/lib.rs", "crates/core/src/sub/m.rs", "src/lib.rs"]);
+        assert_eq!(files[0].crate_name, "vap-core");
+        assert_eq!(files[2].crate_name, "vap");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn skips_members_without_a_package_name() {
+        let root = scratch("nopkg");
+        fs::create_dir_all(root.join("crates/junk/src")).unwrap();
+        fs::write(root.join("crates/junk/src/lib.rs"), "").unwrap();
+        // no Cargo.toml for the root or for crates/junk
+        let files = workspace_files(&root).unwrap();
+        assert!(files.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn package_name_ignores_dependency_tables() {
+        let root = scratch("deps");
+        let manifest = root.join("Cargo.toml");
+        fs::write(
+            &manifest,
+            "[dependencies]\nname-like = \"1\"\n[package]\nname = \"vap-x\"\nversion = \"0.1.0\"\n",
+        )
+        .unwrap();
+        assert_eq!(package_name(&manifest).as_deref(), Some("vap-x"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

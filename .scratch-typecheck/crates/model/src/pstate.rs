@@ -1,0 +1,234 @@
+//! Discrete CPU frequency tables (P-states).
+//!
+//! Both power-management paths in the paper ultimately act on discrete
+//! frequencies: RAPL's internal DVFS picks among the hardware P-states when
+//! enforcing a cap, and the FS implementation sets one explicitly through
+//! `cpufrequtils`. A [`PStateTable`] owns the sorted list of operating points
+//! plus (optionally) a turbo frequency that hardware may enter when uncapped.
+
+use crate::units::GigaHertz;
+use serde::{Deserialize, Serialize};
+
+/// A sorted table of supported CPU frequencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateTable {
+    /// Supported frequencies, ascending, turbo excluded.
+    freqs: Vec<GigaHertz>,
+    /// Opportunistic turbo frequency, if the part supports Turbo Boost /
+    /// Turbo Core. Only reachable when no power cap restricts the module.
+    turbo: Option<GigaHertz>,
+}
+
+impl PStateTable {
+    /// Build a table from an explicit frequency list (any order; duplicates
+    /// removed) and an optional turbo point.
+    ///
+    /// # Panics
+    /// Panics if `freqs` is empty or contains non-positive frequencies:
+    /// a frequency table is static hardware description, so this is a
+    /// configuration bug, not a runtime condition.
+    pub fn new(freqs: &[GigaHertz], turbo: Option<GigaHertz>) -> Self {
+        assert!(!freqs.is_empty(), "P-state table must not be empty");
+        assert!(freqs.iter().all(|f| f.value() > 0.0), "frequencies must be positive");
+        let mut v: Vec<GigaHertz> = freqs.to_vec();
+        v.sort_by(|a, b| a.value().total_cmp(&b.value()));
+        v.dedup();
+        if let (Some(t), Some(max)) = (turbo, v.last()) {
+            assert!(t.value() >= max.value(), "turbo must be >= nominal max");
+        }
+        PStateTable { freqs: v, turbo }
+    }
+
+    /// Build an evenly spaced table over `[min, max]` with `step` GHz
+    /// spacing (inclusive of both ends).
+    pub fn evenly_spaced(min: GigaHertz, max: GigaHertz, step: GigaHertz) -> Self {
+        let (min, max, step) = (min.value(), max.value(), step.value());
+        assert!(min > 0.0 && max >= min && step > 0.0);
+        let mut freqs = Vec::new();
+        let mut i = 0usize;
+        loop {
+            // Round each grid point to 1 µHz so accumulated floating-point
+            // error never leaks into frequency identities (2.0 GHz must be
+            // exactly 2.0, not 2.0000000000000004).
+            let f = ((min + step * i as f64) * 1e6).round() / 1e6;
+            if f >= max - 1e-9 {
+                break;
+            }
+            freqs.push(GigaHertz(f));
+            i += 1;
+        }
+        freqs.push(GigaHertz(max));
+        PStateTable::new(&freqs, None)
+    }
+
+    /// Attach a turbo frequency to an existing table.
+    pub fn with_turbo(mut self, turbo: GigaHertz) -> Self {
+        assert!(turbo.value() >= self.f_max().value());
+        self.turbo = Some(turbo);
+        self
+    }
+
+    /// Lowest supported frequency (`f_min` in the paper's Eq. 1).
+    pub fn f_min(&self) -> GigaHertz {
+        self.freqs[0]
+    }
+
+    /// Highest *nominal* frequency (`f_max` in Eq. 1). Turbo is excluded:
+    /// the budgeting algorithm plans within the guaranteed range.
+    pub fn f_max(&self) -> GigaHertz {
+        // The constructor rejects empty tables, so the fallback to `f_min`
+        // (which would itself only matter for an empty table) is inert; it
+        // exists to keep this accessor panic-free.
+        self.freqs.last().copied().unwrap_or_else(|| self.f_min())
+    }
+
+    /// The opportunistic turbo frequency, if any.
+    pub fn turbo(&self) -> Option<GigaHertz> {
+        self.turbo
+    }
+
+    /// The frequency hardware actually runs at when uncapped: turbo if
+    /// available, otherwise `f_max`.
+    pub fn uncapped(&self) -> GigaHertz {
+        self.turbo.unwrap_or_else(|| self.f_max())
+    }
+
+    /// All non-turbo operating points, ascending.
+    pub fn frequencies(&self) -> &[GigaHertz] {
+        &self.freqs
+    }
+
+    /// Number of non-turbo P-states.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Always `false`; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Largest supported frequency `<= f`, or `f_min` when `f` is below the
+    /// whole table. This is how a continuous frequency target (e.g. from
+    /// Eq. 1) maps onto real hardware without exceeding the power intent.
+    pub fn floor(&self, f: GigaHertz) -> GigaHertz {
+        let mut best = self.f_min();
+        for &p in &self.freqs {
+            if p.value() <= f.value() + 1e-9 {
+                best = p;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Smallest supported frequency `>= f`, or `f_max` when `f` is above the
+    /// whole table (turbo excluded).
+    pub fn ceil(&self, f: GigaHertz) -> GigaHertz {
+        for &p in &self.freqs {
+            if p.value() + 1e-9 >= f.value() {
+                return p;
+            }
+        }
+        self.f_max()
+    }
+
+    /// Supported frequency closest to `f` (ties resolve downward).
+    pub fn nearest(&self, f: GigaHertz) -> GigaHertz {
+        let lo = self.floor(f);
+        let hi = self.ceil(f);
+        if (f.value() - lo.value()) <= (hi.value() - f.value()) {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// The next P-state strictly below `f`, or `None` at the bottom of the
+    /// table. Used by the RAPL feedback loop when throttling down.
+    pub fn step_down(&self, f: GigaHertz) -> Option<GigaHertz> {
+        self.freqs.iter().rev().find(|p| p.value() < f.value() - 1e-9).copied()
+    }
+
+    /// The next P-state strictly above `f` (turbo excluded), or `None` at
+    /// the top. Used by the RAPL feedback loop when head-room opens up.
+    pub fn step_up(&self, f: GigaHertz) -> Option<GigaHertz> {
+        self.freqs.iter().find(|p| p.value() > f.value() + 1e-9).copied()
+    }
+
+    /// Whether `f` is one of the supported operating points (turbo included).
+    pub fn supports(&self, f: GigaHertz) -> bool {
+        self.freqs.iter().any(|p| (p.value() - f.value()).abs() < 1e-9)
+            || self.turbo.is_some_and(|t| (t.value() - f.value()).abs() < 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ha8k_like() -> PStateTable {
+        PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1))
+    }
+
+    #[test]
+    fn evenly_spaced_endpoints() {
+        let t = ha8k_like();
+        assert_eq!(t.f_min(), GigaHertz(1.2));
+        assert_eq!(t.f_max(), GigaHertz(2.7));
+        assert_eq!(t.len(), 16);
+        assert!(t.supports(GigaHertz(2.0)));
+    }
+
+    #[test]
+    fn floor_ceil_nearest() {
+        let t = ha8k_like();
+        assert_eq!(t.floor(GigaHertz(2.04)), GigaHertz(2.0));
+        assert_eq!(t.ceil(GigaHertz(2.04)), GigaHertz(2.1));
+        assert_eq!(t.nearest(GigaHertz(2.04)), GigaHertz(2.0));
+        assert_eq!(t.nearest(GigaHertz(2.06)), GigaHertz(2.1));
+        // below / above the table
+        assert_eq!(t.floor(GigaHertz(0.5)), GigaHertz(1.2));
+        assert_eq!(t.ceil(GigaHertz(9.9)), GigaHertz(2.7));
+    }
+
+    #[test]
+    fn stepping() {
+        let t = ha8k_like();
+        assert_eq!(t.step_down(GigaHertz(1.2)), None);
+        assert_eq!(t.step_up(GigaHertz(2.7)), None);
+        assert!((t.step_down(GigaHertz(2.0)).unwrap().value() - 1.9).abs() < 1e-9);
+        assert!((t.step_up(GigaHertz(2.0)).unwrap().value() - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turbo_semantics() {
+        let t = PStateTable::new(&[GigaHertz(1.2), GigaHertz(2.6)], Some(GigaHertz(3.3)));
+        assert_eq!(t.uncapped(), GigaHertz(3.3));
+        assert_eq!(t.f_max(), GigaHertz(2.6));
+        assert!(t.supports(GigaHertz(3.3)));
+        let nt = PStateTable::new(&[GigaHertz(1.2), GigaHertz(2.6)], None);
+        assert_eq!(nt.uncapped(), GigaHertz(2.6));
+    }
+
+    #[test]
+    fn unordered_duplicated_input_is_normalized() {
+        let t = PStateTable::new(&[GigaHertz(2.0), GigaHertz(1.0), GigaHertz(2.0), GigaHertz(1.5)], None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.f_min(), GigaHertz(1.0));
+        assert_eq!(t.f_max(), GigaHertz(2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_table_panics() {
+        let _ = PStateTable::new(&[], None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn turbo_below_nominal_panics() {
+        let _ = PStateTable::new(&[GigaHertz(1.0), GigaHertz(2.0)], Some(GigaHertz(1.5)));
+    }
+}

@@ -1,0 +1,106 @@
+//! Thermal modulation of leakage power.
+//!
+//! The paper's §2.1 notes that "other factors such as temperature and supply
+//! voltage can cause additional variations". Leakage current grows roughly
+//! exponentially with junction temperature; over the narrow operating band
+//! of a machine room we use a first-order exponential sensitivity around a
+//! reference temperature. This is *off by default* (every module at the
+//! reference temperature reproduces the paper's manufacturing-only study)
+//! and is exercised by the extension experiments that ask how thermal
+//! gradients across racks compound manufacturing variability.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal environment of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalEnv {
+    /// Module inlet/ambient temperature in °C.
+    pub temperature_c: f64,
+    /// Reference temperature at which leakage models are calibrated, °C.
+    pub reference_c: f64,
+    /// Fractional leakage increase per °C above reference (typically
+    /// 1–2 %/°C for server silicon).
+    pub leakage_per_c: f64,
+}
+
+impl ThermalEnv {
+    /// Reference environment: no thermal effect (`factor() == 1`).
+    pub fn reference() -> Self {
+        ThermalEnv { temperature_c: 25.0, reference_c: 25.0, leakage_per_c: 0.015 }
+    }
+
+    /// An environment `delta_c` degrees above (or below) reference.
+    pub fn offset(delta_c: f64) -> Self {
+        let mut env = Self::reference();
+        env.temperature_c += delta_c;
+        env
+    }
+
+    /// Leakage multiplier `θ(T) = exp(k·(T − T_ref))`.
+    pub fn factor(&self) -> f64 {
+        (self.leakage_per_c * (self.temperature_c - self.reference_c)).exp()
+    }
+}
+
+impl Default for ThermalEnv {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// A simple rack-position gradient: modules near the hot aisle run warmer.
+/// Maps module index within a fleet to a thermal environment, linearly
+/// interpolating between `cold_c` and `hot_c` inlet temperatures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackGradient {
+    /// Coolest inlet temperature in the fleet, °C.
+    pub cold_c: f64,
+    /// Warmest inlet temperature in the fleet, °C.
+    pub hot_c: f64,
+}
+
+impl RackGradient {
+    /// Thermal environment for module `i` of `n`.
+    pub fn env_for(&self, i: usize, n: usize) -> ThermalEnv {
+        let frac = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+        ThermalEnv::offset(self.cold_c - 25.0 + frac * (self.hot_c - self.cold_c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_has_unit_factor() {
+        assert_eq!(ThermalEnv::reference().factor(), 1.0);
+        assert_eq!(ThermalEnv::default().factor(), 1.0);
+    }
+
+    #[test]
+    fn hotter_means_more_leakage() {
+        let hot = ThermalEnv::offset(10.0);
+        let cold = ThermalEnv::offset(-10.0);
+        assert!(hot.factor() > 1.0);
+        assert!(cold.factor() < 1.0);
+        // ~1.5%/°C over 10°C ≈ 16%
+        assert!((hot.factor() - 1.1618).abs() < 0.01);
+    }
+
+    #[test]
+    fn gradient_interpolates_across_fleet() {
+        let g = RackGradient { cold_c: 20.0, hot_c: 30.0 };
+        let first = g.env_for(0, 11);
+        let last = g.env_for(10, 11);
+        let mid = g.env_for(5, 11);
+        assert!((first.temperature_c - 20.0).abs() < 1e-9);
+        assert!((last.temperature_c - 30.0).abs() < 1e-9);
+        assert!((mid.temperature_c - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_module_fleet_uses_cold_end() {
+        let g = RackGradient { cold_c: 22.0, hot_c: 30.0 };
+        assert!((g.env_for(0, 1).temperature_c - 22.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! Manufacturing variability: the ground truth the paper measures.
+//!
+//! §2.1 of the paper attributes power inhomogeneity to fabrication-process
+//! variations — threshold-voltage distortions that change leakage current
+//! and switching power — which can be **die-to-die** (between processors) or
+//! **within-die** (between cores of one processor), plus analogous variation
+//! in DRAM chips. Vendors bin parts by *frequency*, not by *power*, so an
+//! HPC system's processors hit the same clock targets while drawing visibly
+//! different power (Fig. 1: up to 23% CPU power variation at equal
+//! performance on Cab).
+//!
+//! [`VariabilityModel`] describes a system's distributions;
+//! [`ModuleVariation`] is one sampled processor+DRAM module. The multipliers
+//! are dimensionless scales around 1.0 that the ground-truth power model
+//! ([`crate::power`]) applies to its nominal parameters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Hard floor/ceiling applied to every sampled multiplier. Process variation
+/// is bounded in practice (outliers are discarded at test time); clamping
+/// also keeps the simulation safe from pathological tail samples.
+const MULTIPLIER_FLOOR: f64 = 0.5;
+const MULTIPLIER_CEIL: f64 = 2.0;
+
+/// Leakage-specific clamp. Leakage is the heaviest-tailed parameter, but
+/// vendors screen out grossly leaky parts at test time (they fail the TDP
+/// qualification), so the fleet never contains the raw log-normal tail.
+const LEAKAGE_FLOOR: f64 = 0.6;
+const LEAKAGE_CEIL: f64 = 1.55;
+
+/// Distribution parameters for one system's manufacturing variability.
+///
+/// Calibrated per system in [`crate::systems`] so that fleet-level statistics
+/// (worst-case variation `Vp`, standard deviations) match what the paper
+/// observed on the real machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityModel {
+    /// Die-to-die std-dev of the *dynamic* (switching) CPU power multiplier.
+    pub dynamic_sigma: f64,
+    /// Log-space std-dev of the *leakage* power multiplier. Leakage depends
+    /// exponentially on threshold voltage, so die-to-die leakage is
+    /// heavy-tailed; a log-normal captures that.
+    pub leakage_sigma: f64,
+    /// Die-to-die std-dev of the DRAM power multiplier. The paper observed
+    /// much larger relative variation for DRAM (Vp ≈ 2.8) than for CPUs.
+    pub dram_sigma: f64,
+    /// Within-die std-dev of per-core dynamic multipliers.
+    pub within_die_sigma: f64,
+    /// Std-dev of the per-module *performance* multiplier (relative
+    /// execution rate at equal frequency). Zero for frequency-binned parts
+    /// (Cab, Vulcan, HA8K); non-zero on Teller, where the paper saw 17%
+    /// performance variation.
+    pub perf_sigma: f64,
+    /// Correlation in `[-1, 1]` between the dynamic-power z-score and the
+    /// performance z-score. Teller showed a *negative* correlation between
+    /// slowdown and power (more power ⇒ faster), i.e. a positive
+    /// power-performance correlation here.
+    // vap:allow(raw-unit-f64): a correlation coefficient is dimensionless
+    pub perf_power_corr: f64,
+}
+
+impl VariabilityModel {
+    /// A frequency-binned server part: no performance variation, moderate
+    /// power variation. Reasonable defaults for Intel-like parts.
+    pub fn frequency_binned(dynamic_sigma: f64, leakage_sigma: f64, dram_sigma: f64) -> Self {
+        VariabilityModel {
+            dynamic_sigma,
+            leakage_sigma,
+            dram_sigma,
+            within_die_sigma: 0.05,
+            perf_sigma: 0.0,
+            perf_power_corr: 0.0,
+        }
+    }
+
+    /// An idealized part with no variability at all. Useful as an
+    /// experimental control: under this model every budgeting scheme
+    /// degenerates to uniform allocation.
+    pub fn none() -> Self {
+        VariabilityModel {
+            dynamic_sigma: 0.0,
+            leakage_sigma: 0.0,
+            dram_sigma: 0.0,
+            within_die_sigma: 0.0,
+            perf_sigma: 0.0,
+            perf_power_corr: 0.0,
+        }
+    }
+
+    /// Sample the variability of a fleet of `n` modules with `cores` cores
+    /// each. Deterministic in `seed`.
+    pub fn sample_fleet(&self, n: usize, cores: usize, seed: u64) -> Vec<ModuleVariation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|id| self.sample_module(id, cores, &mut rng)).collect()
+    }
+
+    /// Sample a single module's variation.
+    pub fn sample_module(&self, module_id: usize, cores: usize, rng: &mut StdRng) -> ModuleVariation {
+        // vap:allow(no-panic-in-lib): Normal::new(0, 1) with constant finite
+        // arguments cannot return Err
+        let std_normal = Normal::new(0.0, 1.0).expect("valid std normal");
+        let z_dyn: f64 = std_normal.sample(rng);
+        let dynamic = clamp_mult(1.0 + self.dynamic_sigma * z_dyn);
+
+        // Log-normal with unit mean: E[exp(N(mu, s^2))] = exp(mu + s^2/2) = 1.
+        let leakage = if self.leakage_sigma > 0.0 {
+            let mu = -self.leakage_sigma * self.leakage_sigma / 2.0;
+            // vap:allow(no-panic-in-lib): guarded by `leakage_sigma > 0.0`
+            // above, so the parameters are always finite and valid
+            let ln = LogNormal::new(mu, self.leakage_sigma).expect("valid log-normal");
+            ln.sample(rng).clamp(LEAKAGE_FLOOR, LEAKAGE_CEIL)
+        } else {
+            1.0
+        };
+
+        let dram = clamp_mult(1.0 + self.dram_sigma * std_normal.sample(rng));
+
+        // Performance multiplier correlated with the dynamic-power z-score.
+        let perf = if self.perf_sigma > 0.0 {
+            let eps: f64 = std_normal.sample(rng);
+            let rho = self.perf_power_corr.clamp(-1.0, 1.0);
+            let z_perf = rho * z_dyn + (1.0 - rho * rho).sqrt() * eps;
+            clamp_mult(1.0 + self.perf_sigma * z_perf)
+        } else {
+            1.0
+        };
+
+        let core_factors: Vec<f64> = (0..cores)
+            .map(|_| clamp_mult(1.0 + self.within_die_sigma * std_normal.sample(rng)))
+            .collect();
+
+        ModuleVariation { module_id, dynamic, leakage, dram, perf, core_factors }
+    }
+}
+
+fn clamp_mult(x: f64) -> f64 {
+    x.clamp(MULTIPLIER_FLOOR, MULTIPLIER_CEIL)
+}
+
+/// The sampled manufacturing "fingerprint" of one module (CPU socket plus
+/// its DRAM), fixed at fabrication time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleVariation {
+    /// Index of the module within its fleet.
+    pub module_id: usize,
+    /// Die-to-die dynamic-power multiplier (applies to switching power).
+    pub dynamic: f64,
+    /// Die-to-die leakage-power multiplier.
+    pub leakage: f64,
+    /// DRAM power multiplier.
+    pub dram: f64,
+    /// Execution-rate multiplier at equal frequency (1.0 unless the part is
+    /// not strictly frequency-binned).
+    pub perf: f64,
+    /// Within-die per-core dynamic multipliers.
+    pub core_factors: Vec<f64>,
+}
+
+impl ModuleVariation {
+    /// A perfectly nominal module (all multipliers 1.0).
+    pub fn nominal(module_id: usize, cores: usize) -> Self {
+        ModuleVariation {
+            module_id,
+            dynamic: 1.0,
+            leakage: 1.0,
+            dram: 1.0,
+            perf: 1.0,
+            core_factors: vec![1.0; cores],
+        }
+    }
+
+    /// The module-level dynamic multiplier including within-die effects:
+    /// the die-to-die factor scaled by the mean of the per-core factors
+    /// (cores contribute switching power additively, so their average is
+    /// what the socket-level meter sees).
+    pub fn effective_dynamic(&self) -> f64 {
+        if self.core_factors.is_empty() {
+            self.dynamic
+        } else {
+            let mean: f64 = self.core_factors.iter().sum::<f64>() / self.core_factors.len() as f64;
+            self.dynamic * mean
+        }
+    }
+
+    /// Decompose the deviation of [`Self::effective_dynamic`] from nominal
+    /// into `(die_to_die, within_die)` additive contributions. Used by the
+    /// within-die ablation study.
+    pub fn dynamic_decomposition(&self) -> (f64, f64) {
+        let d2d = self.dynamic - 1.0;
+        let wd = self.effective_dynamic() - self.dynamic;
+        (d2d, wd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_stats::Summary;
+
+    #[test]
+    fn fleet_is_deterministic_in_seed() {
+        let m = VariabilityModel::frequency_binned(0.04, 0.2, 0.12);
+        let a = m.sample_fleet(32, 12, 7);
+        let b = m.sample_fleet(32, 12, 7);
+        let c = m.sample_fleet(32, 12, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_variability_model_is_all_nominal() {
+        let m = VariabilityModel::none();
+        for v in m.sample_fleet(16, 8, 1) {
+            assert_eq!(v.dynamic, 1.0);
+            assert_eq!(v.leakage, 1.0);
+            assert_eq!(v.dram, 1.0);
+            assert_eq!(v.perf, 1.0);
+            assert!(v.core_factors.iter().all(|&c| c == 1.0));
+        }
+    }
+
+    #[test]
+    fn multipliers_center_on_one() {
+        let m = VariabilityModel::frequency_binned(0.04, 0.2, 0.12);
+        let fleet = m.sample_fleet(4000, 12, 42);
+        let dyns: Vec<f64> = fleet.iter().map(|v| v.dynamic).collect();
+        let leaks: Vec<f64> = fleet.iter().map(|v| v.leakage).collect();
+        let drams: Vec<f64> = fleet.iter().map(|v| v.dram).collect();
+        assert!((Summary::of(&dyns).unwrap().mean - 1.0).abs() < 0.01);
+        assert!((Summary::of(&leaks).unwrap().mean - 1.0).abs() < 0.02);
+        assert!((Summary::of(&drams).unwrap().mean - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn leakage_is_right_skewed() {
+        let m = VariabilityModel::frequency_binned(0.0, 0.25, 0.0);
+        let fleet = m.sample_fleet(4000, 1, 3);
+        let leaks: Vec<f64> = fleet.iter().map(|v| v.leakage).collect();
+        let s = Summary::of(&leaks).unwrap();
+        // log-normal: mean above median
+        let med = vap_stats::descriptive::median(&leaks).unwrap();
+        assert!(s.mean > med);
+    }
+
+    #[test]
+    fn samples_are_clamped() {
+        // Absurd sigma: every sample must still be in [0.5, 2.0].
+        let m = VariabilityModel::frequency_binned(5.0, 3.0, 5.0);
+        for v in m.sample_fleet(500, 4, 9) {
+            for x in [v.dynamic, v.dram, v.perf] {
+                assert!((MULTIPLIER_FLOOR..=MULTIPLIER_CEIL).contains(&x));
+            }
+            assert!((LEAKAGE_FLOOR..=LEAKAGE_CEIL).contains(&v.leakage));
+        }
+    }
+
+    #[test]
+    fn perf_power_correlation_sign() {
+        let m = VariabilityModel {
+            dynamic_sigma: 0.06,
+            leakage_sigma: 0.0,
+            dram_sigma: 0.0,
+            within_die_sigma: 0.0,
+            perf_sigma: 0.05,
+            perf_power_corr: 0.9,
+        };
+        let fleet = m.sample_fleet(3000, 1, 11);
+        // crude Pearson estimate
+        let xs: Vec<f64> = fleet.iter().map(|v| v.dynamic).collect();
+        let ys: Vec<f64> = fleet.iter().map(|v| v.perf).collect();
+        let mx = Summary::of(&xs).unwrap().mean;
+        let my = Summary::of(&ys).unwrap().mean;
+        let cov: f64 =
+            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64;
+        assert!(cov > 0.0, "positive power-performance correlation expected");
+    }
+
+    #[test]
+    fn effective_dynamic_includes_within_die_mean() {
+        let v = ModuleVariation {
+            module_id: 0,
+            dynamic: 1.1,
+            leakage: 1.0,
+            dram: 1.0,
+            perf: 1.0,
+            core_factors: vec![0.9, 1.1, 1.0, 1.2],
+        };
+        assert!((v.effective_dynamic() - 1.1 * 1.05).abs() < 1e-12);
+        let (d2d, wd) = v.dynamic_decomposition();
+        assert!((d2d - 0.1).abs() < 1e-12);
+        assert!((wd - (1.1 * 1.05 - 1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_module_is_identity() {
+        let v = ModuleVariation::nominal(3, 12);
+        assert_eq!(v.effective_dynamic(), 1.0);
+        assert_eq!(v.module_id, 3);
+        assert_eq!(v.core_factors.len(), 12);
+    }
+}

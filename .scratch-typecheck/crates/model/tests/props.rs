@@ -1,0 +1,122 @@
+//! Property-based tests for the model layer.
+
+use proptest::prelude::*;
+use vap_model::boundedness::Boundedness;
+use vap_model::linear::{Alpha, TwoPointModel};
+use vap_model::power::{CpuPowerModel, VoltageCurve};
+use vap_model::pstate::PStateTable;
+use vap_model::units::{GigaHertz, Watts};
+use vap_model::variability::{ModuleVariation, VariabilityModel};
+
+proptest! {
+    /// P-state snapping invariants: floor ≤ input ≤ ceil within the table
+    /// range; floor and ceil are supported states; nearest is one of them.
+    #[test]
+    fn pstate_snapping(f in 0.5f64..4.0) {
+        let t = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1));
+        let x = GigaHertz(f);
+        let lo = t.floor(x);
+        let hi = t.ceil(x);
+        prop_assert!(t.supports(lo));
+        prop_assert!(t.supports(hi));
+        prop_assert!(lo <= hi);
+        if (1.2..=2.7).contains(&f) {
+            prop_assert!(lo.value() <= f + 1e-9);
+            prop_assert!(hi.value() + 1e-9 >= f);
+        }
+        let near = t.nearest(x);
+        prop_assert!(near == lo || near == hi);
+    }
+
+    /// Stepping down then up from an interior P-state is the identity.
+    #[test]
+    fn pstate_stepping_round_trip(idx in 1usize..15) {
+        let t = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1));
+        let f = t.frequencies()[idx];
+        let down = t.step_down(f).expect("interior state");
+        let up = t.step_up(down).expect("interior state");
+        prop_assert!((up.value() - f.value()).abs() < 1e-9);
+    }
+
+    /// CPU power is strictly monotone in frequency and activity, and the
+    /// continuous cap inversion is consistent with the forward model.
+    #[test]
+    fn cpu_power_monotone_and_invertible(
+        f1 in 1.2f64..2.69,
+        df in 0.01f64..1.0,
+        act in 0.1f64..1.2,
+        leak in 0.6f64..1.5,
+    ) {
+        let m = CpuPowerModel {
+            voltage: VoltageCurve { v0: 0.6, v1: 0.1 },
+            dynamic_scale: Watts(36.7),
+            leakage: Watts(18.0),
+            idle: Watts(8.0),
+            gated_leakage_fraction: 1.0,
+        };
+        let mut v = ModuleVariation::nominal(0, 8);
+        v.leakage = leak;
+        let f2 = (f1 + df).min(2.7);
+        let p1 = m.power(GigaHertz(f1), act, &v, 1.0);
+        let p2 = m.power(GigaHertz(f2), act, &v, 1.0);
+        prop_assert!(p2 > p1);
+        // inversion lands on the frequency whose power equals the cap
+        let found = m
+            .max_frequency_within(p1, act, &v, 1.0, GigaHertz(1.2), GigaHertz(2.7))
+            .expect("cap = p(f1) is feasible");
+        prop_assert!((found.value() - f1).abs() < 1e-6);
+    }
+
+    /// The two-point model brackets its anchors: for any α in [0,1] the
+    /// predicted power lies in [p_min, p_max] and frequency in
+    /// [f_min, f_max].
+    #[test]
+    fn two_point_model_brackets(
+        p_max in 10.0f64..300.0,
+        span in 0.0f64..200.0,
+        raw in -2.0f64..3.0,
+    ) {
+        let m = TwoPointModel::new(
+            GigaHertz(2.7), GigaHertz(1.2), Watts(p_max), Watts((p_max - span).max(0.1)),
+        );
+        let a = Alpha::saturating(raw);
+        let p = m.power(a);
+        let f = m.frequency(a);
+        prop_assert!(p >= m.p_min - Watts(1e-9) && p <= m.p_max + Watts(1e-9));
+        prop_assert!(f >= m.f_min && f <= m.f_max);
+    }
+
+    /// Boundedness: slowdown is ≥ 1 at-or-below the reference frequency,
+    /// monotone decreasing in f, and exactly χ-weighted.
+    #[test]
+    fn boundedness_properties(chi in 0.0f64..1.0, f in 0.4f64..2.7) {
+        let b = Boundedness::new(chi, GigaHertz(2.7));
+        let s = b.slowdown(GigaHertz(f));
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!((s - (chi * (2.7 / f) + (1.0 - chi))).abs() < 1e-12);
+        let s2 = b.slowdown(GigaHertz(f + 0.1));
+        prop_assert!(s2 <= s + 1e-12);
+        prop_assert!((b.relative_rate(GigaHertz(f)) * s - 1.0).abs() < 1e-12);
+    }
+
+    /// Sampled fleets always produce physical multipliers and a population
+    /// mean near 1, whatever (bounded) sigmas are configured.
+    #[test]
+    fn fleet_sampling_is_physical(
+        dyn_sigma in 0.0f64..0.2,
+        leak_sigma in 0.0f64..0.6,
+        dram_sigma in 0.0f64..0.3,
+        seed in 0u64..1000,
+    ) {
+        let m = VariabilityModel::frequency_binned(dyn_sigma, leak_sigma, dram_sigma);
+        let fleet = m.sample_fleet(64, 8, seed);
+        prop_assert_eq!(fleet.len(), 64);
+        for v in &fleet {
+            prop_assert!(v.dynamic > 0.0 && v.leakage > 0.0 && v.dram > 0.0);
+            prop_assert!(v.effective_dynamic() > 0.0);
+            prop_assert_eq!(v.core_factors.len(), 8);
+        }
+        let mean: f64 = fleet.iter().map(|v| v.dynamic).sum::<f64>() / 64.0;
+        prop_assert!((mean - 1.0).abs() < 0.35, "dynamic mean {mean}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Communication cost models.
+//!
+//! Standard latency/bandwidth (Hockney) costs: a point-to-point transfer of
+//! `b` bytes costs `latency + b / bandwidth`; collectives pay a
+//! `ceil(log2 n)`-depth tree of latencies plus the payload term. Network
+//! time is frequency-*independent* — the interconnect draws "static or base
+//! power" (§3.1) and is not power-managed — which is exactly why
+//! synchronization converts frequency variation into wait time rather than
+//! slowing the network itself.
+
+use serde::{Deserialize, Serialize};
+use vap_model::units::Seconds;
+
+/// Latency/bandwidth parameters of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommParams {
+    /// Per-message latency.
+    pub latency: Seconds,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl CommParams {
+    /// A 4x FDR InfiniBand-class network (the HA8K generation): ~1.5 µs
+    /// latency, ~6 GB/s effective per-link bandwidth.
+    pub fn infiniband_fdr() -> Self {
+        CommParams { latency: Seconds(1.5e-6), bandwidth: 6.0e9 }
+    }
+
+    /// An idealized zero-cost network; useful to isolate pure
+    /// synchronization effects in tests.
+    pub fn ideal() -> Self {
+        CommParams { latency: Seconds::ZERO, bandwidth: f64::INFINITY }
+    }
+
+    /// Cost of one point-to-point transfer of `bytes`.
+    pub fn p2p(&self, bytes: u64) -> Seconds {
+        self.latency + Seconds(bytes as f64 / self.bandwidth)
+    }
+
+    /// Cost of an `MPI_Sendrecv` exchanging `bytes` in each direction
+    /// (full-duplex links: the two directions overlap, one latency).
+    pub fn sendrecv(&self, bytes: u64) -> Seconds {
+        self.p2p(bytes)
+    }
+
+    /// Cost of an `MPI_Allreduce` of `bytes` across `n` ranks
+    /// (recursive-doubling: `ceil(log2 n)` rounds, payload moved each
+    /// round).
+    pub fn allreduce(&self, bytes: u64, n: usize) -> Seconds {
+        let rounds = log2_ceil(n);
+        (self.latency + Seconds(bytes as f64 / self.bandwidth)) * rounds as f64
+    }
+
+    /// Cost of an `MPI_Barrier` across `n` ranks (latency-only tree).
+    pub fn barrier(&self, n: usize) -> Seconds {
+        self.latency * log2_ceil(n) as f64
+    }
+}
+
+fn log2_ceil(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_is_latency_plus_serialization() {
+        let c = CommParams { latency: Seconds(1e-6), bandwidth: 1e9 };
+        let t = c.p2p(1_000_000);
+        assert!((t.value() - (1e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collectives_scale_logarithmically() {
+        let c = CommParams { latency: Seconds(1e-6), bandwidth: 1e9 };
+        assert_eq!(c.barrier(1), Seconds::ZERO);
+        assert!((c.barrier(2).value() - 1e-6).abs() < 1e-15);
+        assert!((c.barrier(1024).value() - 10e-6).abs() < 1e-12);
+        assert!((c.barrier(1025).value() - 11e-6).abs() < 1e-12);
+        // allreduce includes payload per round
+        let t = c.allreduce(1000, 8);
+        assert!((t.value() - 3.0 * (1e-6 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let c = CommParams::ideal();
+        assert_eq!(c.p2p(u64::MAX), Seconds::ZERO);
+        assert_eq!(c.allreduce(1 << 30, 4096), Seconds::ZERO);
+        assert_eq!(c.barrier(4096), Seconds::ZERO);
+    }
+
+    #[test]
+    fn log2_ceil_basics() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(1920), 11);
+    }
+
+    #[test]
+    fn fdr_magnitudes_are_sane() {
+        let c = CommParams::infiniband_fdr();
+        // 24 MB halo at 6 GB/s ≈ 4 ms
+        let t = c.sendrecv(24 << 20);
+        assert!(t.value() > 3e-3 && t.value() < 6e-3);
+    }
+}

@@ -1,0 +1,182 @@
+//! A deterministic discrete-event queue.
+//!
+//! A small future-event-list: events carry a timestamp and a payload; pops
+//! come out in time order with FIFO tie-breaking (insertion sequence), so
+//! simulations built on it are reproducible run-to-run. The SPMD executor
+//! in [`crate::engine`] does not need it (matched-op lockstep is exact
+//! there), but the fine-grained co-simulation utilities and downstream
+//! experiments that mix asynchronous events (RAPL control ticks, sensor
+//! sampling, phase changes) do.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vap_model::units::Seconds;
+
+/// An event scheduled at a simulation time.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    time: Seconds,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then FIFO.
+        // total_cmp gives NaN a defined (deterministic) order instead of a
+        // panic; a NaN timestamp is an upstream bug either way.
+        other
+            .time
+            .value()
+            .total_cmp(&self.time.value())
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future event list over payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    now: Seconds,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Seconds::ZERO }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event) — a
+    /// causality violation in the caller.
+    pub fn schedule(&mut self, at: Seconds, payload: T) {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time: at, seq, payload });
+    }
+
+    /// Schedule `payload` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Seconds, payload: T) {
+        assert!(delay.value() >= 0.0, "delay must be non-negative");
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Seconds, T)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Peek at the earliest pending event time.
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds(3.0), "c");
+        q.schedule(Seconds(1.0), "a");
+        q.schedule(Seconds(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(q.now(), Seconds(3.0));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Seconds(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relative_scheduling_tracks_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds(5.0), "first");
+        q.pop();
+        q.schedule_in(Seconds(2.0), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Seconds(7.0));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds(1.0), ());
+        q.schedule(Seconds(1.0), ());
+        q.schedule(Seconds(4.0), ());
+        let mut last = Seconds::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Seconds(2.0), ());
+        q.schedule(Seconds(1.0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Seconds(1.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds(5.0), ());
+        q.pop();
+        q.schedule(Seconds(1.0), ());
+    }
+}

@@ -1,0 +1,66 @@
+//! Schema validator for vap-obs artifacts (the CI smoke check).
+//!
+//! ```text
+//! obs-check <artifact>...
+//! ```
+//!
+//! Any number of artifacts, classified by extension: `.jsonl` files are
+//! validated as event journals (parsed into the `vap_obs::export` schema,
+//! re-serialized, and compared byte-for-byte — a serde round-trip),
+//! `.json` files as Chrome trace-event timelines, and `.csv` files as
+//! metrics tables. Exit code 0 on success, 1 on validation failure, 2 on
+//! usage/IO errors.
+
+use vap_obs::{validate_journal, validate_metrics_csv, validate_trace};
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obs-check <artifact.jsonl|artifact.json|artifact.csv>...");
+        std::process::exit(2);
+    }
+
+    for path in &args {
+        if path.ends_with(".jsonl") {
+            match validate_journal(&read(path)) {
+                Ok(stats) => println!(
+                    "{path}: OK ({} lines, {} grids, {} cells)",
+                    stats.lines, stats.grids, stats.cells
+                ),
+                Err(e) => {
+                    eprintln!("obs-check: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else if path.ends_with(".json") {
+            match validate_trace(&read(path)) {
+                Ok(events) => println!("{path}: OK ({events} events)"),
+                Err(e) => {
+                    eprintln!("obs-check: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else if path.ends_with(".csv") {
+            match validate_metrics_csv(&read(path)) {
+                Ok(rows) => println!("{path}: OK ({rows} rows)"),
+                Err(e) => {
+                    eprintln!("obs-check: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            eprintln!("obs-check: {path}: unrecognized extension (expect .jsonl/.json/.csv)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Exporters: JSONL journal, metrics CSV, Chrome trace, summary table.
+//!
+//! Three artifacts, three contracts:
+//!
+//! * **`journal.jsonl`** — the deterministic event journal. One JSON
+//!   object per line: a `meta` header, one `grid` line per registered
+//!   fan-out, one `cell` line per work item (sorted by `(grid, index)`),
+//!   and a final `total` rollup. Byte-identical across `--threads`
+//!   counts (asserted by `tests/determinism.rs`).
+//! * **`metrics.csv`** — the same data flattened long-form for plotting
+//!   next to each figure's CSV.
+//! * **`trace.json`** — Chrome trace-event format (load in Perfetto or
+//!   `chrome://tracing`): one `X` (complete) event per span, lanes =
+//!   `tid` (0 driver, `w+1` worker slot `w`). Wall-clock side channel;
+//!   *not* covered by the determinism contract.
+//!
+//! The [`validate_journal`]/[`validate_trace`]/[`validate_metrics_csv`]
+//! checks back the `obs-check` binary and the CI smoke job: every line
+//! must deserialize into the schema types here and re-serialize to the
+//! identical bytes (serde round-trip).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Histogram, Metrics};
+use crate::recorder::Inner;
+
+/// Journal schema version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Serializable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct HistogramSnapshot {
+    /// Finite observation count.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (0 when `count == 0`).
+    pub min: f64,
+    /// Largest finite observation (0 when `count == 0`).
+    pub max: f64,
+    /// Non-finite observation count.
+    pub nonfinite: u64,
+    /// Counts per `floor(log2(|v|))` bucket.
+    pub buckets: BTreeMap<i32, u64>,
+}
+
+impl From<&Histogram> for HistogramSnapshot {
+    fn from(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            nonfinite: h.nonfinite,
+            buckets: h.buckets.clone(),
+        }
+    }
+}
+
+/// One line of the JSONL journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum JournalLine {
+    /// Header: always the first line.
+    Meta {
+        /// Schema version ([`JOURNAL_VERSION`]).
+        version: u32,
+    },
+    /// One registered fan-out.
+    Grid {
+        /// Grid id (sequential, driver call order).
+        id: u64,
+        /// Item kind: `item`, `cell` or `module`.
+        kind: String,
+        /// Number of items.
+        items: u64,
+    },
+    /// One work item's deterministic metrics.
+    Cell {
+        /// Owning grid id.
+        grid: u64,
+        /// Item index within the grid.
+        index: u64,
+        /// Item kind.
+        kind: String,
+        /// Label set by the driver (e.g. `dgemm@110W`).
+        label: Option<String>,
+        /// Counter values by name.
+        counters: BTreeMap<String, u64>,
+        /// Histograms by name.
+        histograms: BTreeMap<String, HistogramSnapshot>,
+    },
+    /// Whole-session rollup: always the last line.
+    Total {
+        /// Counter values by name.
+        counters: BTreeMap<String, u64>,
+        /// Histograms by name.
+        histograms: BTreeMap<String, HistogramSnapshot>,
+    },
+}
+
+/// One Chrome trace event (the subset of the trace-event format we emit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Category (`phase`, `item`, `cell`, `module`, `__metadata`).
+    pub cat: String,
+    /// Phase: `X` (complete) or `M` (metadata).
+    pub ph: String,
+    /// Timestamp in microseconds since session install.
+    pub ts: u64,
+    /// Duration in microseconds (`X` events only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dur: Option<u64>,
+    /// Process id (always 1 — one campaign per trace).
+    pub pid: u32,
+    /// Timeline lane: 0 = driver, `w + 1` = worker slot `w`.
+    pub tid: u32,
+    /// Metadata payload (`M` events only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub args: Option<serde_json::Value>,
+}
+
+/// A Chrome trace file: `{"traceEvents": [...]}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// All events.
+    #[serde(rename = "traceEvents")]
+    pub trace_events: Vec<TraceEvent>,
+}
+
+/// Everything a finished session exports.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Deterministic JSONL event journal.
+    pub journal_jsonl: String,
+    /// Long-form per-cell metrics CSV.
+    pub metrics_csv: String,
+    /// Chrome trace-event timeline (wall-clock side channel).
+    pub trace_json: String,
+    /// Human-readable totals table for stdout.
+    pub summary: String,
+}
+
+impl ObsReport {
+    /// Write the three artifacts into `dir` (created if missing),
+    /// returning the paths written.
+    pub fn write_to(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let files = [
+            ("journal.jsonl", &self.journal_jsonl),
+            ("metrics.csv", &self.metrics_csv),
+            ("trace.json", &self.trace_json),
+        ];
+        let mut written = Vec::with_capacity(files.len());
+        for (name, content) in files {
+            let path = dir.join(name);
+            std::fs::write(&path, content)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+fn snapshot_maps(
+    m: &Metrics,
+) -> (BTreeMap<String, u64>, BTreeMap<String, HistogramSnapshot>) {
+    let counters = m.counters().iter().map(|(&k, &v)| (k.to_string(), v)).collect();
+    let histograms =
+        m.histograms().iter().map(|(&k, h)| (k.to_string(), HistogramSnapshot::from(h))).collect();
+    (counters, histograms)
+}
+
+fn to_line(line: &JournalLine) -> String {
+    // vap:allow(no-panic-in-lib): all journal values are finite and all
+    // map keys stringify — serialization of these plain types cannot fail
+    serde_json::to_string(line).expect("journal serialization cannot fail")
+}
+
+/// Build the full report from a session's recorded state.
+pub(crate) fn build_report(inner: &Inner) -> ObsReport {
+    // --- deterministic journal ---
+    let mut journal = String::new();
+    journal.push_str(&to_line(&JournalLine::Meta { version: JOURNAL_VERSION }));
+    journal.push('\n');
+    for (id, g) in inner.grids.iter().enumerate() {
+        journal.push_str(&to_line(&JournalLine::Grid {
+            id: id as u64,
+            kind: g.kind.to_string(),
+            items: g.items,
+        }));
+        journal.push('\n');
+    }
+    let mut totals = inner.direct.clone();
+    for ((grid, index), cell) in &inner.cells {
+        totals.merge(&cell.metrics);
+        let (counters, histograms) = snapshot_maps(&cell.metrics);
+        journal.push_str(&to_line(&JournalLine::Cell {
+            grid: *grid,
+            index: *index,
+            kind: cell.kind.to_string(),
+            label: cell.label.clone(),
+            counters,
+            histograms,
+        }));
+        journal.push('\n');
+    }
+    let (counters, histograms) = snapshot_maps(&totals);
+    journal.push_str(&to_line(&JournalLine::Total { counters, histograms }));
+    journal.push('\n');
+
+    ObsReport {
+        journal_jsonl: journal,
+        metrics_csv: metrics_csv(inner, &totals),
+        trace_json: trace_json(inner),
+        summary: summary(&totals, inner),
+    }
+}
+
+/// CSV header for `metrics.csv`.
+pub const METRICS_CSV_HEADER: &str = "scope,grid,index,kind,label,metric,value,count,sum,min,max";
+
+fn csv_label(label: &Option<String>) -> String {
+    match label {
+        Some(l) => l.replace(',', ";"),
+        None => String::new(),
+    }
+}
+
+fn metrics_csv(inner: &Inner, totals: &Metrics) -> String {
+    let mut out = String::from(METRICS_CSV_HEADER);
+    out.push('\n');
+    let mut emit = |scope: &str, grid: String, index: String, kind: &str, label: String, m: &Metrics| {
+        for (name, v) in m.counters() {
+            out.push_str(&format!("{scope},{grid},{index},{kind},{label},{name},{v},,,,\n"));
+        }
+        for (name, h) in m.histograms() {
+            out.push_str(&format!(
+                "{scope},{grid},{index},{kind},{label},{name},,{},{},{},{}\n",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+    };
+    for ((grid, index), cell) in &inner.cells {
+        emit(
+            "cell",
+            grid.to_string(),
+            index.to_string(),
+            cell.kind,
+            csv_label(&cell.label),
+            &cell.metrics,
+        );
+    }
+    emit("total", String::new(), String::new(), "", String::new(), totals);
+    out
+}
+
+fn trace_json(inner: &Inner) -> String {
+    let max_lane = inner.spans.iter().map(|s| s.lane).max().unwrap_or(0);
+    let mut events: Vec<TraceEvent> = (0..=max_lane)
+        .map(|lane| TraceEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: "M".to_string(),
+            ts: 0,
+            dur: None,
+            pid: 1,
+            tid: lane,
+            args: Some(serde_json::json!({
+                "name": if lane == 0 { "driver".to_string() } else { format!("worker-{}", lane - 1) }
+            })),
+        })
+        .collect();
+    let mut spans: Vec<&crate::recorder::SpanRecord> = inner.spans.iter().collect();
+    spans.sort_by(|a, b| (a.ts_us, a.lane, &a.name).cmp(&(b.ts_us, b.lane, &b.name)));
+    events.extend(spans.into_iter().map(|s| TraceEvent {
+        name: s.name.clone(),
+        cat: s.cat.to_string(),
+        ph: "X".to_string(),
+        ts: s.ts_us,
+        dur: Some(s.dur_us),
+        pid: 1,
+        tid: s.lane,
+        args: None,
+    }));
+    let trace = ChromeTrace { trace_events: events };
+    // vap:allow(no-panic-in-lib): trace events hold only strings and
+    // integers — serialization cannot fail
+    serde_json::to_string_pretty(&trace).expect("trace serialization cannot fail")
+}
+
+fn summary(totals: &Metrics, inner: &Inner) -> String {
+    let mut out = String::from("== vap-obs session summary ==\n");
+    out.push_str(&format!(
+        "grids: {}   cells: {}   spans: {}\n",
+        inner.grids.len(),
+        inner.cells.len(),
+        inner.spans.len()
+    ));
+    if !totals.counters().is_empty() {
+        out.push_str(&format!("{:<32} {:>14}\n", "counter", "value"));
+        for (name, v) in totals.counters() {
+            out.push_str(&format!("{name:<32} {v:>14}\n"));
+        }
+    }
+    if !totals.histograms().is_empty() {
+        out.push_str(&format!(
+            "{:<32} {:>10} {:>14} {:>12} {:>12} {:>6}\n",
+            "histogram", "count", "sum", "min", "max", "n/f"
+        ));
+        for (name, h) in totals.histograms() {
+            out.push_str(&format!(
+                "{name:<32} {:>10} {:>14.6} {:>12.6} {:>12.6} {:>6}\n",
+                h.count, h.sum, h.min, h.max, h.nonfinite
+            ));
+        }
+    }
+    out
+}
+
+/// Journal statistics reported by [`validate_journal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Total journal lines.
+    pub lines: usize,
+    /// `grid` lines.
+    pub grids: usize,
+    /// `cell` lines.
+    pub cells: usize,
+}
+
+/// Validate a JSONL journal: schema round-trip per line (deserialize,
+/// re-serialize, compare bytes), structural ordering (meta first, grids
+/// sequential, cells sorted, total last) and histogram invariants.
+pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
+    let mut stats = JournalStats { lines: 0, grids: 0, cells: 0 };
+    let mut saw_total = false;
+    let mut last_cell: Option<(u64, u64)> = None;
+    for (i, raw) in journal.lines().enumerate() {
+        let n = i + 1;
+        stats.lines += 1;
+        let line: JournalLine =
+            serde_json::from_str(raw).map_err(|e| format!("line {n}: schema violation: {e}"))?;
+        let back = to_line(&line);
+        if back != raw {
+            return Err(format!("line {n}: serde round-trip mismatch:\n  in:  {raw}\n  out: {back}"));
+        }
+        if saw_total {
+            return Err(format!("line {n}: content after the total rollup"));
+        }
+        match &line {
+            JournalLine::Meta { version } => {
+                if i != 0 {
+                    return Err(format!("line {n}: meta must be the first line"));
+                }
+                if *version != JOURNAL_VERSION {
+                    return Err(format!("line {n}: unknown journal version {version}"));
+                }
+            }
+            JournalLine::Grid { id, .. } => {
+                if *id != stats.grids as u64 {
+                    return Err(format!("line {n}: grid ids must be sequential, got {id}"));
+                }
+                stats.grids += 1;
+            }
+            JournalLine::Cell { grid, index, histograms, .. } => {
+                if *grid >= stats.grids as u64 {
+                    return Err(format!("line {n}: cell references unregistered grid {grid}"));
+                }
+                if last_cell.is_some_and(|prev| prev >= (*grid, *index)) {
+                    return Err(format!("line {n}: cells must be sorted by (grid, index)"));
+                }
+                last_cell = Some((*grid, *index));
+                stats.cells += 1;
+                validate_histograms(histograms).map_err(|e| format!("line {n}: {e}"))?;
+            }
+            JournalLine::Total { histograms, .. } => {
+                saw_total = true;
+                validate_histograms(histograms).map_err(|e| format!("line {n}: {e}"))?;
+            }
+        }
+        if i == 0 && !matches!(line, JournalLine::Meta { .. }) {
+            return Err("line 1: journal must start with a meta line".to_string());
+        }
+    }
+    if stats.lines == 0 {
+        return Err("empty journal".to_string());
+    }
+    if !saw_total {
+        return Err("journal has no total rollup line".to_string());
+    }
+    Ok(stats)
+}
+
+fn validate_histograms(hs: &BTreeMap<String, HistogramSnapshot>) -> Result<(), String> {
+    for (name, h) in hs {
+        let bucketed: u64 = h.buckets.values().sum();
+        if bucketed != h.count {
+            return Err(format!("histogram {name}: bucket sum {bucketed} != count {}", h.count));
+        }
+        if h.count > 0 && h.min > h.max {
+            return Err(format!("histogram {name}: min {} > max {}", h.min, h.max));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a Chrome trace file; returns the event count.
+pub fn validate_trace(trace: &str) -> Result<usize, String> {
+    let parsed: ChromeTrace =
+        serde_json::from_str(trace).map_err(|e| format!("trace schema violation: {e}"))?;
+    if parsed.trace_events.is_empty() {
+        return Err("trace has no events".to_string());
+    }
+    for (i, e) in parsed.trace_events.iter().enumerate() {
+        match e.ph.as_str() {
+            "X" => {
+                if e.dur.is_none() {
+                    return Err(format!("event {i} ({}): complete event without dur", e.name));
+                }
+            }
+            "M" => {}
+            other => return Err(format!("event {i} ({}): unexpected phase {other:?}", e.name)),
+        }
+    }
+    Ok(parsed.trace_events.len())
+}
+
+/// Validate a metrics CSV; returns the data-row count.
+pub fn validate_metrics_csv(csv: &str) -> Result<usize, String> {
+    let mut lines = csv.lines();
+    match lines.next() {
+        Some(h) if h == METRICS_CSV_HEADER => {}
+        other => return Err(format!("bad metrics CSV header: {other:?}")),
+    }
+    let want = METRICS_CSV_HEADER.split(',').count();
+    let mut rows = 0;
+    for (i, row) in lines.enumerate() {
+        let got = row.split(',').count();
+        if got != want {
+            return Err(format!("row {}: {got} fields, expected {want}", i + 2));
+        }
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Session;
+
+    fn sample_report() -> ObsReport {
+        let s = Session::install();
+        let r = s.handle().expect("live session");
+        crate::incr("direct.counter");
+        let grid = r.begin_grid("cell", 3);
+        for i in 0..3usize {
+            r.run_item(grid, "cell", i, (i % 2 + 1) as u32, || {
+                crate::label_item(|| format!("w{i}@100W"));
+                crate::incr_by("scheme.plans", 6);
+                crate::observe("mpi.wait_s", i as f64 + 0.5);
+                crate::observe("mpi.wait_s", f64::INFINITY);
+                let _g = crate::span("inner.phase");
+            });
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn journal_validates_and_round_trips() {
+        let report = sample_report();
+        let stats = validate_journal(&report.journal_jsonl).expect("valid journal");
+        assert_eq!(stats.grids, 1);
+        assert_eq!(stats.cells, 3);
+        assert!(report.journal_jsonl.ends_with('\n'));
+        // totals aggregate cells + direct metrics
+        assert!(report.journal_jsonl.contains("\"scheme.plans\":18"));
+        assert!(report.journal_jsonl.contains("\"direct.counter\":1"));
+        assert!(report.journal_jsonl.contains("\"nonfinite\":3"));
+    }
+
+    #[test]
+    fn trace_validates_and_names_lanes() {
+        let report = sample_report();
+        let events = validate_trace(&report.trace_json).expect("valid trace");
+        assert!(events >= 6, "3 items + inner spans + lane metadata, got {events}");
+        assert!(report.trace_json.contains("driver"));
+        assert!(report.trace_json.contains("worker-0"));
+        assert!(report.trace_json.contains("w1@100W"));
+    }
+
+    #[test]
+    fn metrics_csv_validates() {
+        let report = sample_report();
+        let rows = validate_metrics_csv(&report.metrics_csv).expect("valid csv");
+        // 3 cells × (1 counter + 1 histogram) + total rows
+        assert!(rows >= 8, "rows = {rows}");
+        assert!(report.metrics_csv.contains("w2@100W"));
+    }
+
+    #[test]
+    fn summary_mentions_totals() {
+        let report = sample_report();
+        assert!(report.summary.contains("scheme.plans"));
+        assert!(report.summary.contains("cells: 3"));
+    }
+
+    #[test]
+    fn validators_reject_corruption() {
+        let report = sample_report();
+        let j = &report.journal_jsonl;
+        // flip a counter value → round-trip still fine, but reorder breaks
+        let mut lines: Vec<&str> = j.lines().collect();
+        lines.swap(0, 1);
+        let swapped = lines.join("\n");
+        assert!(validate_journal(&swapped).is_err(), "meta must be first");
+        assert!(validate_journal("").is_err());
+        assert!(validate_journal("{\"type\":\"bogus\"}").is_err());
+        assert!(validate_trace("{}").is_err());
+        assert!(validate_metrics_csv("nope\n").is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # vap-obs
+//!
+//! Observability for the vap stack: deterministic metrics, wall-clock
+//! spans, and campaign timeline export — with **zero new external
+//! dependencies** (serde/serde_json only, already in the workspace) and
+//! zero cost when no session is live (one relaxed atomic load; see
+//! `tests/no_alloc.rs`).
+//!
+//! The layer splits observability into two channels with different
+//! guarantees:
+//!
+//! * **Deterministic channel** — counters and histograms
+//!   ([`metrics::Metrics`]) recorded via [`incr`]/[`observe`]. These are
+//!   a pure function of the work executed: the exported `journal.jsonl`
+//!   is byte-identical between `--threads 1` and `--threads 4`
+//!   (`tests/determinism.rs`).
+//! * **Wall-clock side channel** — [`span`]s and per-item timing, which
+//!   measure real elapsed time and export only into the Chrome-trace
+//!   timeline (`trace.json`, loadable in Perfetto). Explicitly *not*
+//!   deterministic, by design.
+//!
+//! `vap-obs` deliberately sits outside the `determinism` lint scope:
+//! it is the one crate allowed to touch `Instant::now`, so the
+//! instrumented crates (`vap-exec`, `vap-core`, `vap-sim`, `vap-mpi`)
+//! stay free of wall-clock tokens.
+//!
+//! ## Usage
+//!
+//! ```
+//! let session = vap_obs::Session::install();
+//! {
+//!     let _phase = vap_obs::span("calibrate");
+//!     vap_obs::incr("alpha.solves");
+//!     vap_obs::observe("mpi.wait_s", 0.25);
+//! }
+//! let report = session.finish();
+//! assert!(report.journal_jsonl.contains("alpha.solves"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use export::{ObsReport, validate_journal, validate_metrics_csv, validate_trace};
+pub use metrics::{Histogram, Metrics};
+pub use recorder::{
+    enabled, grid_session, incr, incr_by, label_item, observe, Session, SessionRef,
+};
+pub use span::{span, Span};

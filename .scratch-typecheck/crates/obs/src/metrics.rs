@@ -1,0 +1,204 @@
+//! Deterministic counters and histograms.
+//!
+//! A [`Metrics`] registry is a pure function of the `incr`/`observe`
+//! calls that fed it: no clocks, no thread ids, no iteration-order
+//! surprises (`BTreeMap` keys). Merging two registries is commutative
+//! and associative, which is what lets per-cell metrics collected on
+//! arbitrary worker threads reduce to a byte-identical journal at any
+//! `--threads` count (`tests/determinism.rs`).
+
+use std::collections::BTreeMap;
+
+/// A sparse power-of-two histogram over `f64` observations.
+///
+/// Buckets are keyed by `floor(log2(|v|))`, read directly from the IEEE
+/// 754 exponent bits so bucketing is exact and platform-independent
+/// (no libm involved). Zeros and subnormals land in the floor bucket
+/// `-1023`; non-finite observations (the `INFINITY` sync waits of a
+/// zero-rate rank) are counted separately and excluded from
+/// `sum`/`min`/`max`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of finite observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (0 when `count == 0`).
+    pub min: f64,
+    /// Largest finite observation (0 when `count == 0`).
+    pub max: f64,
+    /// Number of non-finite observations (NaN, ±∞).
+    pub nonfinite: u64,
+    /// Finite observations per `floor(log2(|v|))` bucket.
+    pub buckets: BTreeMap<i32, u64>,
+}
+
+/// The histogram bucket of a finite value: `floor(log2(|v|))` from the
+/// raw exponent field (`-1023` for zeros and subnormals).
+pub fn bucket_of(v: f64) -> i32 {
+    let exponent = ((v.abs().to_bits() >> 52) & 0x7FF) as i32;
+    exponent - 1023
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                if other.min < self.min {
+                    self.min = other.min;
+                }
+                if other.max > self.max {
+                    self.max = other.max;
+                }
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.nonfinite += other.nonfinite;
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Metric names are `&'static str` by design: the hot path never
+/// allocates for a name, and the fixed vocabulary keeps the exported
+/// schema greppable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `by` to counter `name`.
+    pub fn incr_by(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Record `v` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Fold another registry into this one (commutative, associative).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (&name, &n) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter values, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Histograms, sorted by name.
+    pub fn histograms(&self) -> &BTreeMap<&'static str, Histogram> {
+        &self.histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_the_exponent() {
+        assert_eq!(bucket_of(1.0), 0);
+        assert_eq!(bucket_of(1.99), 0);
+        assert_eq!(bucket_of(2.0), 1);
+        assert_eq!(bucket_of(0.5), -1);
+        assert_eq!(bucket_of(-8.0), 3);
+        assert_eq!(bucket_of(0.0), -1023);
+    }
+
+    #[test]
+    fn histogram_tracks_moments_and_nonfinite() {
+        let mut h = Histogram::default();
+        for v in [1.0, 3.0, 0.25, f64::INFINITY, f64::NAN] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.nonfinite, 2);
+        assert_eq!(h.min, 0.25);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.sum, 4.25);
+        assert_eq!(h.buckets.get(&0), Some(&1));
+        assert_eq!(h.buckets.get(&1), Some(&1));
+        assert_eq!(h.buckets.get(&-2), Some(&1));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Metrics::new();
+        a.incr_by("x", 2);
+        a.observe("h", 1.0);
+        a.observe("h", 9.0);
+        let mut b = Metrics::new();
+        b.incr_by("x", 3);
+        b.incr_by("y", 1);
+        b.observe("h", 0.5);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters()["x"], 5);
+        assert_eq!(ab.histograms()["h"].count, 3);
+        assert_eq!(ab.histograms()["h"].min, 0.5);
+        assert_eq!(ab.histograms()["h"].max, 9.0);
+    }
+
+    #[test]
+    fn merge_into_empty_preserves_extrema() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        b.observe("h", -4.0);
+        a.merge(&b);
+        assert_eq!(a.histograms()["h"].min, -4.0);
+        assert_eq!(a.histograms()["h"].max, -4.0);
+    }
+}

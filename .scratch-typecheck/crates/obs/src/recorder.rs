@@ -1,0 +1,455 @@
+//! The session recorder: TLS-scoped, thread-aware, zero-cost when off.
+//!
+//! # Architecture
+//!
+//! * A [`Session`] is installed on the driver thread (by `run_main` when
+//!   `--metrics`/`--trace-out` is given, or by a test). Installation is
+//!   **thread-local**: concurrent sessions on other threads — `cargo
+//!   test` runs tests in parallel in one process — never cross-talk.
+//! * `vap-exec` captures the installing thread's [`SessionRef`] before
+//!   spawning workers and brackets every work item with
+//!   [`SessionRef::run_item`], which gives the worker an *item context*:
+//!   a thread-local [`Metrics`] buffer plus the item's `(grid, index)`
+//!   identity and worker lane.
+//! * Instrumentation sites ([`incr`], [`observe`], [`label_item`]) write
+//!   into the item buffer lock-free; the buffer is committed into the
+//!   session's per-cell record when the item completes. Outside an item
+//!   the calls fall through to the session's direct registry.
+//!
+//! # Determinism contract
+//!
+//! The deterministic journal is a pure function of the work executed:
+//! cell records are keyed `(grid, index)` where grid ids are assigned in
+//! driver-thread call order and indices are the item indices `par_map`
+//! already guarantees; counter/histogram merges are commutative. Thread
+//! scheduling decides only *which lane* wall-clock spans land on — and
+//! spans live exclusively in the Chrome-trace side channel, never in the
+//! journal.
+//!
+//! # Cost when disabled
+//!
+//! Every public entry point first reads one relaxed atomic ([`enabled`]).
+//! With no live session in the process that load is the entire cost: no
+//! TLS access, no allocation (covered by `tests/no_alloc.rs`).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::export::ObsReport;
+use crate::metrics::Metrics;
+
+/// Number of live sessions in the process — the fast-path gate.
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The session installed on (or propagated to) this thread.
+    static CURRENT: RefCell<Option<SessionRef>> = const { RefCell::new(None) };
+    /// The work item this thread is currently executing, if any.
+    static ITEM: RefCell<Option<ItemCtx>> = const { RefCell::new(None) };
+}
+
+/// Whether any session is live in the process (one relaxed atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    LIVE.load(Ordering::Relaxed) != 0
+}
+
+/// One grid registered by a `par_map`/`par_grid`/`par_map_modules` call.
+#[derive(Debug, Clone)]
+pub(crate) struct GridRecord {
+    /// Item kind: `"item"`, `"cell"` or `"module"`.
+    pub kind: &'static str,
+    /// Number of items in the grid.
+    pub items: u64,
+}
+
+/// Deterministic per-item record: what one work item counted.
+#[derive(Debug, Clone)]
+pub(crate) struct CellRecord {
+    /// Item kind (same vocabulary as [`GridRecord::kind`]).
+    pub kind: &'static str,
+    /// Human label set via [`label_item`] (e.g. `dgemm@110W`).
+    pub label: Option<String>,
+    /// Metrics recorded while the item ran.
+    pub metrics: Metrics,
+}
+
+/// Wall-clock span for the Chrome-trace side channel.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRecord {
+    /// Span name (item label, or phase name for driver spans).
+    pub name: String,
+    /// Trace category (`"phase"` for driver spans, item kind otherwise).
+    pub cat: &'static str,
+    /// Timeline lane: 0 = driver, `w + 1` = worker slot `w`.
+    pub lane: u32,
+    /// Microseconds since session install.
+    pub ts_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    /// Metrics recorded outside any item (driver-thread bookkeeping).
+    pub direct: Metrics,
+    /// Per-item records, keyed `(grid id, item index)`.
+    pub cells: std::collections::BTreeMap<(u64, u64), CellRecord>,
+    /// Registered grids, in driver call order (the vec index is the id).
+    pub grids: Vec<GridRecord>,
+    /// Wall-clock spans (side channel — excluded from the journal).
+    pub spans: Vec<SpanRecord>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Shared {
+    /// Wall-clock zero of the trace timeline.
+    pub epoch: Instant,
+    pub inner: Mutex<Inner>,
+}
+
+/// A cheap, cloneable handle to a live session.
+#[derive(Debug, Clone)]
+pub struct SessionRef(Arc<Shared>);
+
+/// A thread's in-flight work item.
+struct ItemCtx {
+    session: SessionRef,
+    grid: u64,
+    kind: &'static str,
+    index: u64,
+    lane: u32,
+    label: Option<String>,
+    metrics: Metrics,
+    start: Instant,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, Inner> {
+    // A poisoned lock means a worker panicked mid-item; the partial data
+    // is still worth exporting for the post-mortem.
+    shared.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SessionRef {
+    /// Register a fan-out of `items` work items of `kind`, returning the
+    /// grid id. Must be called from outside any item (grid ids are
+    /// deterministic because drivers register grids in program order).
+    pub fn begin_grid(&self, kind: &'static str, items: usize) -> u64 {
+        let mut inner = lock(&self.0);
+        let id = inner.grids.len() as u64;
+        inner.grids.push(GridRecord { kind, items: items as u64 });
+        id
+    }
+
+    /// Execute one work item under this session: metrics recorded inside
+    /// `f` accumulate into the `(grid, index)` cell, and the item's wall
+    /// time lands on timeline lane `lane`.
+    pub fn run_item<T>(
+        &self,
+        grid: u64,
+        kind: &'static str,
+        index: usize,
+        lane: u32,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let ctx = ItemCtx {
+            session: self.clone(),
+            grid,
+            kind,
+            index: index as u64,
+            lane,
+            label: None,
+            metrics: Metrics::new(),
+            start: Instant::now(),
+        };
+        // Stack the previous item (nested instrumented grids on the same
+        // thread) and propagate the session to this thread so code inside
+        // the item sees it as current.
+        let prev_item = ITEM.with(|slot| slot.borrow_mut().replace(ctx));
+        let prev_current = CURRENT.with(|slot| slot.borrow_mut().replace(self.clone()));
+        let out = f();
+        CURRENT.with(|slot| *slot.borrow_mut() = prev_current);
+        let ctx = ITEM.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let ctx = slot.take();
+            *slot = prev_item;
+            ctx
+        });
+        if let Some(ctx) = ctx {
+            self.commit(ctx);
+        }
+        out
+    }
+
+    fn commit(&self, ctx: ItemCtx) {
+        let dur = ctx.start.elapsed();
+        let ts = ctx.start.duration_since(self.0.epoch);
+        let name = match &ctx.label {
+            Some(l) => l.clone(),
+            None => format!("{}[{}]", ctx.kind, ctx.index),
+        };
+        let mut inner = lock(&self.0);
+        inner.spans.push(SpanRecord {
+            name,
+            cat: ctx.kind,
+            lane: ctx.lane,
+            ts_us: ts.as_micros() as u64,
+            dur_us: dur.as_micros() as u64,
+        });
+        let items_counter = match ctx.kind {
+            "cell" => "exec.cells",
+            "module" => "exec.modules",
+            _ => "exec.items",
+        };
+        inner.direct.incr_by(items_counter, 1);
+        let cell = inner
+            .cells
+            .entry((ctx.grid, ctx.index))
+            .or_insert_with(|| CellRecord { kind: ctx.kind, label: None, metrics: Metrics::new() });
+        if ctx.label.is_some() {
+            cell.label = ctx.label;
+        }
+        cell.metrics.merge(&ctx.metrics);
+    }
+
+    pub(crate) fn record_span(&self, span: SpanRecord) {
+        lock(&self.0).spans.push(span);
+    }
+
+    pub(crate) fn epoch(&self) -> Instant {
+        self.0.epoch
+    }
+
+    fn record_direct(&self, f: impl FnOnce(&mut Metrics)) {
+        f(&mut lock(&self.0).direct);
+    }
+}
+
+/// The session the calling thread should hand to a *new* fan-out: its
+/// current session, unless the thread is already inside a work item — a
+/// nested grid's workers would register grids in racy order, so nested
+/// parallelism runs unobserved (its metrics still accumulate into the
+/// enclosing item via the item context).
+pub fn grid_session() -> Option<SessionRef> {
+    if !enabled() {
+        return None;
+    }
+    let inside_item = ITEM.with(|slot| slot.borrow().is_some());
+    if inside_item {
+        return None;
+    }
+    CURRENT.with(|slot| slot.borrow().clone())
+}
+
+/// The session current on this thread, if any.
+pub(crate) fn current_session() -> Option<SessionRef> {
+    if !enabled() {
+        return None;
+    }
+    CURRENT.with(|slot| slot.borrow().clone())
+}
+
+/// `(session, lane)` a wall-clock span on this thread should target.
+pub(crate) fn span_target() -> Option<(SessionRef, u32)> {
+    if !enabled() {
+        return None;
+    }
+    let from_item =
+        ITEM.with(|slot| slot.borrow().as_ref().map(|c| (c.session.clone(), c.lane)));
+    if from_item.is_some() {
+        return from_item;
+    }
+    CURRENT.with(|slot| slot.borrow().as_ref().map(|s| (s.clone(), 0)))
+}
+
+/// Add 1 to counter `name` in the current scope (item if inside one,
+/// session otherwise; no-op without a session).
+#[inline]
+pub fn incr(name: &'static str) {
+    incr_by(name, 1);
+}
+
+/// Add `by` to counter `name` in the current scope.
+#[inline]
+pub fn incr_by(name: &'static str, by: u64) {
+    if !enabled() {
+        return;
+    }
+    let buffered = ITEM.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            ctx.metrics.incr_by(name, by);
+            true
+        } else {
+            false
+        }
+    });
+    if buffered {
+        return;
+    }
+    if let Some(s) = current_session() {
+        s.record_direct(|m| m.incr_by(name, by));
+    }
+}
+
+/// Record `v` into histogram `name` in the current scope.
+#[inline]
+pub fn observe(name: &'static str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    let buffered = ITEM.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            ctx.metrics.observe(name, v);
+            true
+        } else {
+            false
+        }
+    });
+    if buffered {
+        return;
+    }
+    if let Some(s) = current_session() {
+        s.record_direct(|m| m.observe(name, v));
+    }
+}
+
+/// Label the current work item (e.g. `dgemm@110W`). The closure only
+/// runs when a session is live and the thread is inside an item, so the
+/// format cost is never paid on unobserved runs.
+pub fn label_item(f: impl FnOnce() -> String) {
+    if !enabled() {
+        return;
+    }
+    ITEM.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            ctx.label = Some(f());
+        }
+    });
+}
+
+/// A live recording session (RAII).
+///
+/// Installing makes the calling thread's `vap-exec` fan-outs and
+/// instrumentation calls record into this session; dropping or
+/// [`Session::finish`]ing uninstalls it.
+#[derive(Debug)]
+pub struct Session {
+    shared: Option<SessionRef>,
+    prev: Option<SessionRef>,
+}
+
+impl Session {
+    /// Install a new session on the calling thread.
+    pub fn install() -> Session {
+        let shared =
+            SessionRef(Arc::new(Shared { epoch: Instant::now(), inner: Mutex::new(Inner::default()) }));
+        let prev = CURRENT.with(|slot| slot.borrow_mut().replace(shared.clone()));
+        LIVE.fetch_add(1, Ordering::Relaxed);
+        Session { shared: Some(shared), prev }
+    }
+
+    /// A handle other threads (or nested scopes) can record through.
+    pub fn handle(&self) -> Option<SessionRef> {
+        self.shared.clone()
+    }
+
+    fn uninstall(&mut self) -> Option<SessionRef> {
+        let shared = self.shared.take()?;
+        CURRENT.with(|slot| *slot.borrow_mut() = self.prev.take());
+        LIVE.fetch_sub(1, Ordering::Relaxed);
+        Some(shared)
+    }
+
+    /// Uninstall and export everything recorded.
+    pub fn finish(mut self) -> ObsReport {
+        match self.uninstall() {
+            Some(shared) => crate::export::build_report(&lock(&shared.0)),
+            // uninstall can only miss if finish ran after a manual drop,
+            // which the ownership model prevents; report empty data.
+            None => crate::export::build_report(&Inner::default()),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let _ = self.uninstall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_session_means_noop() {
+        incr("orphan");
+        observe("orphan.h", 1.0);
+        label_item(|| panic!("label closure must not run outside an item"));
+        assert!(grid_session().is_none() || enabled(), "no session on this thread");
+    }
+
+    #[test]
+    fn direct_metrics_land_in_the_session() {
+        let s = Session::install();
+        incr("a");
+        incr_by("a", 2);
+        observe("h", 2.5);
+        let report = s.finish();
+        assert!(report.journal_jsonl.contains("\"a\":3"));
+        assert!(report.journal_jsonl.contains("\"h\""));
+    }
+
+    #[test]
+    fn run_item_routes_metrics_to_cells() {
+        let s = Session::install();
+        let r = s.handle().expect("live session");
+        let grid = r.begin_grid("cell", 2);
+        for i in 0..2usize {
+            r.run_item(grid, "cell", i, 1, || {
+                label_item(|| format!("cell-{i}"));
+                incr("work");
+                observe("w.h", i as f64);
+            });
+        }
+        let report = s.finish();
+        assert!(report.journal_jsonl.contains("cell-0"));
+        assert!(report.journal_jsonl.contains("cell-1"));
+        assert!(report.journal_jsonl.contains("\"exec.cells\":2"));
+    }
+
+    #[test]
+    fn sessions_are_thread_scoped() {
+        let _s = Session::install();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert!(grid_session().is_none(), "other threads see no session");
+            });
+        });
+        assert!(grid_session().is_some());
+    }
+
+    #[test]
+    fn dropping_uninstalls() {
+        {
+            let _s = Session::install();
+            assert!(grid_session().is_some());
+        }
+        assert!(grid_session().is_none());
+    }
+
+    #[test]
+    fn nested_fanout_is_unobserved_but_counted_in_parent() {
+        let s = Session::install();
+        let r = s.handle().expect("live session");
+        let grid = r.begin_grid("cell", 1);
+        r.run_item(grid, "cell", 0, 1, || {
+            assert!(grid_session().is_none(), "no nested grids inside an item");
+            incr("inner.work");
+        });
+        let report = s.finish();
+        assert!(report.journal_jsonl.contains("\"inner.work\":1"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Wall-clock spans — the timing side channel.
+//!
+//! Spans measure real elapsed time and therefore live **outside** the
+//! deterministic journal: they are exported only into the Chrome-trace
+//! timeline, which is explicitly allowed to differ between runs. Use
+//! [`span`] to bracket phases (`pvt.generate`, `fig7.campaign`) on the
+//! driver, or inside work items to sub-divide a cell's lane.
+
+use std::time::Instant;
+
+use crate::recorder::{span_target, SessionRef, SpanRecord};
+
+/// An RAII wall-clock span; records on drop. A `Span` created with no
+/// live session is inert and allocation-free.
+#[must_use = "a span measures the scope it is bound to; drop ends it"]
+pub struct Span(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    session: SessionRef,
+    name: &'static str,
+    lane: u32,
+    start: Instant,
+}
+
+/// Open a span named `name` on the current thread's timeline lane.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    match span_target() {
+        Some((session, lane)) => {
+            Span(Some(ActiveSpan { session, name, lane, start: Instant::now() }))
+        }
+        None => Span(None),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let dur = active.start.elapsed();
+        let ts = active.start.duration_since(active.session.epoch());
+        active.session.record_span(SpanRecord {
+            name: active.name.to_string(),
+            cat: "phase",
+            lane: active.lane,
+            ts_us: ts.as_micros() as u64,
+            dur_us: dur.as_micros() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Session;
+
+    #[test]
+    fn spans_record_into_the_trace() {
+        let s = Session::install();
+        {
+            let _g = span("phase.test");
+        }
+        let report = s.finish();
+        assert!(report.trace_json.contains("phase.test"));
+    }
+
+    #[test]
+    fn span_without_session_is_inert() {
+        let _g = span("nowhere");
+    }
+}

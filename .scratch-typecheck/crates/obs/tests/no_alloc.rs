@@ -1,0 +1,55 @@
+//! The no-op recorder must add **zero allocations** on the hot path.
+//!
+//! The instrumentation sites sit inside `vap-exec` work loops and the
+//! RAPL solver — code the `campaign` Criterion bench holds to
+//! within-noise of `BENCH_campaign.json` when observability is off. This
+//! test pins the mechanism behind that: with no live session, every
+//! entry point returns after one relaxed atomic load, before any TLS
+//! access or allocation.
+//!
+//! This file is its own integration-test binary on purpose: no other
+//! test here ever installs a `Session`, so the disabled fast path is
+//! what actually runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_hot_path_does_not_allocate() {
+    assert!(!vap_obs::enabled(), "this test binary must never install a session");
+
+    // Warm up whatever lazy state the first calls might initialize.
+    vap_obs::incr("warmup");
+    vap_obs::observe("warmup.h", 1.0);
+    drop(vap_obs::span("warmup.span"));
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100_000u64 {
+        vap_obs::incr("exec.cells");
+        vap_obs::incr_by("scheme.plans", 6);
+        vap_obs::observe("mpi.wait_s", i as f64);
+        vap_obs::label_item(|| unreachable!("label closures must not run when disabled"));
+        let _span = vap_obs::span("cell");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(after - before, 0, "no-op recorder allocated {} times", after - before);
+}

@@ -1,0 +1,12 @@
+//! Regenerate the ablation studies (variation sources, thermal
+//! compounding, PVT microbenchmark choice).
+use vap_report::experiments::ablations;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = ablations::run(opts);
+        opts.maybe_write_csv("ablations.csv", &vap_report::csv::ablations(&result));
+        println!("{}", ablations::render(&result));
+        Ok(())
+    })
+}

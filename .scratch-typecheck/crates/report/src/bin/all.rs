@@ -1,0 +1,59 @@
+//! Regenerate every table and figure in one pass (shares the Fig. 7
+//! campaign between Fig. 7 and Fig. 9).
+use vap_report::experiments::*;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        println!("{}", table1::run().render());
+        println!("{}", table2::run().render());
+
+        let r1 = fig1::run(opts);
+        opts.maybe_write_csv("fig1.csv", &vap_report::csv::fig1(&r1));
+        println!("{}", fig1::render(&r1).render());
+
+        let r2 = fig2::run(opts);
+        opts.maybe_write_csv("fig2.csv", &vap_report::csv::fig2(&r2));
+        println!("{}", fig2::render(&r2));
+
+        let r3 = fig3::run(opts);
+        opts.maybe_write_csv("fig3.csv", &vap_report::csv::fig3(&r3));
+        println!("{}", fig3::render(&r3).render());
+
+        let r5 = fig5::run(opts)?;
+        opts.maybe_write_csv("fig5.csv", &vap_report::csv::fig5(&r5));
+        println!("{}", fig5::render(&r5).render());
+
+        let r6 = fig6::run(opts);
+        opts.maybe_write_csv("fig6.csv", &vap_report::csv::fig6(&r6));
+        println!("{}", fig6::render(&r6).render());
+
+        let t4 = table4::run(opts);
+        opts.maybe_write_csv("table4.csv", &vap_report::csv::table4(&t4));
+        println!("{}", table4::render(&t4).render());
+
+        let campaign = fig7::run(opts);
+        opts.maybe_write_csv("fig7.csv", &vap_report::csv::fig7(&campaign));
+        println!("{}", fig7::render(&campaign));
+
+        let audit = fig9::audit(&campaign);
+        opts.maybe_write_csv("fig9.csv", &vap_report::csv::fig9(&audit));
+        println!("{}", fig9::render(&audit));
+
+        let r8 = fig8::run(opts);
+        opts.maybe_write_csv("fig8.csv", &vap_report::csv::fig8(&r8));
+        println!("{}", fig8::render(&r8));
+
+        let abl = ablations::run(opts);
+        opts.maybe_write_csv("ablations.csv", &vap_report::csv::ablations(&abl));
+        println!("{}", ablations::render(&abl));
+
+        let mj = multijob_study::run(opts);
+        opts.maybe_write_csv("multijob.csv", &multijob_study::to_csv(&mj));
+        println!("{}", multijob_study::render(&mj).render());
+
+        let ss = sched_study::run(opts);
+        opts.maybe_write_csv("schedstudy.csv", &sched_study::to_csv(&ss));
+        println!("{}", sched_study::render(&ss).render());
+        Ok(())
+    })
+}

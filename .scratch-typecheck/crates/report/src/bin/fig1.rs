@@ -1,0 +1,11 @@
+//! Regenerate Fig. 1 (per-socket power and performance variation).
+use vap_report::experiments::fig1;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig1::run(opts);
+        opts.maybe_write_csv("fig1.csv", &vap_report::csv::fig1(&result));
+        println!("{}", fig1::render(&result).render());
+        Ok(())
+    })
+}

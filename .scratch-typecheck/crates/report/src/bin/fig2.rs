@@ -1,0 +1,11 @@
+//! Regenerate Fig. 2 (HA8K module power/frequency/time under uniform caps).
+use vap_report::experiments::fig2;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig2::run(opts);
+        opts.maybe_write_csv("fig2.csv", &vap_report::csv::fig2(&result));
+        println!("{}", fig2::render(&result));
+        Ok(())
+    })
+}

@@ -1,0 +1,11 @@
+//! Regenerate Fig. 3 (MHD synchronization overhead under uniform caps).
+use vap_report::experiments::fig3;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig3::run(opts);
+        opts.maybe_write_csv("fig3.csv", &vap_report::csv::fig3(&result));
+        println!("{}", fig3::render(&result).render());
+        Ok(())
+    })
+}

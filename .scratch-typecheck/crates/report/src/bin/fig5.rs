@@ -1,0 +1,11 @@
+//! Regenerate Fig. 5 (power vs frequency linearity).
+use vap_report::experiments::fig5;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig5::run(opts)?;
+        opts.maybe_write_csv("fig5.csv", &vap_report::csv::fig5(&result));
+        println!("{}", fig5::render(&result).render());
+        Ok(())
+    })
+}

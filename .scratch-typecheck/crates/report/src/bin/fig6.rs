@@ -1,0 +1,11 @@
+//! Regenerate Fig. 6 (PMT calibration accuracy).
+use vap_report::experiments::fig6;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig6::run(opts);
+        opts.maybe_write_csv("fig6.csv", &vap_report::csv::fig6(&result));
+        println!("{}", fig6::render(&result).render());
+        Ok(())
+    })
+}

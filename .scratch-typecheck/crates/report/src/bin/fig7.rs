@@ -1,0 +1,11 @@
+//! Regenerate Fig. 7 (speedup over the Naive scheme).
+use vap_report::experiments::fig7;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig7::run(opts);
+        opts.maybe_write_csv("fig7.csv", &vap_report::csv::fig7(&result));
+        println!("{}", fig7::render(&result));
+        Ok(())
+    })
+}

@@ -1,0 +1,11 @@
+//! Regenerate Fig. 8 (VaFs detailed behaviour).
+use vap_report::experiments::fig8;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig8::run(opts);
+        opts.maybe_write_csv("fig8.csv", &vap_report::csv::fig8(&result));
+        println!("{}", fig8::render(&result));
+        Ok(())
+    })
+}

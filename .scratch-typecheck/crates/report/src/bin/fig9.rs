@@ -1,0 +1,11 @@
+//! Regenerate Fig. 9 (total power vs constraint audit).
+use vap_report::experiments::fig9;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = fig9::run(opts);
+        opts.maybe_write_csv("fig9.csv", &vap_report::csv::fig9(&result));
+        println!("{}", fig9::render(&result));
+        Ok(())
+    })
+}

@@ -1,0 +1,11 @@
+//! Run the multi-tenant budget-partitioning study (paper §7 future work).
+use vap_report::experiments::multijob_study;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = multijob_study::run(opts);
+        opts.maybe_write_csv("multijob.csv", &multijob_study::to_csv(&result));
+        println!("{}", multijob_study::render(&result).render());
+        Ok(())
+    })
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table 1 (power measurement techniques).
+fn main() {
+    vap_report::cli::run_main(|_opts| {
+        println!("{}", vap_report::experiments::table1::run().render());
+        Ok(())
+    })
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table 2 (architectures under consideration).
+fn main() {
+    vap_report::cli::run_main(|_opts| {
+        println!("{}", vap_report::experiments::table2::run().render());
+        Ok(())
+    })
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table 4 (feasible power constraints).
+use vap_report::experiments::table4;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = table4::run(opts);
+        opts.maybe_write_csv("table4.csv", &vap_report::csv::table4(&result));
+        println!("{}", table4::render(&result).render());
+        Ok(())
+    })
+}

@@ -1,0 +1,92 @@
+//! Shared entry point for the experiment binaries.
+//!
+//! Every binary in `src/bin/` is a thin wrapper around [`run_main`]:
+//! it parses the common [`RunOptions`], installs a [`vap_obs::Session`]
+//! when `--metrics` or `--trace-out` asks for one, runs the experiment
+//! body, and exports the observability artifacts on the way out.
+//!
+//! Exit codes are distinct by failure class so scripts can tell them
+//! apart: `0` success, [`EXIT_RUNTIME`] (`1`) for a failure while running
+//! or exporting, [`EXIT_USAGE`] (`2`) for a command-line problem.
+
+use crate::options::RunOptions;
+use std::error::Error;
+
+/// Exit code for runtime failures (the experiment body or artifact
+/// export returned an error).
+pub const EXIT_RUNTIME: i32 = 1;
+
+/// Exit code for command-line errors (unknown flag, bad value, `--help`).
+pub const EXIT_USAGE: i32 = 2;
+
+/// The error type experiment bodies report through [`run_main`].
+pub type MainError = Box<dyn Error>;
+
+/// Print `err` and its whole `source()` chain to stderr.
+fn report_error(err: &(dyn Error + 'static)) {
+    eprintln!("error: {err}");
+    let mut source = err.source();
+    while let Some(cause) = source {
+        eprintln!("  caused by: {cause}");
+        source = cause.source();
+    }
+}
+
+/// Parse the standard options, run `body`, export observability
+/// artifacts, and exit with a class-distinct code. Never returns.
+pub fn run_main(body: impl FnOnce(&RunOptions) -> Result<(), MainError>) -> ! {
+    let opts = match RunOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+
+    let session = (opts.metrics || opts.trace_out.is_some()).then(vap_obs::Session::install);
+    let outcome = body(&opts);
+    let export = session.map(vap_obs::Session::finish).map(|report| -> Result<(), MainError> {
+        if let Some(dir) = &opts.trace_out {
+            let written = report.write_to(dir).map_err(|e| -> MainError {
+                Box::new(ExportError { dir: dir.display().to_string(), source: e })
+            })?;
+            for path in written {
+                println!("wrote {}", path.display());
+            }
+        }
+        // The per-cell metrics CSV also rides along with the figure CSVs
+        // when only `--csv` output is in play.
+        opts.maybe_write_csv("metrics.csv", &report.metrics_csv);
+        if opts.metrics {
+            println!("{}", report.summary);
+        }
+        Ok(())
+    });
+
+    for result in [outcome, export.unwrap_or(Ok(()))] {
+        if let Err(e) = result {
+            report_error(e.as_ref());
+            std::process::exit(EXIT_RUNTIME);
+        }
+    }
+    std::process::exit(0);
+}
+
+/// Failure to write `--trace-out` artifacts.
+#[derive(Debug)]
+struct ExportError {
+    dir: String,
+    source: std::io::Error,
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not write observability artifacts to {}", self.dir)
+    }
+}
+
+impl Error for ExportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}

@@ -1,0 +1,17 @@
+//! One driver per paper table/figure, plus shared campaign helpers.
+
+pub mod ablations;
+pub mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod multijob_study;
+pub mod sched_study;
+pub mod table1;
+pub mod table2;
+pub mod table4;

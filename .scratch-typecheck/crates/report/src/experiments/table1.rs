@@ -1,0 +1,41 @@
+//! Table 1: power measurement techniques.
+
+use crate::render::Table;
+use vap_model::systems::MeasurementTech;
+
+/// Render Table 1 from the measurement-model metadata.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Table 1: Power Measurement Techniques",
+        &["Technique", "Reported", "Granularity", "Power Capping"],
+    );
+    for tech in [MeasurementTech::Rapl, MeasurementTech::PowerInsight, MeasurementTech::BgqEmon] {
+        let granularity = format!("{:.0} ms", tech.granularity_s() * 1e3);
+        t.row(vec![
+            tech.name().to_string(),
+            if tech.reports_average() { "Average" } else { "Instantaneous" }.to_string(),
+            granularity,
+            if tech.supports_capping() { "Yes" } else { "No" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = run();
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("RAPL"));
+        assert!(s.contains("Average"));
+        assert!(s.contains("PowerInsight"));
+        assert!(s.contains("BGQ EMON"));
+        assert!(s.contains("300 ms"));
+        assert!(s.contains("Yes"));
+        assert!(s.contains("No"));
+    }
+}

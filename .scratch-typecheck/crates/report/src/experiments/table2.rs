@@ -1,0 +1,55 @@
+//! Table 2: the four systems under consideration.
+
+use crate::render::Table;
+use vap_model::systems::{SystemId, SystemSpec};
+
+/// Render Table 2 from the system specifications.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Table 2: Architectures Under Consideration",
+        &[
+            "Site",
+            "Node Architecture",
+            "Total Nodes",
+            "Procs/Node",
+            "Cores/Proc",
+            "CPU Freq",
+            "Memory/Node",
+            "TDP",
+            "Power Msrmt.",
+        ],
+    );
+    for id in SystemId::ALL {
+        let s = SystemSpec::get(id);
+        t.row(vec![
+            format!("{} ({})", s.name, s.site),
+            s.microarchitecture.clone(),
+            s.total_nodes.to_string(),
+            s.procs_per_node.to_string(),
+            s.cores_per_proc.to_string(),
+            format!("{:.1} GHz", s.pstates.f_max().value()),
+            format!("{} GB", s.memory_per_node_gb),
+            s.tdp.map_or("Unreported".to_string(), |w| format!("{:.0} W", w.value())),
+            s.measurement.name().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = run();
+        assert_eq!(t.len(), 4);
+        let s = t.render();
+        assert!(s.contains("Cab"));
+        assert!(s.contains("24576"));
+        assert!(s.contains("Unreported"));
+        assert!(s.contains("130 W"));
+        assert!(s.contains("Ivy Bridge"));
+        assert!(s.contains("Piledriver"));
+    }
+}

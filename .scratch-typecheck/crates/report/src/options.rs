@@ -1,0 +1,185 @@
+//! Shared command-line options for the experiment binaries.
+
+/// Options every experiment binary understands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Fleet size; `None` means the paper's scale for the experiment.
+    pub modules: Option<usize>,
+    /// Campaign seed (fleet manufacturing + measurements).
+    pub seed: u64,
+    /// Workload duration multiplier (1.0 = paper-scale programs).
+    pub scale: f64,
+    /// Directory to write raw per-figure CSV series into (`--csv DIR`);
+    /// `None` prints tables only.
+    pub csv_dir: Option<std::path::PathBuf>,
+    /// Worker threads for campaign grids and fleet sweeps (`--threads N`);
+    /// `None` means available parallelism, `1` runs serially. Results are
+    /// identical at any thread count.
+    pub threads: Option<usize>,
+    /// Directory to write observability artifacts into (`--trace-out DIR`):
+    /// a deterministic `journal.jsonl`, a `metrics.csv`, and a Chrome
+    /// trace-event `trace.json` (load it in Perfetto / `chrome://tracing`).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Print a metrics summary after the run (`--metrics`). Either this or
+    /// `trace_out` turns the recorder on; with both off, instrumentation is
+    /// a single relaxed atomic load per site.
+    pub metrics: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            modules: None,
+            seed: 2015,
+            scale: 1.0,
+            csv_dir: None,
+            threads: None,
+            trace_out: None,
+            metrics: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parse `--modules N --seed S --scale X` from an argument iterator
+    /// (no external CLI dependency needed for three flags). Unknown flags
+    /// abort with a usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = RunOptions::default();
+        let mut it = args.peekable();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--modules" => {
+                    opts.modules =
+                        Some(take("--modules")?.parse().map_err(|e| format!("--modules: {e}"))?);
+                }
+                "--seed" => {
+                    opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--scale" => {
+                    opts.scale = take("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                    if opts.scale <= 0.0 {
+                        return Err("--scale must be positive".into());
+                    }
+                }
+                "--csv" => {
+                    opts.csv_dir = Some(std::path::PathBuf::from(take("--csv")?));
+                }
+                "--threads" => {
+                    let n: usize =
+                        take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = Some(n);
+                }
+                "--trace-out" => {
+                    opts.trace_out = Some(std::path::PathBuf::from(take("--trace-out")?));
+                }
+                "--metrics" => {
+                    opts.metrics = true;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--modules N] [--seed S] [--scale X] [--csv DIR] [--threads N] \
+                         [--trace-out DIR] [--metrics]"
+                            .into(),
+                    );
+                }
+                other => return Err(format!("unknown flag {other} (try --help)")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Fleet size to use given the experiment's paper-scale default.
+    pub fn modules_or(&self, default: usize) -> usize {
+        self.modules.unwrap_or(default)
+    }
+
+    /// Worker thread count: the `--threads` request, or the machine's
+    /// available parallelism when unset.
+    pub fn threads(&self) -> usize {
+        vap_exec::resolve_threads(self.threads)
+    }
+
+    /// If `--csv DIR` was given, write `content` to `DIR/name` (creating
+    /// the directory) and report the path on stdout.
+    pub fn maybe_write_csv(&self, name: &str, content: &str) {
+        let Some(dir) = &self.csv_dir else { return };
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(name), content))
+        {
+            eprintln!("failed to write {name}: {e}");
+        } else {
+            println!("wrote {}", dir.join(name).display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOptions, String> {
+        RunOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, RunOptions::default());
+        assert_eq!(o.modules_or(1920), 1920);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse(&["--modules", "64", "--seed", "7", "--scale", "0.1"]).unwrap();
+        assert_eq!(o.modules, Some(64));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scale, 0.1);
+        assert_eq!(o.modules_or(1920), 64);
+        assert!(o.csv_dir.is_none());
+        let o = parse(&["--csv", "/tmp/out"]).unwrap();
+        assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/out")));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_resolves() {
+        let o = parse(&["--threads", "4"]).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.threads(), 4);
+        // unset: whatever the machine has, but always at least one
+        assert!(parse(&[]).unwrap().threads() >= 1);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = parse(&["--trace-out", "/tmp/obs", "--metrics"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("/tmp/obs")));
+        assert!(o.metrics);
+        let o = parse(&[]).unwrap();
+        assert!(o.trace_out.is_none());
+        assert!(!o.metrics);
+        assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn csv_writing_is_silent_without_the_flag() {
+        RunOptions::default().maybe_write_csv("x.csv", "a,b\n");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--modules"]).is_err());
+        assert!(parse(&["--modules", "abc"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

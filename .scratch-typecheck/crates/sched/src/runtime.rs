@@ -1,0 +1,587 @@
+//! The discrete-event scheduling runtime.
+//!
+//! Replays a [`Trace`] against a [`Cluster`]: jobs arrive, get placed by
+//! a [`vap_sim::scheduler::AllocationPolicy`] over the *free* modules,
+//! receive a variation-aware power plan (PMT calibration + α solve via
+//! `vap-core`, VaPc flavor), and progress as fluid work under the
+//! boundedness-weighted frequency model. On **every** arrival,
+//! completion, and cap-change event the global power partition is
+//! re-solved per the configured [`ReallocPolicy`], so freed watts flow to
+//! running jobs; completion predictions scheduled under an older
+//! partition are invalidated by an epoch counter.
+//!
+//! # Determinism contract
+//!
+//! The runtime is single-threaded and its outputs are a pure function of
+//! `(cluster seed, trace, config)`: the event queue breaks timestamp ties
+//! by push order, all randomness comes from SplitMix64 streams derived
+//! from the campaign seed, and per-(workload, probe) test runs are cached
+//! in a `BTreeMap`. `vap-exec` fans independent runtimes across threads;
+//! no state is shared between cells.
+
+use std::collections::BTreeMap;
+
+use vap_core::alpha::{allocations, raw_alpha};
+use vap_core::multijob::{partition, JobRequest, PartitionPolicy};
+use vap_core::pmt::PowerModelTable;
+use vap_core::pvt::PowerVariationTable;
+use vap_core::schemes::{apply_plan, ControlKind, PowerPlan, SchemeId};
+use vap_core::testrun::{single_module_test_run, TestRunResult};
+use vap_model::linear::Alpha;
+use vap_model::power::PowerActivity;
+use vap_model::units::Watts;
+use vap_sim::cluster::Cluster;
+use vap_sim::cpufreq::Governor;
+use vap_sim::scheduler::AllocationPolicy;
+use vap_workloads::catalog;
+use vap_workloads::spec::{WorkloadId, WorkloadSpec};
+
+use crate::event::{Event, EventQueue};
+use crate::job::{Job, JobState};
+use crate::report::{JobRecord, PowerSample, SchedReport};
+use crate::trace::{SplitMix64, Trace};
+
+/// What happens to already-awarded budgets when the job mix changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ReallocPolicy {
+    /// A job's budget is fixed at admission; watts freed by completions
+    /// become available to *future* arrivals only (what a static,
+    /// reservation-style resource manager does).
+    Frozen,
+    /// Re-partition on every event with
+    /// [`PartitionPolicy::FairFloorPlusUniformAlpha`]: floors first, then
+    /// a common α across all running jobs.
+    UniformRebalance,
+    /// Re-partition on every event with
+    /// [`PartitionPolicy::ThroughputGreedy`]: spare watts go where they
+    /// buy the most system progress.
+    ThroughputGreedy,
+}
+
+impl ReallocPolicy {
+    /// All policies, in display order.
+    pub const ALL: [ReallocPolicy; 3] =
+        [ReallocPolicy::Frozen, ReallocPolicy::UniformRebalance, ReallocPolicy::ThroughputGreedy];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReallocPolicy::Frozen => "Frozen",
+            ReallocPolicy::UniformRebalance => "Rebalance",
+            ReallocPolicy::ThroughputGreedy => "Greedy",
+        }
+    }
+}
+
+impl std::fmt::Display for ReallocPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the admission loop walks the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum QueueDiscipline {
+    /// Strict FIFO: the head of the queue blocks everything behind it.
+    Fifo,
+    /// Power-aware backfill: when the head does not fit (modules *or*
+    /// watts), later jobs that do fit may start ahead of it.
+    Backfill,
+}
+
+/// Runtime configuration for one replay.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// How modules are picked from the free pool.
+    pub allocation: AllocationPolicy,
+    /// What happens to budgets on job churn.
+    pub realloc: ReallocPolicy,
+    /// Queue walk order at admission.
+    pub queue: QueueDiscipline,
+    /// Initial cluster-level power cap (cap-change events override it).
+    pub cap: Watts,
+}
+
+/// Why [`SchedRuntime::try_place`] did not admit a job.
+enum Placement {
+    Placed,
+    Deferred,
+    Impossible,
+}
+
+/// The discrete-event runtime for one `(cluster, trace, config)` cell.
+pub struct SchedRuntime {
+    cluster: Cluster,
+    pvt: PowerVariationTable,
+    seed: u64,
+    config: SchedConfig,
+    now: f64,
+    cap: Watts,
+    /// Σ budgets held by running jobs — the frozen policy's ledger.
+    committed: Watts,
+    events: EventQueue,
+    jobs: Vec<Job>,
+    /// Queued job ids in admission-scan order.
+    pending: Vec<usize>,
+    /// Running job ids in admission order.
+    running: Vec<usize>,
+    /// Free module ids, sorted.
+    free: Vec<usize>,
+    /// Single-module test runs, cached per (workload, probe module).
+    test_cache: BTreeMap<(u64, usize), TestRunResult>,
+    samples: Vec<PowerSample>,
+    pending_cap_changes: usize,
+}
+
+impl SchedRuntime {
+    /// Build a runtime over a pristine (post-PVT) cluster clone. The PVT
+    /// must cover the cluster's modules.
+    pub fn new(mut cluster: Cluster, pvt: PowerVariationTable, seed: u64, config: SchedConfig) -> Self {
+        // The whole fleet starts idle, uncapped, on the performance
+        // governor — whatever the PVT sweep left behind.
+        for m in cluster.modules_mut() {
+            m.clear_cap();
+            m.set_governor(Governor::Performance);
+            m.set_workload_variation(None);
+            m.set_activity(PowerActivity::IDLE);
+        }
+        let free: Vec<usize> = (0..cluster.len()).collect();
+        let cap = config.cap;
+        SchedRuntime {
+            cluster,
+            pvt,
+            seed,
+            config,
+            now: 0.0,
+            cap,
+            committed: Watts::ZERO,
+            events: EventQueue::new(),
+            jobs: Vec::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
+            free,
+            test_cache: BTreeMap::new(),
+            samples: Vec::new(),
+            pending_cap_changes: 0,
+        }
+    }
+
+    /// Replay `trace` to completion and report.
+    pub fn run(mut self, trace: &Trace) -> SchedReport {
+        self.jobs = trace
+            .jobs
+            .iter()
+            .map(|a| Job::new(a.clone(), catalog::get(a.workload).cpu_fraction))
+            .collect();
+        for (idx, a) in trace.jobs.iter().enumerate() {
+            self.events.push(a.at_s, Event::Arrival { job: idx });
+        }
+        for c in &trace.cap_changes {
+            self.events.push(c.at_s, Event::CapChange { cap: c.cap });
+            self.pending_cap_changes += 1;
+        }
+
+        while let Some((t, event)) = self.events.pop() {
+            self.advance(t);
+            vap_obs::incr("sched.events");
+            match event {
+                Event::Arrival { job } => {
+                    vap_obs::incr("sched.arrivals");
+                    self.pending.push(job);
+                    self.try_admit();
+                    self.resolve();
+                }
+                Event::Completion { job, epoch } => {
+                    let stale = self.jobs[job].state != JobState::Running
+                        || self.jobs[job].epoch != epoch;
+                    if stale {
+                        vap_obs::incr("sched.stale_completions");
+                    } else {
+                        self.complete(job);
+                        self.try_admit();
+                        self.resolve();
+                    }
+                }
+                Event::CapChange { cap } => {
+                    vap_obs::incr("sched.cap_changes");
+                    self.cap = cap;
+                    self.pending_cap_changes = self.pending_cap_changes.saturating_sub(1);
+                    self.enforce_cap();
+                    self.try_admit();
+                    self.resolve();
+                }
+            }
+            self.sample();
+        }
+
+        let fleet = self.cluster.len();
+        let horizon_s = self.now;
+        let jobs = self.jobs.iter().map(JobRecord::from_job).collect();
+        SchedReport { jobs, horizon_s, fleet, power: self.samples }
+    }
+
+    /// Integrate fluid progress of running jobs up to `t`.
+    fn advance(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            for &id in &self.running {
+                let j = &mut self.jobs[id];
+                j.remaining_s = (j.remaining_s - j.rate * dt).max(0.0);
+                j.busy_module_s += j.placement.len() as f64 * dt;
+            }
+        }
+        self.now = t;
+    }
+
+    /// Finish a running job and free its resources.
+    fn complete(&mut self, id: usize) {
+        let j = &mut self.jobs[id];
+        j.state = JobState::Completed;
+        j.completed_at_s = Some(self.now);
+        j.remaining_s = 0.0;
+        j.rate = 0.0;
+        let placement = std::mem::take(&mut j.placement);
+        let budget = j.budget;
+        if self.config.realloc == ReallocPolicy::Frozen {
+            self.committed = (self.committed - budget).max(Watts::ZERO);
+        }
+        self.release_modules(&placement);
+        self.running.retain(|&r| r != id);
+        vap_obs::incr("sched.completions");
+        if let Some(jct) = self.jobs[id].jct_s() {
+            vap_obs::observe("sched.jct_s", jct);
+        }
+    }
+
+    /// Preempt the most recently admitted jobs until the cap is feasible
+    /// again (graceful degradation on a mid-run cap tightening).
+    fn enforce_cap(&mut self) {
+        loop {
+            let overload = match self.config.realloc {
+                ReallocPolicy::Frozen => self.committed > self.cap,
+                _ => self.running_floors() > self.cap,
+            };
+            if !overload {
+                break;
+            }
+            let Some(&victim) = self.running.last() else {
+                break;
+            };
+            self.preempt(victim);
+        }
+    }
+
+    /// Push a running job back to the head of the queue, freeing its
+    /// modules and watts. Its remaining work is preserved.
+    fn preempt(&mut self, id: usize) {
+        let j = &mut self.jobs[id];
+        j.state = JobState::Queued;
+        j.epoch += 1;
+        j.rate = 0.0;
+        j.preemptions += 1;
+        j.alpha = Alpha::MIN;
+        j.pmt = None;
+        let placement = std::mem::take(&mut j.placement);
+        let budget = j.budget;
+        j.budget = Watts::ZERO;
+        if self.config.realloc == ReallocPolicy::Frozen {
+            self.committed = (self.committed - budget).max(Watts::ZERO);
+        }
+        self.release_modules(&placement);
+        self.running.retain(|&r| r != id);
+        self.pending.insert(0, id);
+        vap_obs::incr("sched.preemptions");
+    }
+
+    /// Return modules to the free pool: uncap, performance governor, idle
+    /// activity.
+    fn release_modules(&mut self, ids: &[usize]) {
+        for &m in ids {
+            if let Some(module) = self.cluster.get_mut(m) {
+                module.clear_cap();
+                module.set_governor(Governor::Performance);
+                module.set_workload_variation(None);
+                module.set_activity(PowerActivity::IDLE);
+            }
+        }
+        self.free.extend_from_slice(ids);
+        self.free.sort_unstable();
+    }
+
+    /// Σ PMT floors of the running jobs (the rebalance policies' ledger).
+    fn running_floors(&self) -> Watts {
+        self.running
+            .iter()
+            .map(|&id| self.jobs[id].pmt.as_ref().map_or(Watts::ZERO, PowerModelTable::fleet_minimum))
+            .sum()
+    }
+
+    /// Walk the queue admitting whatever fits under the discipline.
+    fn try_admit(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let id = self.pending[i];
+            match self.try_place(id) {
+                Placement::Placed => {
+                    self.pending.remove(i);
+                }
+                Placement::Deferred => {
+                    if self.config.queue == QueueDiscipline::Fifo {
+                        break;
+                    }
+                    i += 1;
+                }
+                Placement::Impossible => {
+                    self.pending.remove(i);
+                    self.jobs[id].state = JobState::Killed;
+                    vap_obs::incr("sched.kills");
+                }
+            }
+        }
+        vap_obs::observe("sched.queue_depth", self.pending.len() as f64);
+    }
+
+    /// Attempt to place one queued job: pick modules from the free pool,
+    /// calibrate its PMT, shrink its width down to `min_width` if the
+    /// watts are tight, and admit if (and only if) its floor fits.
+    fn try_place(&mut self, id: usize) -> Placement {
+        let arrival = self.jobs[id].spec.clone();
+        if arrival.min_width > self.cluster.len() {
+            return Placement::Impossible;
+        }
+        // Can the job's admission ever improve without our intervention?
+        // Only if something is running (will free modules/watts) or a cap
+        // change is still scheduled.
+        let idle_system = self.running.is_empty() && self.pending_cap_changes == 0;
+        if self.free.len() < arrival.min_width {
+            return Placement::Deferred;
+        }
+        let spec = catalog::get(arrival.workload);
+        let w_max = arrival.width.min(self.free.len());
+        let pref = self.pick_modules(w_max, &spec, id);
+        let Some(&probe) = pref.first() else {
+            return Placement::Deferred;
+        };
+        let test = self.cached_test(arrival.workload, probe, &spec);
+
+        let avail = match self.config.realloc {
+            ReallocPolicy::Frozen => self.cap - self.committed,
+            _ => self.cap - self.running_floors(),
+        };
+        let calibrate =
+            |w: usize| PowerModelTable::calibrate(&self.pvt, &test, &pref[..w]).ok();
+        // Feasibility floor is monotone in width: check the narrowest
+        // shape first, then binary-search the widest feasible width.
+        let Some(pmt_min) = calibrate(arrival.min_width) else {
+            return Placement::Deferred;
+        };
+        if pmt_min.fleet_minimum() > avail {
+            return if idle_system { Placement::Impossible } else { Placement::Deferred };
+        }
+        let mut lo = arrival.min_width;
+        let mut hi = w_max;
+        let mut pmt = pmt_min;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            match calibrate(mid) {
+                Some(p) if p.fleet_minimum() <= avail => {
+                    lo = mid;
+                    pmt = p;
+                }
+                _ => hi = mid - 1,
+            }
+        }
+        let width = lo;
+        let ids: Vec<usize> = pref[..width].to_vec();
+
+        // Admit: occupy the modules and (frozen policy) lock the budget.
+        let budget = match self.config.realloc {
+            ReallocPolicy::Frozen => {
+                let b = avail.min(pmt.fleet_maximum()).max(pmt.fleet_minimum());
+                self.committed += b;
+                b
+            }
+            // rebalance policies award budgets in resolve()
+            _ => pmt.fleet_minimum(),
+        };
+        self.free.retain(|m| !ids.contains(m));
+        spec.apply_to_modules(&mut self.cluster, &ids, self.seed);
+        let j = &mut self.jobs[id];
+        j.placement = ids;
+        j.last_width = width;
+        j.pmt = Some(pmt);
+        j.state = JobState::Running;
+        j.budget = budget;
+        if j.started_at_s.is_none() {
+            j.started_at_s = Some(self.now);
+        }
+        self.running.push(id);
+        vap_obs::incr("sched.admissions");
+        if width < arrival.width {
+            vap_obs::incr("sched.shrunk_admissions");
+        }
+        vap_obs::observe("sched.wait_s", self.now - arrival.at_s);
+        vap_obs::observe("sched.width_granted", width as f64);
+        Placement::Placed
+    }
+
+    /// Pick up to `n` modules from the free pool in *preference order*
+    /// (the width-shrink path takes prefixes). The four policies mirror
+    /// [`vap_sim::scheduler::Scheduler::allocate`] restricted to the free
+    /// subset.
+    fn pick_modules(&self, n: usize, spec: &WorkloadSpec, job_id: usize) -> Vec<usize> {
+        let n = n.min(self.free.len());
+        match self.config.allocation {
+            AllocationPolicy::Contiguous => self.free.iter().copied().take(n).collect(),
+            AllocationPolicy::Strided { stride } => {
+                let stride = stride.max(1);
+                let total = self.free.len();
+                let mut picked = Vec::with_capacity(n);
+                let mut seen = vec![false; total];
+                let mut i = 0usize;
+                while picked.len() < n {
+                    if !seen[i] {
+                        seen[i] = true;
+                        picked.push(self.free[i]);
+                    }
+                    i = (i + stride) % total;
+                    if seen[i] {
+                        if let Some(j) = seen.iter().position(|&s| !s) {
+                            i = j;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                picked
+            }
+            AllocationPolicy::Random => {
+                // Fisher–Yates over the free list, seeded per job so a
+                // replay is exact at any thread count.
+                let mut ids = self.free.clone();
+                let mut rng = SplitMix64::new(
+                    self.seed ^ (job_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                for k in (1..ids.len()).rev() {
+                    ids.swap(k, rng.next_index(k + 1));
+                }
+                ids.truncate(n);
+                ids
+            }
+            AllocationPolicy::LowestPowerFirst => {
+                let f_max = self.cluster.spec().pstates.f_max();
+                let mut ranked: Vec<(usize, f64)> = self
+                    .free
+                    .iter()
+                    .filter_map(|&m| self.cluster.get(m).map(|module| (m, module)))
+                    .map(|(m, module)| {
+                        let p = module.power_model().module_power(
+                            f_max,
+                            spec.activity,
+                            module.variation(),
+                            module.thermal().factor(),
+                        );
+                        (m, p.value())
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                ranked.into_iter().take(n).map(|(m, _)| m).collect()
+            }
+        }
+    }
+
+    /// The job's single-module test run, cached per (workload, probe).
+    fn cached_test(&mut self, w: WorkloadId, probe: usize, spec: &WorkloadSpec) -> TestRunResult {
+        if let Some(t) = self.test_cache.get(&(w.index(), probe)) {
+            return *t;
+        }
+        let t = single_module_test_run(&mut self.cluster, probe, spec, self.seed);
+        self.test_cache.insert((w.index(), probe), t);
+        t
+    }
+
+    /// Re-solve the global power partition over the running jobs, apply
+    /// the per-module plans, and reschedule completion predictions under
+    /// a fresh epoch.
+    fn resolve(&mut self) {
+        if self.running.is_empty() {
+            return;
+        }
+        vap_obs::incr("sched.resolves");
+        match self.config.realloc {
+            ReallocPolicy::Frozen => {
+                // budgets fixed at admission: only the per-job α/plan is
+                // (re)derived, idempotently
+            }
+            ReallocPolicy::UniformRebalance | ReallocPolicy::ThroughputGreedy => {
+                let policy = match self.config.realloc {
+                    ReallocPolicy::ThroughputGreedy => PartitionPolicy::ThroughputGreedy,
+                    _ => PartitionPolicy::FairFloorPlusUniformAlpha,
+                };
+                let mut ids = Vec::with_capacity(self.running.len());
+                let mut requests = Vec::with_capacity(self.running.len());
+                for &id in &self.running {
+                    let j = &self.jobs[id];
+                    let Some(pmt) = j.pmt.clone() else {
+                        continue;
+                    };
+                    ids.push(id);
+                    requests.push(JobRequest {
+                        workload: j.workload(),
+                        module_ids: j.placement.clone(),
+                        pmt,
+                        cpu_fraction: j.cpu_fraction,
+                    });
+                }
+                // Admission control keeps Σ floors ≤ cap, so the partition
+                // is feasible; if it ever is not (float dust on the
+                // boundary), keep the previous budgets rather than abort.
+                if let Ok(parts) = partition(self.cap, &requests, policy) {
+                    for (&id, part) in ids.iter().zip(&parts) {
+                        self.jobs[id].budget = part.budget;
+                    }
+                }
+            }
+        }
+
+        // Common tail: derive α from the budget, apply the VaPc plan,
+        // reset the rate, and schedule a fresh completion prediction.
+        let ids: Vec<usize> = self.running.clone();
+        for &id in &ids {
+            let Some(pmt) = self.jobs[id].pmt.clone() else {
+                continue;
+            };
+            let budget = self.jobs[id].budget;
+            let alpha = Alpha::saturating(raw_alpha(budget, &pmt));
+            let plan = PowerPlan {
+                scheme: SchemeId::VaPc,
+                alpha,
+                allocations: allocations(&pmt, alpha),
+                control: ControlKind::PowerCapping,
+                budget,
+            };
+            apply_plan(&plan, &mut self.cluster);
+            let rate = Job::progress_rate(&pmt, self.jobs[id].cpu_fraction, alpha);
+            let j = &mut self.jobs[id];
+            j.alpha = alpha;
+            j.rate = rate;
+            j.epoch += 1;
+            if rate > 0.0 && j.remaining_s.is_finite() {
+                let eta = self.now + j.remaining_s / rate;
+                self.events.push(eta, Event::Completion { job: id, epoch: j.epoch });
+            }
+        }
+    }
+
+    /// Record the power/queue snapshot after an event.
+    fn sample(&mut self) {
+        let allocated: Watts = self.running.iter().map(|&id| self.jobs[id].budget).sum();
+        self.samples.push(PowerSample {
+            at_s: self.now,
+            allocated_w: allocated.value(),
+            measured_w: self.cluster.total_power().value(),
+            running: self.running.len(),
+            queued: self.pending.len(),
+        });
+    }
+}

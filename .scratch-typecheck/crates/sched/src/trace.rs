@@ -1,0 +1,226 @@
+//! Seeded job-arrival traces.
+//!
+//! A [`TraceGen`] draws a Poisson-like arrival process (exponential
+//! interarrival gaps), job widths, and workloads from the evaluated
+//! catalog — all from a single SplitMix64 stream, so a trace is a pure
+//! function of its seed and parameters and replays byte-identically on
+//! any platform.
+
+use serde::{Deserialize, Serialize};
+use vap_model::units::Watts;
+use vap_workloads::catalog;
+use vap_workloads::spec::WorkloadId;
+
+/// SplitMix64: tiny, seedable, platform-stable. The same finalizer
+/// `vap_exec::module_seed` uses, iterated as a stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform index in `[0, n)` via the multiply-shift reduction (no
+    /// modulo bias worth caring about at catalog sizes). `n` must be > 0.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Exponential variate with the given mean (interarrival gaps).
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // 1 - u ∈ (0, 1]: ln is finite
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+}
+
+/// One job in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobArrival {
+    /// Stable job id (index in arrival order).
+    pub id: usize,
+    /// Arrival time (simulated seconds).
+    pub at_s: f64,
+    /// The application.
+    pub workload: WorkloadId,
+    /// Requested module count.
+    pub width: usize,
+    /// The narrowest allocation the job accepts (graceful degradation
+    /// floor — below this it queues rather than shrinks).
+    pub min_width: usize,
+    /// Compute work at full speed (α = 1), in simulated seconds.
+    pub work_s: f64,
+}
+
+/// A scheduled change of the cluster-level power cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapChange {
+    /// When the cap changes (simulated seconds).
+    pub at_s: f64,
+    /// The new system cap.
+    pub cap: Watts,
+}
+
+/// A complete input to one runtime replay.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Jobs in arrival order (`at_s` non-decreasing).
+    pub jobs: Vec<JobArrival>,
+    /// Cap changes in time order.
+    pub cap_changes: Vec<CapChange>,
+}
+
+impl Trace {
+    /// Append a cap change (kept in time order by the caller).
+    pub fn with_cap_change(mut self, at_s: f64, cap: Watts) -> Self {
+        self.cap_changes.push(CapChange { at_s, cap });
+        self
+    }
+}
+
+/// Seeded trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Fleet size the widths are drawn against.
+    pub fleet: usize,
+    /// Mean exponential interarrival gap (seconds).
+    pub mean_interarrival_s: f64,
+    /// Smallest requested width.
+    pub min_width: usize,
+    /// Largest requested width.
+    pub max_width: usize,
+    /// Multiplier on each workload's catalog reference time.
+    pub work_scale: f64,
+}
+
+impl TraceGen {
+    /// Defaults sized for `fleet`: widths between fleet/8 and fleet/3,
+    /// paper-scale work, one arrival per minute.
+    pub fn new(jobs: usize, fleet: usize) -> Self {
+        let min_width = (fleet / 8).max(1);
+        TraceGen {
+            jobs,
+            fleet,
+            mean_interarrival_s: 60.0,
+            min_width,
+            max_width: (fleet / 3).max(min_width),
+            work_scale: 1.0,
+        }
+    }
+
+    /// Generate the trace for `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = SplitMix64::new(seed);
+        let lo = self.min_width.clamp(1, self.fleet.max(1));
+        let hi = self.max_width.clamp(lo, self.fleet.max(1));
+        let mut t = 0.0;
+        let jobs = (0..self.jobs)
+            .map(|id| {
+                t += rng.next_exp(self.mean_interarrival_s);
+                let workload = WorkloadId::EVALUATED[rng.next_index(WorkloadId::EVALUATED.len())];
+                let width = lo + rng.next_index(hi - lo + 1);
+                let reference = catalog::get(workload).reference_time.value();
+                JobArrival {
+                    id,
+                    at_s: t,
+                    workload,
+                    width,
+                    min_width: (width / 2).max(1),
+                    work_s: reference * self.work_scale * rng.next_range(0.5, 1.5),
+                }
+            })
+            .collect();
+        Trace { jobs, cap_changes: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_well_spread() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            let i = r.next_index(6);
+            assert!(i < 6);
+            assert!(r.next_exp(10.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn traces_replay_byte_identically() {
+        let gen = TraceGen::new(50, 128);
+        let a = gen.generate(2015);
+        let b = gen.generate(2015);
+        assert_eq!(a, b);
+        assert_ne!(a, gen.generate(2016));
+    }
+
+    #[test]
+    fn trace_shape_respects_parameters() {
+        let gen = TraceGen { work_scale: 0.1, ..TraceGen::new(200, 96) };
+        let t = gen.generate(42);
+        assert_eq!(t.jobs.len(), 200);
+        let mut last = 0.0;
+        for j in &t.jobs {
+            assert!(j.at_s >= last, "arrivals must be time-ordered");
+            last = j.at_s;
+            assert!(j.width >= gen.min_width && j.width <= gen.max_width);
+            assert!(j.min_width >= 1 && j.min_width <= j.width);
+            assert!(j.work_s > 0.0);
+            assert!(WorkloadId::EVALUATED.contains(&j.workload));
+        }
+        // the exponential gaps should average near the configured mean
+        let mean = last / 200.0;
+        assert!((mean - 60.0).abs() < 15.0, "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn cap_changes_attach() {
+        let t = TraceGen::new(1, 8).generate(1).with_cap_change(100.0, Watts(500.0));
+        assert_eq!(t.cap_changes.len(), 1);
+        assert_eq!(t.cap_changes[0].cap, Watts(500.0));
+    }
+
+    #[test]
+    fn tiny_fleets_still_generate() {
+        let t = TraceGen::new(10, 2).generate(3);
+        for j in &t.jobs {
+            assert!(j.width >= 1 && j.width <= 2);
+        }
+    }
+}

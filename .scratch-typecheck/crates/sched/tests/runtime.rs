@@ -1,0 +1,266 @@
+//! End-to-end runtime semantics: determinism, lifecycle closure, online
+//! reallocation vs frozen budgets, cap-change degradation, and backfill.
+
+use vap_core::pvt::PowerVariationTable;
+use vap_model::systems::SystemSpec;
+use vap_model::units::Watts;
+use vap_sched::{
+    JobArrival, JobState, QueueDiscipline, ReallocPolicy, SchedConfig, SchedReport, SchedRuntime,
+    Trace, TraceGen,
+};
+use vap_sim::cluster::Cluster;
+use vap_sim::scheduler::AllocationPolicy;
+use vap_workloads::catalog;
+use vap_workloads::spec::WorkloadId;
+
+const SEED: u64 = 2015;
+
+/// A post-PVT fleet plus its PVT, the shared fixture of every replay.
+fn fleet(n: usize) -> (Cluster, PowerVariationTable) {
+    let mut cluster = Cluster::with_size(SystemSpec::ha8k(), n, SEED);
+    let stream = catalog::get(WorkloadId::Stream);
+    let pvt = PowerVariationTable::generate(&mut cluster, &stream, SEED);
+    (cluster, pvt)
+}
+
+fn config(realloc: ReallocPolicy, cap_per_module_w: f64, n: usize) -> SchedConfig {
+    SchedConfig {
+        allocation: AllocationPolicy::LowestPowerFirst,
+        realloc,
+        queue: QueueDiscipline::Backfill,
+        cap: Watts(cap_per_module_w * n as f64),
+    }
+}
+
+/// A congested trace: arrivals faster than the fleet drains them.
+fn congested_trace(fleet_size: usize) -> Trace {
+    TraceGen {
+        mean_interarrival_s: 20.0,
+        ..TraceGen::new(12, fleet_size)
+    }
+    .generate(SEED)
+}
+
+fn replay(
+    cluster: &Cluster,
+    pvt: &PowerVariationTable,
+    trace: &Trace,
+    cfg: SchedConfig,
+) -> SchedReport {
+    SchedRuntime::new(cluster.clone(), pvt.clone(), SEED, cfg).run(trace)
+}
+
+#[test]
+fn replays_are_byte_identical() {
+    let n = 24;
+    let (cluster, pvt) = fleet(n);
+    let trace = congested_trace(n);
+    for realloc in ReallocPolicy::ALL {
+        let a = replay(&cluster, &pvt, &trace, config(realloc, 80.0, n));
+        let b = replay(&cluster, &pvt, &trace, config(realloc, 80.0, n));
+        assert_eq!(a, b, "{realloc}: same inputs must give the same report");
+    }
+}
+
+#[test]
+fn every_job_reaches_a_terminal_state() {
+    let n = 24;
+    let (cluster, pvt) = fleet(n);
+    let trace = congested_trace(n);
+    for realloc in ReallocPolicy::ALL {
+        let r = replay(&cluster, &pvt, &trace, config(realloc, 80.0, n));
+        assert_eq!(r.jobs.len(), trace.jobs.len());
+        for j in &r.jobs {
+            assert!(
+                matches!(j.state, JobState::Completed | JobState::Killed),
+                "{realloc}: job {} ended {:?}",
+                j.id,
+                j.state
+            );
+        }
+        assert!(r.completed_count() > 0, "{realloc}: nothing completed");
+        assert!(r.horizon_s > 0.0);
+        let u = r.utilization();
+        assert!(u > 0.0 && u <= 1.0, "{realloc}: utilization {u}");
+        for j in r.completed() {
+            let s = j.stretch().unwrap_or(0.0);
+            assert!(s >= 1.0 - 1e-9, "{realloc}: job {} stretch {s} < 1", j.id);
+            assert!(j.granted >= j.requested.min(1), "{realloc}: job {} granted 0", j.id);
+        }
+    }
+}
+
+#[test]
+fn online_rebalance_beats_frozen_budgets_under_a_tight_cap() {
+    let n = 24;
+    let (cluster, pvt) = fleet(n);
+    // High arrival pressure is where frozen budgets strand the most
+    // watts: many concurrent jobs admitted at small leftover budgets
+    // that never grow, while rebalance recycles every completion.
+    let trace =
+        TraceGen { mean_interarrival_s: 10.0, ..TraceGen::new(12, n) }.generate(SEED);
+    let frozen = replay(&cluster, &pvt, &trace, config(ReallocPolicy::Frozen, 68.0, n));
+    let rebalance =
+        replay(&cluster, &pvt, &trace, config(ReallocPolicy::UniformRebalance, 68.0, n));
+    assert!(frozen.completed_count() > 0 && rebalance.completed_count() > 0);
+    assert!(
+        rebalance.mean_jct_s() < frozen.mean_jct_s(),
+        "online reallocation should shorten mean JCT: rebalance {:.1} s vs frozen {:.1} s",
+        rebalance.mean_jct_s(),
+        frozen.mean_jct_s()
+    );
+}
+
+#[test]
+fn allocated_power_respects_the_cap_at_every_event() {
+    let n = 24;
+    let (cluster, pvt) = fleet(n);
+    let trace = congested_trace(n);
+    for realloc in ReallocPolicy::ALL {
+        let cap_w = 68.0 * n as f64;
+        let r = replay(&cluster, &pvt, &trace, config(realloc, 68.0, n));
+        for s in &r.power {
+            assert!(
+                s.allocated_w <= cap_w + 1e-6,
+                "{realloc}: {} W allocated over the {cap_w} W cap at t={}",
+                s.allocated_w,
+                s.at_s
+            );
+        }
+    }
+}
+
+#[test]
+fn cap_tightening_preempts_and_the_run_still_drains() {
+    let n = 24;
+    let (cluster, pvt) = fleet(n);
+    // generous cap, then a mid-run drop to a level that cannot hold the
+    // whole running set
+    let trace = congested_trace(n).with_cap_change(90.0, Watts(40.0 * n as f64));
+    for realloc in ReallocPolicy::ALL {
+        let r = replay(&cluster, &pvt, &trace, config(realloc, 95.0, n));
+        for j in &r.jobs {
+            assert!(
+                matches!(j.state, JobState::Completed | JobState::Killed),
+                "{realloc}: job {} stuck {:?} after cap change",
+                j.id,
+                j.state
+            );
+        }
+        // after the drop, the ledger must respect the new cap
+        for s in r.power.iter().filter(|s| s.at_s >= 90.0) {
+            assert!(
+                s.allocated_w <= 40.0 * n as f64 + 1e-6,
+                "{realloc}: {} W allocated after the cap dropped",
+                s.allocated_w
+            );
+        }
+    }
+}
+
+#[test]
+fn backfill_lets_a_small_job_jump_a_blocked_head() {
+    let n = 16;
+    let (cluster, pvt) = fleet(n);
+    let wide = |id: usize, at_s: f64| JobArrival {
+        id,
+        at_s,
+        workload: WorkloadId::Dgemm,
+        width: 12,
+        min_width: 12,
+        work_s: 50.0,
+    };
+    let trace = Trace {
+        jobs: vec![
+            wide(0, 0.0),
+            wide(1, 1.0), // must wait for job 0's modules
+            JobArrival {
+                id: 2,
+                at_s: 2.0,
+                workload: WorkloadId::Stream,
+                width: 4,
+                min_width: 4,
+                work_s: 10.0, // fits beside job 0
+            },
+        ],
+        cap_changes: vec![],
+    };
+    let run = |queue| {
+        let cfg = SchedConfig {
+            allocation: AllocationPolicy::Contiguous,
+            realloc: ReallocPolicy::UniformRebalance,
+            queue,
+            cap: Watts(110.0 * n as f64),
+        };
+        replay(&cluster, &pvt, &trace, cfg)
+    };
+    let fifo = run(QueueDiscipline::Fifo);
+    let backfill = run(QueueDiscipline::Backfill);
+    let start = |r: &SchedReport, id: usize| r.jobs[id].start_s.expect("job admitted");
+    // backfill starts the small job immediately; FIFO holds it behind the
+    // blocked wide job until job 0 completes
+    assert!((start(&backfill, 2) - 2.0).abs() < 1e-9, "backfill start {}", start(&backfill, 2));
+    assert!(start(&fifo, 2) > start(&backfill, 2) + 1.0, "fifo start {}", start(&fifo, 2));
+    // and the wide head is not starved by the backfilled job
+    assert_eq!(fifo.jobs[1].state, JobState::Completed);
+    assert_eq!(backfill.jobs[1].state, JobState::Completed);
+}
+
+#[test]
+fn jobs_shrink_gracefully_when_modules_are_scarce() {
+    let n = 16;
+    let (cluster, pvt) = fleet(n);
+    let trace = Trace {
+        jobs: vec![
+            JobArrival {
+                id: 0,
+                at_s: 0.0,
+                workload: WorkloadId::Dgemm,
+                width: 12,
+                min_width: 12,
+                work_s: 60.0,
+            },
+            // wants the whole fleet, accepts 2: must shrink into the 4
+            // modules job 0 left free
+            JobArrival {
+                id: 1,
+                at_s: 1.0,
+                workload: WorkloadId::Ep,
+                width: 16,
+                min_width: 2,
+                work_s: 10.0,
+            },
+        ],
+        cap_changes: vec![],
+    };
+    let r = replay(
+        &cluster,
+        &pvt,
+        &trace,
+        config(ReallocPolicy::UniformRebalance, 110.0, n),
+    );
+    let j = &r.jobs[1];
+    assert_eq!(j.state, JobState::Completed);
+    assert!((j.start_s.unwrap() - 1.0).abs() < 1e-9, "shrunk job should start on arrival");
+    assert!(j.granted >= 2 && j.granted <= 4, "granted {} of 16 requested", j.granted);
+}
+
+#[test]
+fn infeasible_jobs_are_killed_not_starved() {
+    let n = 8;
+    let (cluster, pvt) = fleet(n);
+    let trace = Trace {
+        jobs: vec![JobArrival {
+            id: 0,
+            at_s: 0.0,
+            workload: WorkloadId::Dgemm,
+            width: 32,
+            min_width: 32, // wider than the fleet: never feasible
+            work_s: 10.0,
+        }],
+        cap_changes: vec![],
+    };
+    let r = replay(&cluster, &pvt, &trace, config(ReallocPolicy::Frozen, 110.0, n));
+    assert_eq!(r.jobs[0].state, JobState::Killed);
+    assert_eq!(r.killed_count(), 1);
+}

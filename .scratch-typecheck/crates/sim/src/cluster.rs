@@ -1,0 +1,355 @@
+//! A simulated fleet of modules built from a system specification.
+//!
+//! [`Cluster::new`] "manufactures" the fleet: it samples each module's
+//! variability fingerprint from the system's distributions, which is the
+//! moment the die-to-die lottery of §2.1 happens. Everything downstream —
+//! the variability studies of §4 and the budgeting evaluation of §6 — runs
+//! against this fleet.
+
+use crate::cpufreq::Governor;
+use crate::module::SimModule;
+use crate::rapl::RaplLimit;
+use std::fmt;
+use vap_model::power::PowerActivity;
+use vap_model::systems::SystemSpec;
+use vap_model::thermal::{RackGradient, ThermalEnv};
+use vap_model::units::{GigaHertz, Seconds, Watts};
+
+/// Fleet-level operations that can fail on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A per-module vector did not have one entry per module.
+    LengthMismatch {
+        /// Fleet size (entries required).
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::LengthMismatch { expected, got } => {
+                write!(f, "expected one entry per module ({expected}), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A fleet of simulated modules.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: SystemSpec,
+    modules: Vec<SimModule>,
+}
+
+impl Cluster {
+    /// Build the fleet the paper studied on this system
+    /// (`spec.modules_studied` modules), deterministically in `seed`.
+    pub fn new(spec: SystemSpec, seed: u64) -> Self {
+        let n = spec.modules_studied;
+        Self::with_size(spec, n, seed)
+    }
+
+    /// Build a fleet of `n` modules (reduced-scale experiments, tests).
+    pub fn with_size(spec: SystemSpec, n: usize, seed: u64) -> Self {
+        Self::with_thermal(spec, n, seed, None)
+    }
+
+    /// Build a fleet with an optional rack thermal gradient (extension
+    /// experiments; `None` puts every module at reference temperature like
+    /// the paper's study).
+    pub fn with_thermal(spec: SystemSpec, n: usize, seed: u64, gradient: Option<RackGradient>) -> Self {
+        let fleet = spec.variability.sample_fleet(n, spec.cores_per_proc, seed);
+        let modules = fleet
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let thermal = match gradient {
+                    Some(g) => g.env_for(i, n),
+                    None => ThermalEnv::reference(),
+                };
+                SimModule::new(i, v, spec.power_model, spec.pstates.clone(), thermal)
+            })
+            .collect();
+        Cluster { spec, modules }
+    }
+
+    /// The system this fleet instantiates.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// All modules.
+    pub fn modules(&self) -> &[SimModule] {
+        &self.modules
+    }
+
+    /// All modules, mutably.
+    pub fn modules_mut(&mut self) -> &mut [SimModule] {
+        &mut self.modules
+    }
+
+    /// One module by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use [`Cluster::get`] for ids that
+    /// originate outside the fleet (user options, job requests).
+    pub fn module(&self, id: usize) -> &SimModule {
+        &self.modules[id]
+    }
+
+    /// One module by id, mutably.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use [`Cluster::get_mut`] for ids
+    /// that originate outside the fleet (user options, job requests).
+    pub fn module_mut(&mut self, id: usize) -> &mut SimModule {
+        &mut self.modules[id]
+    }
+
+    /// One module by id, or `None` if `id` is not in the fleet.
+    pub fn get(&self, id: usize) -> Option<&SimModule> {
+        self.modules.get(id)
+    }
+
+    /// One module by id, mutably, or `None` if `id` is not in the fleet.
+    pub fn get_mut(&mut self, id: usize) -> Option<&mut SimModule> {
+        self.modules.get_mut(id)
+    }
+
+    /// Put the same workload activity on every module (an SPMD job).
+    pub fn set_activity_all(&mut self, activity: PowerActivity) {
+        for m in &mut self.modules {
+            m.set_activity(activity);
+        }
+    }
+
+    /// Program the same RAPL cap on every module (the Naive / Pc schemes).
+    pub fn set_uniform_cap(&mut self, limit: RaplLimit) {
+        for m in &mut self.modules {
+            m.set_cap(limit);
+        }
+    }
+
+    /// Program per-module RAPL caps (the VaPc scheme). `caps` must have one
+    /// entry per module; a mismatched vector programs nothing.
+    pub fn set_caps(&mut self, caps: &[Watts]) -> Result<(), ClusterError> {
+        if caps.len() != self.modules.len() {
+            return Err(ClusterError::LengthMismatch {
+                expected: self.modules.len(),
+                got: caps.len(),
+            });
+        }
+        for (m, &c) in self.modules.iter_mut().zip(caps) {
+            m.set_cap(RaplLimit::with_default_window(c));
+        }
+        Ok(())
+    }
+
+    /// Pin per-module frequencies through the userspace governor (the VaFs
+    /// scheme). `freqs` must have one entry per module; a mismatched vector
+    /// programs nothing.
+    pub fn set_frequencies(&mut self, freqs: &[GigaHertz]) -> Result<(), ClusterError> {
+        if freqs.len() != self.modules.len() {
+            return Err(ClusterError::LengthMismatch {
+                expected: self.modules.len(),
+                got: freqs.len(),
+            });
+        }
+        for (m, &f) in self.modules.iter_mut().zip(freqs) {
+            m.set_governor(Governor::Userspace(f));
+        }
+        Ok(())
+    }
+
+    /// Remove all caps and restore the performance governor.
+    pub fn uncap_all(&mut self) {
+        for m in &mut self.modules {
+            m.clear_cap();
+            m.set_governor(Governor::Performance);
+        }
+    }
+
+    /// Ground-truth per-module CPU power (experiment oracle; real
+    /// campaigns go through [`crate::measurement`]).
+    pub fn cpu_powers(&self) -> Vec<Watts> {
+        self.modules.iter().map(|m| m.cpu_power()).collect()
+    }
+
+    /// Ground-truth per-module DRAM power.
+    pub fn dram_powers(&self) -> Vec<Watts> {
+        self.modules.iter().map(|m| m.dram_power()).collect()
+    }
+
+    /// Ground-truth per-module module (CPU+DRAM) power.
+    pub fn module_powers(&self) -> Vec<Watts> {
+        self.modules.iter().map(|m| m.module_power()).collect()
+    }
+
+    /// Current operating frequencies (duty-weighted effective frequency).
+    pub fn effective_frequencies(&self) -> Vec<GigaHertz> {
+        self.modules.iter().map(|m| m.operating_point().effective_frequency()).collect()
+    }
+
+    /// Total fleet power right now.
+    pub fn total_power(&self) -> Watts {
+        self.modules.iter().map(|m| m.module_power()).sum()
+    }
+
+    /// Advance every module by `dt` (energy accounting).
+    pub fn step_all(&mut self, dt: Seconds) {
+        for m in &mut self.modules {
+            m.step(dt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_model::systems::SystemSpec;
+    use vap_stats::{worst_case_variation, Summary};
+
+    fn small_ha8k(n: usize, seed: u64) -> Cluster {
+        let mut c = Cluster::with_size(SystemSpec::ha8k(), n, seed);
+        c.set_activity_all(PowerActivity { cpu: 1.0, dram: 0.25 });
+        c
+    }
+
+    #[test]
+    fn fleet_size_defaults_to_study_size() {
+        let c = Cluster::new(SystemSpec::teller(), 1);
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small_ha8k(16, 3);
+        let b = small_ha8k(16, 3);
+        for (ma, mb) in a.modules().iter().zip(b.modules()) {
+            assert_eq!(ma.variation(), mb.variation());
+        }
+    }
+
+    #[test]
+    fn uncapped_fleet_shows_power_variation_but_no_frequency_variation() {
+        // Fig. 2(i) in miniature: identical code, identical frequency,
+        // visibly different power.
+        let c = small_ha8k(256, 42);
+        let freqs: Vec<f64> = c.effective_frequencies().iter().map(|f| f.value()).collect();
+        assert_eq!(worst_case_variation(&freqs), Some(1.0));
+        let powers: Vec<f64> = c.module_powers().iter().map(|p| p.value()).collect();
+        let vp = worst_case_variation(&powers).unwrap();
+        assert!(vp > 1.1, "expected visible power variation, Vp = {vp}");
+    }
+
+    #[test]
+    fn uniform_cap_converts_power_variation_into_frequency_variation() {
+        // Fig. 2(ii) in miniature.
+        let mut c = small_ha8k(256, 42);
+        c.set_uniform_cap(RaplLimit::with_default_window(Watts(68.25)));
+        let freqs: Vec<f64> = c.effective_frequencies().iter().map(|f| f.value()).collect();
+        let vf = worst_case_variation(&freqs).unwrap();
+        assert!(vf > 1.05, "expected frequency variation under cap, Vf = {vf}");
+        // and the power spread collapses toward the cap
+        let powers: Vec<f64> = c.cpu_powers().iter().map(|p| p.value()).collect();
+        let s = Summary::of(&powers).unwrap();
+        assert!(s.max <= 68.25 + 0.01);
+    }
+
+    #[test]
+    fn per_module_caps_and_frequencies_apply() {
+        let mut c = small_ha8k(4, 7);
+        c.set_caps(&[Watts(50.0), Watts(60.0), Watts(70.0), Watts(80.0)]).unwrap();
+        for (i, m) in c.modules().iter().enumerate() {
+            let expected = 50.0 + 10.0 * i as f64;
+            assert!((m.cap().unwrap().cap.value() - expected).abs() < 0.1);
+        }
+        c.uncap_all();
+        c.set_frequencies(&[GigaHertz(1.5); 4]).unwrap();
+        for m in c.modules() {
+            assert_eq!(m.operating_point().clock, GigaHertz(1.5));
+        }
+    }
+
+    #[test]
+    fn uncap_restores_nominal_operation() {
+        let mut c = small_ha8k(8, 9);
+        c.set_uniform_cap(RaplLimit::with_default_window(Watts(50.0)));
+        c.uncap_all();
+        for m in c.modules() {
+            assert!(m.cap().is_none());
+            assert_eq!(m.operating_point().clock, GigaHertz(2.7));
+        }
+    }
+
+    #[test]
+    fn total_power_sums_modules() {
+        let mut c = small_ha8k(10, 11);
+        let total = c.total_power();
+        let sum: Watts = c.module_powers().into_iter().sum();
+        assert!((total.value() - sum.value()).abs() < 1e-9);
+        c.step_all(Seconds(1.0));
+        let e: f64 = c.modules().iter().map(|m| (m.pkg_energy() + m.dram_energy()).value()).sum();
+        assert!((e - total.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_vectors_are_rejected_and_program_nothing() {
+        let mut c = small_ha8k(4, 1);
+        assert_eq!(
+            c.set_caps(&[Watts(50.0); 3]),
+            Err(ClusterError::LengthMismatch { expected: 4, got: 3 })
+        );
+        assert!(c.modules().iter().all(|m| m.cap().is_none()), "nothing programmed");
+        assert_eq!(
+            c.set_frequencies(&[GigaHertz(1.5); 5]),
+            Err(ClusterError::LengthMismatch { expected: 4, got: 5 })
+        );
+        for m in c.modules() {
+            assert_eq!(m.operating_point().clock, GigaHertz(2.7));
+        }
+        let msg = ClusterError::LengthMismatch { expected: 4, got: 3 }.to_string();
+        assert!(msg.contains('4') && msg.contains('3'));
+    }
+
+    #[test]
+    fn checked_accessors_cover_the_fleet_and_nothing_else() {
+        let mut c = small_ha8k(4, 2);
+        assert!(c.get(3).is_some());
+        assert!(c.get(4).is_none());
+        assert!(c.get_mut(0).is_some());
+        assert!(c.get_mut(usize::MAX).is_none());
+        assert_eq!(c.get(2).map(|m| m.id), Some(2));
+    }
+
+    #[test]
+    fn thermal_gradient_raises_hot_end_power() {
+        let spec = SystemSpec::ha8k();
+        let mut no_var_spec = spec.clone();
+        no_var_spec.variability = vap_model::VariabilityModel::none();
+        let mut c = Cluster::with_thermal(
+            no_var_spec,
+            32,
+            0,
+            Some(RackGradient { cold_c: 20.0, hot_c: 40.0 }),
+        );
+        c.set_activity_all(PowerActivity { cpu: 1.0, dram: 0.25 });
+        let p = c.cpu_powers();
+        assert!(p.last().unwrap() > p.first().unwrap());
+    }
+}

@@ -1,0 +1,452 @@
+//! One simulated module: a CPU socket plus its DRAM.
+//!
+//! A [`SimModule`] owns a manufacturing fingerprint sampled at "fabrication"
+//! time, a ground-truth power model, an MSR file, a cpufreq governor and an
+//! optional RAPL limit. Power management composes the way it does on real
+//! hardware: the governor proposes a clock, RAPL throttles below it if the
+//! package would exceed the cap, and clock modulation kicks in below the
+//! lowest P-state.
+
+use crate::cpufreq::Governor;
+use crate::msr::{EnergyCounter, MsrFile, PowerLimitRegister, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS};
+use crate::rapl::{self, RaplLimit, RaplSteadyState};
+use serde::{Deserialize, Serialize};
+use vap_model::boundedness::Boundedness;
+use vap_model::power::{ModulePowerModel, PowerActivity};
+use vap_model::pstate::PStateTable;
+use vap_model::thermal::ThermalEnv;
+use vap_model::units::{GigaHertz, Joules, Seconds, Watts};
+use vap_model::variability::ModuleVariation;
+
+/// The resolved operating point of a module: the clock it runs at while
+/// ungated, and the fraction of time it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Clock frequency while running.
+    pub clock: GigaHertz,
+    /// Run fraction in `[0, 1]` (1.0 except under clock modulation;
+    /// 0.0 when the cap is infeasible).
+    pub duty: f64,
+}
+
+impl OperatingPoint {
+    /// Cycles delivered per unit time, as a frequency: `clock × duty`.
+    pub fn effective_frequency(&self) -> GigaHertz {
+        self.clock * self.duty
+    }
+}
+
+/// One module of the simulated fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimModule {
+    /// Fleet-wide module index.
+    pub id: usize,
+    variation: ModuleVariation,
+    /// Workload-specific override of the fingerprint: different
+    /// instruction mixes stress differently-varying circuit paths, so a
+    /// module's power deviation under workload W is correlated with — but
+    /// not identical to — its deviation under the PVT microbenchmark.
+    /// `None` means the base fingerprint applies.
+    workload_variation: Option<ModuleVariation>,
+    thermal: ThermalEnv,
+    power_model: ModulePowerModel,
+    pstates: PStateTable,
+    governor: Governor,
+    cap: Option<RaplLimit>,
+    activity: PowerActivity,
+    op: OperatingPoint,
+    /// Whether the programmed cap is actively limiting the module (RAPL's
+    /// dynamic control is in the loop, with its dithering cost).
+    rapl_throttled: bool,
+    msrs: MsrFile,
+    pkg_counter: EnergyCounter,
+    dram_counter: EnergyCounter,
+    pkg_energy: Joules,
+    dram_energy: Joules,
+}
+
+impl SimModule {
+    /// Create a module with the given fingerprint and models, initially
+    /// idle under the performance governor with no cap.
+    pub fn new(
+        id: usize,
+        variation: ModuleVariation,
+        power_model: ModulePowerModel,
+        pstates: PStateTable,
+        thermal: ThermalEnv,
+    ) -> Self {
+        let mut m = SimModule {
+            id,
+            variation,
+            workload_variation: None,
+            thermal,
+            power_model,
+            pstates,
+            governor: Governor::Performance,
+            cap: None,
+            activity: PowerActivity::IDLE,
+            op: OperatingPoint { clock: GigaHertz::ZERO, duty: 1.0 },
+            rapl_throttled: false,
+            msrs: MsrFile::new(),
+            pkg_counter: EnergyCounter::default(),
+            dram_counter: EnergyCounter::default(),
+            pkg_energy: Joules::ZERO,
+            dram_energy: Joules::ZERO,
+        };
+        m.resolve();
+        m
+    }
+
+    /// The fingerprint currently in effect: the workload-specific
+    /// override if one is installed, else the base manufacturing
+    /// fingerprint.
+    pub fn variation(&self) -> &ModuleVariation {
+        self.workload_variation.as_ref().unwrap_or(&self.variation)
+    }
+
+    /// The base (PVT-microbenchmark) manufacturing fingerprint.
+    pub fn base_variation(&self) -> &ModuleVariation {
+        &self.variation
+    }
+
+    /// Install (or clear) a workload-specific fingerprint override.
+    pub fn set_workload_variation(&mut self, v: Option<ModuleVariation>) {
+        self.workload_variation = v;
+        self.resolve();
+    }
+
+    /// The module's P-state table.
+    pub fn pstates(&self) -> &PStateTable {
+        &self.pstates
+    }
+
+    /// The module's thermal environment.
+    pub fn thermal(&self) -> ThermalEnv {
+        self.thermal
+    }
+
+    /// Ground-truth power model (the experiment oracles use this; the
+    /// budgeting algorithm must not).
+    pub fn power_model(&self) -> &ModulePowerModel {
+        &self.power_model
+    }
+
+    /// The register file (what a `libMSR`-style tool would read/write).
+    pub fn msrs(&self) -> &MsrFile {
+        &self.msrs
+    }
+
+    /// Current workload activity.
+    pub fn activity(&self) -> PowerActivity {
+        self.activity
+    }
+
+    /// Current resolved operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.op
+    }
+
+    /// Set the workload activity factors (what code the module is running).
+    pub fn set_activity(&mut self, activity: PowerActivity) {
+        self.activity = activity;
+        self.resolve();
+    }
+
+    /// Install a cpufreq governor (the FS control path).
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = governor;
+        self.resolve();
+    }
+
+    /// Program a RAPL package power cap (the PC control path). The cap is
+    /// written through the MSR encoding, so it inherits hardware
+    /// quantization (1/8 W).
+    pub fn set_cap(&mut self, limit: RaplLimit) {
+        self.msrs.set_pkg_power_limit(PowerLimitRegister {
+            limit: limit.cap,
+            enabled: true,
+            clamp: true,
+            window: limit.window,
+        });
+        let quantized = self.msrs.pkg_power_limit();
+        self.cap = Some(RaplLimit { cap: quantized.limit, window: quantized.window });
+        self.resolve();
+    }
+
+    /// Remove any RAPL cap.
+    pub fn clear_cap(&mut self) {
+        self.msrs.set_pkg_power_limit(PowerLimitRegister {
+            limit: Watts::ZERO,
+            enabled: false,
+            clamp: false,
+            window: Seconds::from_millis(1.0),
+        });
+        self.cap = None;
+        self.resolve();
+    }
+
+    /// The currently programmed cap, if any.
+    pub fn cap(&self) -> Option<RaplLimit> {
+        self.cap
+    }
+
+    /// Recompute the operating point from governor + cap + activity.
+    ///
+    /// The governor proposes a clock; if a cap is installed, RAPL's steady
+    /// state is computed and the *more restrictive* of the two wins (RAPL
+    /// cannot raise the clock above the governor's choice, and the governor
+    /// cannot override the power limit).
+    fn resolve(&mut self) {
+        let gov_clock = self.governor.resolve(&self.pstates);
+        let (op, throttled) = match self.cap {
+            None => (OperatingPoint { clock: gov_clock, duty: 1.0 }, false),
+            Some(limit) => {
+                let s = rapl::steady_state(
+                    limit.cap,
+                    &self.power_model.cpu,
+                    self.activity.cpu,
+                    self.variation(),
+                    self.thermal.factor(),
+                    &self.pstates,
+                );
+                match s {
+                    RaplSteadyState::Unconstrained { .. } => {
+                        (OperatingPoint { clock: gov_clock, duty: 1.0 }, false)
+                    }
+                    RaplSteadyState::Dvfs { freq } => {
+                        // RAPL only dithers when it, not the governor, is
+                        // the binding constraint.
+                        let binding = freq < gov_clock;
+                        (OperatingPoint { clock: freq.min(gov_clock), duty: 1.0 }, binding)
+                    }
+                    RaplSteadyState::ClockModulated { duty, .. } => {
+                        (OperatingPoint { clock: self.pstates.f_min().min(gov_clock), duty }, true)
+                    }
+                }
+            }
+        };
+        self.op = op;
+        self.rapl_throttled = throttled;
+    }
+
+    /// Average CPU (package) power at the current operating point,
+    /// duty-weighted across run and gated phases.
+    pub fn cpu_power(&self) -> Watts {
+        let run = self.power_model.cpu.power(
+            self.op.clock,
+            self.activity.cpu,
+            self.variation(),
+            self.thermal.factor(),
+        );
+        if self.op.duty >= 1.0 {
+            run
+        } else {
+            let gated = self.power_model.cpu.gated_power(self.variation(), self.thermal.factor());
+            run * self.op.duty + gated * (1.0 - self.op.duty)
+        }
+    }
+
+    /// Average DRAM power at the current operating point. Memory traffic
+    /// only flows while the CPU runs, so activity is duty-weighted; standby
+    /// power is always drawn. DRAM is never capped (the paper notes DRAM
+    /// capping "rarely exists" in production systems).
+    pub fn dram_power(&self) -> Watts {
+        self.power_model.dram.power(self.op.clock, self.activity.dram * self.op.duty, self.variation())
+    }
+
+    /// Average module (CPU + DRAM) power.
+    pub fn module_power(&self) -> Watts {
+        self.cpu_power() + self.dram_power()
+    }
+
+    /// Relative execution rate (1.0 = this workload at the reference
+    /// frequency on a nominal part): the boundedness-dependent DVFS
+    /// slowdown, the duty cycle, and the module's silicon-speed multiplier.
+    pub fn effective_rate(&self, boundedness: &Boundedness) -> f64 {
+        if self.op.duty <= 0.0 || self.op.clock.value() <= 0.0 {
+            return 0.0;
+        }
+        let dither = if self.rapl_throttled { rapl::DVFS_DITHER_EFFICIENCY } else { 1.0 };
+        self.op.duty
+            * dither
+            * rapl::modulation_efficiency(self.op.duty)
+            * boundedness.relative_rate(self.op.clock)
+            * self.variation().perf
+    }
+
+    /// Advance time by `dt`: accumulate energy into the MSR counters and
+    /// the lifetime totals.
+    pub fn step(&mut self, dt: Seconds) {
+        let pkg = self.cpu_power() * dt;
+        let dram = self.dram_power() * dt;
+        self.pkg_energy += pkg;
+        self.dram_energy += dram;
+        self.pkg_counter.accumulate(pkg);
+        self.dram_counter.accumulate(dram);
+        self.msrs.write(MSR_PKG_ENERGY_STATUS, self.pkg_counter.raw() as u64);
+        self.msrs.write(MSR_DRAM_ENERGY_STATUS, self.dram_counter.raw() as u64);
+    }
+
+    /// Lifetime package energy.
+    pub fn pkg_energy(&self) -> Joules {
+        self.pkg_energy
+    }
+
+    /// Lifetime DRAM energy.
+    pub fn dram_energy(&self) -> Joules {
+        self.dram_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_model::systems::SystemSpec;
+
+    fn module_with(variation: ModuleVariation) -> SimModule {
+        let spec = SystemSpec::ha8k();
+        SimModule::new(0, variation, spec.power_model, spec.pstates, ThermalEnv::reference())
+    }
+
+    fn nominal_module() -> SimModule {
+        module_with(ModuleVariation::nominal(0, 12))
+    }
+
+    fn busy() -> PowerActivity {
+        PowerActivity { cpu: 1.0, dram: 0.25 }
+    }
+
+    #[test]
+    fn uncapped_runs_at_fmax() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        assert_eq!(m.operating_point().clock, GigaHertz(2.7));
+        assert_eq!(m.operating_point().duty, 1.0);
+        assert!((m.cpu_power().value() - 100.8).abs() < 3.0);
+    }
+
+    #[test]
+    fn cap_throttles_clock() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        m.set_cap(RaplLimit::with_default_window(Watts(77.25)));
+        let op = m.operating_point();
+        assert!(op.clock < GigaHertz(2.7));
+        assert!(op.duty == 1.0);
+        assert!(m.cpu_power() <= Watts(77.25 + 0.01));
+        // DRAM unaffected by the CPU cap except through frequency
+        assert!(m.dram_power() > Watts(0.0));
+    }
+
+    #[test]
+    fn cap_goes_through_msr_quantization() {
+        let mut m = nominal_module();
+        m.set_cap(RaplLimit::with_default_window(Watts(77.3)));
+        // 77.3 W is not a multiple of 1/8 W; the effective cap is the
+        // quantized value read back from the register.
+        let eff = m.cap().unwrap().cap;
+        assert!((eff.value() * 8.0).fract().abs() < 1e-9);
+        assert!((eff.value() - 77.3).abs() <= 0.0625 + 1e-9);
+    }
+
+    #[test]
+    fn deep_cap_duty_cycles_and_guts_performance() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        m.set_cap(RaplLimit::with_default_window(Watts(35.0)));
+        let op = m.operating_point();
+        assert_eq!(op.clock, GigaHertz(1.2));
+        assert!(op.duty < 1.0);
+        let b = Boundedness::cpu_bound(GigaHertz(2.7));
+        let rate = m.effective_rate(&b);
+        // far below the f_min rate of 1.2/2.7 ≈ 0.44
+        assert!(rate < 0.35, "rate = {rate}");
+    }
+
+    #[test]
+    fn governor_pins_frequency() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        m.set_governor(Governor::Userspace(GigaHertz(1.8)));
+        assert_eq!(m.operating_point().clock, GigaHertz(1.8));
+        // FS controls frequency but not power: power follows the module's
+        // silicon at 1.8 GHz.
+        let p = m.cpu_power();
+        assert!(p < Watts(100.0) && p > Watts(40.0));
+    }
+
+    #[test]
+    fn governor_and_cap_compose_min_wise() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        // generous cap + low governor: governor wins
+        m.set_cap(RaplLimit::with_default_window(Watts(120.0)));
+        m.set_governor(Governor::Userspace(GigaHertz(1.5)));
+        assert_eq!(m.operating_point().clock, GigaHertz(1.5));
+        // tight cap + high governor: cap wins
+        m.set_governor(Governor::Userspace(GigaHertz(2.7)));
+        m.set_cap(RaplLimit::with_default_window(Watts(60.0)));
+        assert!(m.operating_point().clock < GigaHertz(2.7));
+    }
+
+    #[test]
+    fn clear_cap_restores_full_speed() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        m.set_cap(RaplLimit::with_default_window(Watts(50.0)));
+        assert!(m.operating_point().clock < GigaHertz(2.7));
+        m.clear_cap();
+        assert_eq!(m.operating_point().clock, GigaHertz(2.7));
+        assert!(m.cap().is_none());
+    }
+
+    #[test]
+    fn power_hungry_module_is_slower_under_same_cap() {
+        let mut hungry_var = ModuleVariation::nominal(1, 12);
+        hungry_var.dynamic = 1.08;
+        hungry_var.leakage = 1.4;
+        let mut nom = nominal_module();
+        let mut hungry = module_with(hungry_var);
+        for m in [&mut nom, &mut hungry] {
+            m.set_activity(busy());
+            m.set_cap(RaplLimit::with_default_window(Watts(68.25)));
+        }
+        let b = Boundedness::cpu_bound(GigaHertz(2.7));
+        assert!(hungry.effective_rate(&b) < nom.effective_rate(&b));
+    }
+
+    #[test]
+    fn energy_accounting_matches_power_times_time() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        let p_pkg = m.cpu_power();
+        let p_dram = m.dram_power();
+        for _ in 0..1000 {
+            m.step(Seconds::from_millis(1.0));
+        }
+        assert!((m.pkg_energy().value() - p_pkg.value()).abs() < 1e-6);
+        assert!((m.dram_energy().value() - p_dram.value()).abs() < 1e-6);
+        // MSR counters agree with lifetime totals (1 s elapsed, no wrap)
+        let pkg_msr = EnergyCounter::delta(0, m.msrs().read(MSR_PKG_ENERGY_STATUS) as u32);
+        assert!((pkg_msr.value() - m.pkg_energy().value()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn idle_module_draws_base_power_only() {
+        let m = nominal_module();
+        // idle: no dynamic power, leakage + idle + DRAM standby
+        let p = m.module_power();
+        assert!(p.value() < 35.0, "idle power {p}");
+        assert!(p.value() > 15.0);
+    }
+
+    #[test]
+    fn perf_multiplier_feeds_effective_rate() {
+        let mut v = ModuleVariation::nominal(0, 4);
+        v.perf = 0.9;
+        let mut m = module_with(v);
+        m.set_activity(busy());
+        let b = Boundedness::cpu_bound(GigaHertz(2.7));
+        assert!((m.effective_rate(&b) - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the simulated hardware layer.
+
+use proptest::prelude::*;
+use vap_model::power::PowerActivity;
+use vap_model::systems::SystemSpec;
+use vap_model::thermal::ThermalEnv;
+use vap_model::units::{GigaHertz, Watts};
+use vap_model::variability::ModuleVariation;
+use vap_sim::cpufreq::Governor;
+use vap_sim::module::SimModule;
+use vap_sim::msr::{EnergyCounter, PowerLimitRegister};
+use vap_sim::rapl::RaplLimit;
+
+fn module_with(dynamic: f64, leakage: f64) -> SimModule {
+    let spec = SystemSpec::ha8k();
+    let mut v = ModuleVariation::nominal(0, 12);
+    v.dynamic = dynamic;
+    v.leakage = leakage;
+    let mut m = SimModule::new(0, v, spec.power_model, spec.pstates, ThermalEnv::reference());
+    m.set_activity(PowerActivity { cpu: 1.0, dram: 0.28 });
+    m
+}
+
+proptest! {
+    /// Whatever the silicon and the cap, a capped module never draws more
+    /// CPU power than the (MSR-quantized) cap unless the hardware floor
+    /// was hit — and then the operating point is the deepest throttle.
+    #[test]
+    fn caps_are_enforced_or_floored(
+        cap_w in 15.0f64..140.0,
+        dynamic in 0.9f64..1.1,
+        leakage in 0.6f64..1.5,
+    ) {
+        let mut m = module_with(dynamic, leakage);
+        m.set_cap(RaplLimit::with_default_window(Watts(cap_w)));
+        let effective_cap = m.cap().unwrap().cap;
+        let op = m.operating_point();
+        let at_floor = op.duty <= 1.0 / 16.0 + 1e-12;
+        if !at_floor {
+            prop_assert!(
+                m.cpu_power() <= effective_cap + Watts(1e-6),
+                "drew {} over cap {} at {:?}", m.cpu_power(), effective_cap, op
+            );
+        } else {
+            prop_assert!((op.clock.value() - 1.2).abs() < 1e-9);
+        }
+    }
+
+    /// Tightening the cap never increases the effective frequency, power,
+    /// or execution rate (global monotonicity of the throttling stack).
+    #[test]
+    fn throttling_is_monotone(
+        cap_w in 30.0f64..120.0,
+        delta in 1.0f64..40.0,
+        leakage in 0.6f64..1.5,
+    ) {
+        let mut m = module_with(1.0, leakage);
+        let b = vap_model::boundedness::Boundedness::new(0.8, GigaHertz(2.7));
+
+        m.set_cap(RaplLimit::with_default_window(Watts(cap_w + delta)));
+        let f_loose = m.operating_point().effective_frequency();
+        let p_loose = m.cpu_power();
+        let r_loose = m.effective_rate(&b);
+
+        m.set_cap(RaplLimit::with_default_window(Watts(cap_w)));
+        let f_tight = m.operating_point().effective_frequency();
+        let p_tight = m.cpu_power();
+        let r_tight = m.effective_rate(&b);
+
+        prop_assert!(f_tight <= f_loose + GigaHertz(1e-9));
+        prop_assert!(p_tight <= p_loose + Watts(1e-6));
+        prop_assert!(r_tight <= r_loose + 1e-9);
+    }
+
+    /// The MSR power-limit encoding round-trips any representable cap to
+    /// within half a quantum, and preserves the control bits exactly.
+    #[test]
+    fn msr_power_limit_round_trip(
+        cap_w in 0.0f64..4000.0,
+        enabled in any::<bool>(),
+        clamp in any::<bool>(),
+        window_ms in 0.98f64..300.0,
+    ) {
+        let reg = PowerLimitRegister {
+            limit: Watts(cap_w),
+            enabled,
+            clamp,
+            window: vap_model::units::Seconds::from_millis(window_ms),
+        };
+        let back = PowerLimitRegister::decode(reg.encode());
+        prop_assert!((back.limit.value() - cap_w).abs() <= 0.0625 + 1e-9);
+        prop_assert_eq!(back.enabled, enabled);
+        prop_assert_eq!(back.clamp, clamp);
+        // window lands on the representable geometric grid (ratio <= 1.25)
+        let ratio = (back.window.millis() / window_ms).max(window_ms / back.window.millis());
+        prop_assert!(ratio < 1.3, "window {} -> {}", window_ms, back.window.millis());
+    }
+
+    /// Energy counters: accumulating arbitrary positive quanta and
+    /// differencing recovers the total to within a counter quantum per
+    /// accumulate call, wrap or no wrap.
+    #[test]
+    fn energy_counter_conservation(
+        chunks in proptest::collection::vec(1e-6f64..200.0, 1..50),
+    ) {
+        let mut c = EnergyCounter::default();
+        let before = c.raw();
+        let mut total = 0.0;
+        for &j in &chunks {
+            c.accumulate(vap_model::units::Joules(j));
+            total += j;
+        }
+        // only valid when less than one wrap (65536 J) elapsed
+        prop_assume!(total < 65000.0);
+        let d = EnergyCounter::delta(before, c.raw());
+        let quantum = 1.0 / (1u64 << 16) as f64;
+        prop_assert!((d.value() - total).abs() <= quantum * chunks.len() as f64 + 1e-9);
+    }
+
+    /// The userspace governor never exceeds its requested frequency and
+    /// always lands on a supported P-state.
+    #[test]
+    fn userspace_governor_snaps_safely(req in 0.3f64..4.0) {
+        let mut m = module_with(1.0, 1.0);
+        m.set_governor(Governor::Userspace(GigaHertz(req)));
+        let clock = m.operating_point().clock;
+        prop_assert!(m.pstates().supports(clock));
+        if req >= 1.2 {
+            prop_assert!(clock.value() <= req + 1e-9);
+        } else {
+            prop_assert!((clock.value() - 1.2).abs() < 1e-9);
+        }
+    }
+
+    /// Energy accounting integrates power exactly for stepped time, for
+    /// arbitrary step patterns.
+    #[test]
+    fn energy_is_the_integral_of_power(
+        steps in proptest::collection::vec(0.001f64..0.5, 1..30),
+        cap_w in 40.0f64..120.0,
+    ) {
+        let mut m = module_with(1.0, 1.1);
+        m.set_cap(RaplLimit::with_default_window(Watts(cap_w)));
+        let p = m.cpu_power().value() + m.dram_power().value();
+        let mut elapsed = 0.0;
+        for &dt in &steps {
+            m.step(vap_model::units::Seconds(dt));
+            elapsed += dt;
+        }
+        let e = m.pkg_energy().value() + m.dram_energy().value();
+        prop_assert!((e - p * elapsed).abs() < 1e-6 * steps.len() as f64);
+    }
+}

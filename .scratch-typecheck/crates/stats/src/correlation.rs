@@ -1,0 +1,90 @@
+//! Pearson correlation.
+//!
+//! Fig. 1(C)'s key observation is a *negative correlation between
+//! slowdown and power* on Teller — "processors that consumed more power
+//! performed better" — which the paper flags as evidence of a different
+//! binning strategy. This module quantifies that relationship instead of
+//! eyeballing it.
+
+use crate::is_near_zero;
+
+/// Pearson product-moment correlation coefficient of two paired samples.
+///
+/// Returns `None` for mismatched lengths, fewer than two points,
+/// non-finite values, or zero variance on either axis.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    // Degenerate (zero-variance) axes: guarded via `NEAR_ZERO` rather than
+    // an exact float `==` — see the constant's docs for why the threshold
+    // only reclassifies underflow residue.
+    if is_near_zero(sxx) || is_near_zero(syy) {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let up: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -2.0 * x + 5.0).collect();
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_is_near_zero() {
+        // alternating orthogonal pattern
+        let xs: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| ((i / 2) % 2) as f64).collect();
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn scale_and_shift_invariance() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let ys = [2.0, 3.0, 1.0, 9.0, 4.0];
+        let r = pearson(&xs, &ys).unwrap();
+        let xs2: Vec<f64> = xs.iter().map(|x| 100.0 * x - 7.0).collect();
+        let ys2: Vec<f64> = ys.iter().map(|y| 0.5 * y + 42.0).collect();
+        assert!((pearson(&xs2, &ys2).unwrap() - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let xs = [1.0, 2.0, 3.0, 5.0, 4.0, 9.0];
+        let ys = [2.0, 1.0, 4.0, 4.0, 6.0, 8.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none()); // zero variance
+        assert!(pearson(&[1.0, f64::NAN], &[2.0, 3.0]).is_none());
+    }
+}

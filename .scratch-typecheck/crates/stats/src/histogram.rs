@@ -1,0 +1,154 @@
+//! Fixed-width histograms for distribution inspection.
+//!
+//! Used by the variability-study experiments to render the shape of per-module
+//! power distributions (complementing the scatter plots of Fig. 1 and 2).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with equally sized bins over `[lo, hi)`; the final bin is
+/// closed on the right so `hi` itself is counted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` — both are construction-time
+    /// programming errors, not data-dependent conditions.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Build a histogram sized to the data: range `[min, max]` of `samples`.
+    /// Returns `None` for empty or degenerate (all-equal) data.
+    pub fn of(samples: &[f64], bins: usize) -> Option<Self> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in samples {
+            if !s.is_finite() {
+                return None;
+            }
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if samples.is_empty() || lo >= hi {
+            return None;
+        }
+        let mut h = Histogram::new(lo, hi, bins);
+        for &s in samples {
+            h.add(s);
+        }
+        Some(h)
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Bin counts, left to right.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(left_edge, right_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Render a compact ASCII bar chart, one line per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (l, r) = self.bin_edges(i);
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!("[{l:8.2}, {r:8.2}) |{:<width$}| {c}\n", "#".repeat(bar_len)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99, 10.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 2]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.5);
+        h.add(1.5);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn auto_ranged_histogram() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0, 4.0], 3).unwrap();
+        assert_eq!(h.total(), 4);
+        assert!(Histogram::of(&[], 3).is_none());
+        assert!(Histogram::of(&[2.0, 2.0], 3).is_none());
+    }
+
+    #[test]
+    fn edges_are_consistent() {
+        let h = Histogram::new(0.0, 9.0, 3);
+        assert_eq!(h.bin_edges(0), (0.0, 3.0));
+        assert_eq!(h.bin_edges(2), (6.0, 9.0));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(1.5);
+        h.add(1.6);
+        let s = h.render(10);
+        assert!(s.contains("| 1"));
+        assert!(s.contains("| 2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The benchmark catalog: calibrated models of the paper's seven codes.
+//!
+//! Activity factors are calibrated against the paper's HA8K measurements:
+//! with the `vap-model` HA8K power physics, a CPU activity of `a` draws
+//! `36.7·a·f·V(f)² + 26 W` of package power and a DRAM activity of `d`
+//! draws `4 + d·(20 + 4f) W`, so e.g. MHD's `a = 0.77, d = 0.28` lands on
+//! the paper's Fig. 2(i) averages (CPU ≈ 83.9 W, DRAM ≈ 12.6 W, module ≈
+//! 96.4 W at 2.7 GHz). Reference times follow the scale of the paper's
+//! runs (minutes, dominated by compute).
+
+use crate::spec::{CommShape, VariationResponse, WorkloadId, WorkloadSpec};
+use vap_model::power::PowerActivity;
+use vap_model::units::Seconds;
+
+/// Look up the model of one benchmark.
+pub fn get(id: WorkloadId) -> WorkloadSpec {
+    match id {
+        WorkloadId::Dgemm => dgemm(),
+        WorkloadId::Stream => stream(),
+        WorkloadId::Ep => ep(),
+        WorkloadId::Bt => bt(),
+        WorkloadId::Sp => sp(),
+        WorkloadId::Mhd => mhd(),
+        WorkloadId::Mvmc => mvmc(),
+    }
+}
+
+/// All seven benchmark models.
+pub fn all() -> Vec<WorkloadSpec> {
+    WorkloadId::ALL.iter().map(|&id| get(id)).collect()
+}
+
+/// The six power-budgeted benchmarks of Table 4 / Fig. 7.
+pub fn evaluated() -> Vec<WorkloadSpec> {
+    WorkloadId::EVALUATED.iter().map(|&id| get(id)).collect()
+}
+
+/// *DGEMM: 12,288² MKL-threaded matrix multiply per module. Fully
+/// vectorized compute; working set blocked into cache, modest DRAM
+/// traffic; no inter-module communication — which is why power capping
+/// shows up directly as per-rank execution-time spread (Vt up to 1.64,
+/// Fig. 2(iii)).
+fn dgemm() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Dgemm,
+        description: "HPCC thread-parallel BLAS-3 matrix multiply (12288x12288, MKL-style)",
+        activity: PowerActivity { cpu: 1.0, dram: 0.28 },
+        cpu_fraction: 0.95,
+        response: VariationResponse::faithful(),
+        comm: CommShape::EmbarrassinglyParallel,
+        reference_time: Seconds(120.0),
+    }
+}
+
+/// *STREAM: AVX-optimized vector kernels over 24 GB arrays. Bandwidth
+/// bound (frequency barely helps) but still draws substantial CPU power —
+/// the property that made it the paper's PVT microbenchmark ("it exhibited
+/// both memory and CPU boundedness", §5.3). Its variation response is the
+/// definition of faithful: the PVT *is* STREAM.
+fn stream() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Stream,
+        description: "HPCC sustainable-memory-bandwidth kernels (24 GB vectors, AVX + OpenMP)",
+        activity: PowerActivity { cpu: 0.68, dram: 1.0 },
+        cpu_fraction: 0.35,
+        response: VariationResponse::faithful(),
+        comm: CommShape::EmbarrassinglyParallel,
+        reference_time: Seconds(90.0),
+    }
+}
+
+/// NPB EP, Class D: Marsaglia-polar Gaussian variates, tallied locally,
+/// one tiny allreduce at the end. Cache-resident and CPU-bound with no
+/// per-run noise — the paper's probe for isolating manufacturing
+/// variability (Fig. 1).
+fn ep() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Ep,
+        description: "NPB Embarrassingly Parallel Class D: Gaussian variates via Marsaglia polar",
+        activity: PowerActivity { cpu: 0.90, dram: 0.05 },
+        cpu_fraction: 1.0,
+        response: VariationResponse::faithful(),
+        comm: CommShape::FinalAllreduce { bytes: 80 },
+        reference_time: Seconds(100.0),
+    }
+}
+
+/// NPB BT-MZ, Class E: block tri-diagonal solver over coupled zones;
+/// halo exchange every step, residual reductions every 10. Its
+/// instruction mix (heavy FP divide / irregular access) stresses circuit
+/// paths whose variation correlates imperfectly with STREAM's — the
+/// decorrelated response reproduces the paper's ≈10% PMT prediction error
+/// (worst of all benchmarks, §5.3) and the VaPc-vs-VaPcOr gap in Fig. 7.
+fn bt() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Bt,
+        description: "NPB multizone Block Tri-diagonal solver, Class E (MPI+OpenMP)",
+        activity: PowerActivity { cpu: 0.60, dram: 0.22 },
+        cpu_fraction: 0.65,
+        response: VariationResponse {
+            dynamic_rho: 0.55,
+            dynamic_idio: 0.055,
+            dram_rho: 0.6,
+            dram_idio: 0.10,
+        },
+        comm: CommShape::StencilWithReduce {
+            iterations: 250,
+            halo_bytes: 2 << 20,
+            reduce_every: 10,
+            reduce_bytes: 40,
+        },
+        reference_time: Seconds(150.0),
+    }
+}
+
+/// NPB SP-MZ, Class E: scalar penta-diagonal solver; same communication
+/// skeleton as BT with lighter per-step compute. Transfers well from the
+/// STREAM PVT (mild decorrelation only).
+fn sp() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Sp,
+        description: "NPB multizone Scalar Penta-diagonal solver, Class E (MPI+OpenMP)",
+        activity: PowerActivity { cpu: 0.62, dram: 0.20 },
+        cpu_fraction: 0.60,
+        response: VariationResponse {
+            dynamic_rho: 0.92,
+            dynamic_idio: 0.012,
+            dram_rho: 0.9,
+            dram_idio: 0.04,
+        },
+        comm: CommShape::StencilWithReduce {
+            iterations: 250,
+            halo_bytes: 2 << 20,
+            reduce_every: 10,
+            reduce_bytes: 40,
+        },
+        reference_time: Seconds(140.0),
+    }
+}
+
+/// MHD: 3-D magneto-hydro-dynamics via the Modified Leapfrog method;
+/// every iteration exchanges boundary planes with neighboring ranks
+/// through `MPI_Sendrecv`. The frequent synchronization hides per-rank
+/// time variation (Vt ≈ 1.0 under caps, Fig. 2(iii)) while piling the
+/// variation into wait time (Fig. 3).
+fn mhd() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Mhd,
+        description: "3-D global MHD simulation (Modified Leapfrog), per-step Sendrecv halos",
+        activity: PowerActivity { cpu: 0.77, dram: 0.28 },
+        cpu_fraction: 0.70,
+        response: VariationResponse {
+            dynamic_rho: 0.95,
+            dynamic_idio: 0.008,
+            dram_rho: 0.95,
+            dram_idio: 0.03,
+        },
+        comm: CommShape::Stencil { iterations: 400, halo_bytes: 16 << 20 },
+        reference_time: Seconds(160.0),
+    }
+}
+
+/// mVMC (FIBER mini-app, middle-scale setting): variational Monte Carlo
+/// for strongly correlated electrons; blocks of independent sampling
+/// separated by parameter-update allreduces.
+fn mvmc() -> WorkloadSpec {
+    WorkloadSpec {
+        id: WorkloadId::Mvmc,
+        description: "mVMC-mini variational Monte Carlo (FIBER suite, middle-scale setting)",
+        activity: PowerActivity { cpu: 0.75, dram: 0.12 },
+        cpu_fraction: 0.85,
+        response: VariationResponse {
+            dynamic_rho: 0.90,
+            dynamic_idio: 0.015,
+            dram_rho: 0.9,
+            dram_idio: 0.05,
+        },
+        comm: CommShape::BlockReduce { blocks: 50, reduce_bytes: 64 << 10 },
+        reference_time: Seconds(130.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_model::systems::SystemSpec;
+    use vap_model::units::GigaHertz;
+    use vap_model::variability::ModuleVariation;
+
+    /// The calibration the whole evaluation rests on: nominal-module power
+    /// at f_max under each workload's activity, vs the paper's Fig. 2(i)
+    /// figures where reported.
+    #[test]
+    fn ha8k_power_calibration_matches_paper() {
+        let spec = SystemSpec::ha8k();
+        let v = ModuleVariation::nominal(0, 12);
+        let f = spec.pstates.f_max();
+        let p = |w: WorkloadId| {
+            let a = get(w).activity;
+            (
+                spec.power_model.cpu_power(f, a, &v, 1.0).value(),
+                spec.power_model.dram_power(f, a, &v).value(),
+            )
+        };
+        let (dg_cpu, dg_dram) = p(WorkloadId::Dgemm);
+        assert!((dg_cpu - 100.8).abs() < 3.0, "DGEMM cpu {dg_cpu}");
+        assert!((dg_dram - 12.0).abs() < 2.0, "DGEMM dram {dg_dram}");
+        let (mhd_cpu, mhd_dram) = p(WorkloadId::Mhd);
+        assert!((mhd_cpu - 83.9).abs() < 3.0, "MHD cpu {mhd_cpu}");
+        assert!((mhd_dram - 12.6).abs() < 2.0, "MHD dram {mhd_dram}");
+    }
+
+    /// Table 4's feasibility boundaries depend on each workload's module
+    /// power at f_min; verify the calibrated ordering.
+    #[test]
+    fn fmin_module_power_ordering_supports_table4() {
+        let spec = SystemSpec::ha8k();
+        let v = ModuleVariation::nominal(0, 12);
+        let f_min = spec.pstates.f_min();
+        let p_min = |w: WorkloadId| {
+            let a = get(w).activity;
+            spec.power_model.module_power(f_min, a, &v, 1.0).value()
+        };
+        // STREAM cannot run below ~70 W; DGEMM below ~60 W; MHD / BT / SP
+        // reach into the 50s.
+        assert!(p_min(WorkloadId::Stream) > 65.0, "{}", p_min(WorkloadId::Stream));
+        let dg = p_min(WorkloadId::Dgemm);
+        assert!((55.0..65.0).contains(&dg), "DGEMM fmin power {dg}");
+        assert!(p_min(WorkloadId::Mhd) < 57.0);
+        assert!(p_min(WorkloadId::Bt) < 52.0);
+        assert!(p_min(WorkloadId::Sp) < 52.0);
+        assert!(p_min(WorkloadId::Mvmc) > 48.0 && p_min(WorkloadId::Mvmc) < 56.0);
+    }
+
+    #[test]
+    fn catalog_is_complete_and_consistent() {
+        assert_eq!(all().len(), 7);
+        assert_eq!(evaluated().len(), 6);
+        for spec in all() {
+            assert_eq!(get(spec.id).id, spec.id);
+            assert!(spec.activity.cpu > 0.0 && spec.activity.cpu <= 1.2);
+            assert!(spec.activity.dram >= 0.0 && spec.activity.dram <= 1.0);
+            assert!((0.0..=1.0).contains(&spec.cpu_fraction));
+            assert!(spec.reference_time.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn boundedness_reflects_character() {
+        let f = GigaHertz(2.7);
+        // DGEMM nearly frequency-proportional, STREAM nearly insensitive.
+        let dgemm_slow = get(WorkloadId::Dgemm).boundedness(f).slowdown(GigaHertz(1.35));
+        let stream_slow = get(WorkloadId::Stream).boundedness(f).slowdown(GigaHertz(1.35));
+        assert!(dgemm_slow > 1.9);
+        assert!(stream_slow < 1.4);
+    }
+
+    #[test]
+    fn bt_is_the_least_faithful_to_the_pvt() {
+        let bt = get(WorkloadId::Bt).response;
+        for other in [WorkloadId::Sp, WorkloadId::Mhd, WorkloadId::Mvmc] {
+            let r = get(other).response;
+            assert!(bt.dynamic_rho < r.dynamic_rho);
+            assert!(bt.dynamic_idio > r.dynamic_idio);
+        }
+    }
+
+    #[test]
+    fn synchronizing_workloads_have_sync_ops() {
+        for (id, expect_sync) in [
+            (WorkloadId::Dgemm, false),
+            (WorkloadId::Stream, false),
+            (WorkloadId::Ep, true),
+            (WorkloadId::Mhd, true),
+            (WorkloadId::Bt, true),
+            (WorkloadId::Mvmc, true),
+        ] {
+            let p = get(id).program(0.1);
+            assert_eq!(p.sync_ops() > 0, expect_sync, "{id}");
+        }
+    }
+}

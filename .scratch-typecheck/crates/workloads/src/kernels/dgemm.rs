@@ -1,0 +1,204 @@
+//! Blocked, thread-parallel DGEMM — the *DGEMM kernel.
+//!
+//! `C = A · B` over row-major `f64` matrices, register-blocked over `k` and
+//! cache-blocked over `j`, with rows distributed across threads the way the
+//! MKL-threaded HPCC kernel spreads work across cores.
+
+use super::chunks;
+
+/// Cache block edge (elements). 64×64 f64 tiles keep the working set of a
+/// block multiply inside L2.
+const BLOCK: usize = 64;
+
+/// A square row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// An `n × n` matrix filled by `f(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// A deterministic pseudo-random matrix (xorshift-filled), the usual
+    /// HPCC initialization stand-in.
+    pub fn pseudo_random(n: usize, seed: u64) -> Self {
+        let mut state = seed.max(1);
+        Matrix::from_fn(n, |_, _| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // map to [-0.5, 0.5)
+            (bits >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sum of all elements (cheap checksum for tests and benches).
+    pub fn checksum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+/// Reference triple-loop multiply; O(n³) with no blocking. Ground truth
+/// for testing the optimized kernel.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.data[i * n + k];
+            for j in 0..n {
+                c.data[i * n + j] += aik * b.data[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Blocked, thread-parallel multiply: rows are split across `threads`
+/// workers; each worker runs an `i-k-j` kernel over `BLOCK`-wide `k`/`j`
+/// tiles.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    let row_ranges = chunks(n, threads.max(1));
+    // Split C into disjoint row bands, one per worker.
+    let mut bands: Vec<&mut [f64]> = Vec::with_capacity(row_ranges.len());
+    {
+        let mut rest: &mut [f64] = &mut c.data;
+        for r in &row_ranges {
+            let (band, tail) = rest.split_at_mut((r.end - r.start) * n);
+            bands.push(band);
+            rest = tail;
+        }
+    }
+    crossbeam::scope(|s| {
+        for (range, band) in row_ranges.iter().zip(bands) {
+            let a = &a.data;
+            let b = &b.data;
+            let range = range.clone();
+            s.spawn(move |_| {
+                for kk in (0..n).step_by(BLOCK) {
+                    let k_end = (kk + BLOCK).min(n);
+                    for jj in (0..n).step_by(BLOCK) {
+                        let j_end = (jj + BLOCK).min(n);
+                        for (bi, i) in range.clone().enumerate() {
+                            let c_row = &mut band[bi * n..(bi + 1) * n];
+                            for k in kk..k_end {
+                                let aik = a[i * n + k];
+                                let b_row = &b[k * n..(k + 1) * n];
+                                for j in jj..j_end {
+                                    c_row[j] += aik * b_row[j];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("dgemm worker panicked");
+    c
+}
+
+/// Floating point operations performed by an `n × n` multiply.
+pub fn flops(n: usize) -> u64 {
+    2 * (n as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.n(), b.n());
+        for i in 0..a.n() {
+            for j in 0..a.n() {
+                assert!(
+                    (a.get(i, j) - b.get(i, j)).abs() < 1e-9,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    b.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 33;
+        let a = Matrix::pseudo_random(n, 1);
+        let id = Matrix::from_fn(n, |i, j| f64::from(i == j));
+        assert_close(&matmul_blocked(&a, &id, 4), &a);
+        assert_close(&matmul_blocked(&id, &a, 4), &a);
+    }
+
+    #[test]
+    fn blocked_matches_naive_at_odd_sizes() {
+        // sizes straddling the 64-wide block boundary
+        for n in [1, 7, 63, 64, 65, 130] {
+            let a = Matrix::pseudo_random(n, 2);
+            let b = Matrix::pseudo_random(n, 3);
+            assert_close(&matmul_blocked(&a, &b, 3), &matmul_naive(&a, &b));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let a = Matrix::pseudo_random(96, 5);
+        let b = Matrix::pseudo_random(96, 6);
+        let c1 = matmul_blocked(&a, &b, 1);
+        for threads in [2, 4, 7, 96, 200] {
+            assert_close(&matmul_blocked(&a, &b, threads), &c1);
+        }
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_centered() {
+        let a = Matrix::pseudo_random(50, 9);
+        let b = Matrix::pseudo_random(50, 9);
+        assert_eq!(a, b);
+        let mean = a.checksum() / (50.0 * 50.0);
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(flops(10), 2000);
+        assert_eq!(flops(12_288), 2 * 12_288u64.pow(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let _ = matmul_blocked(&Matrix::zeros(4), &Matrix::zeros(5), 2);
+    }
+}

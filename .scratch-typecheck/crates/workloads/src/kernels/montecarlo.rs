@@ -1,0 +1,174 @@
+//! An mVMC-flavoured Monte Carlo sampling kernel.
+//!
+//! mVMC analyzes strongly correlated electron systems by Monte Carlo
+//! sampling over variational wavefunctions. The full physics is far beyond
+//! scope; what matters to the power/performance study is the computational
+//! *shape*: blocks of independent Metropolis sampling (CPU-bound, light on
+//! memory) separated by global parameter updates. This kernel performs
+//! Metropolis sampling of a 1-D quantum-oscillator ground-state
+//! distribution `|ψ(x)|² ∝ exp(-x²)` and estimates the energy
+//! `⟨E⟩ = ⟨x²/2 + 1/(2·4) (1 - x²·...)⟩` — for the Gaussian trial state the
+//! local energy is constant at 0.5, a sharp self-check.
+
+/// Output of one sampling block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McBlock {
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Metropolis acceptance count.
+    pub accepted: u64,
+    /// Mean of `x²` over the block (→ 0.5 for `exp(-x²)`... see tests).
+    pub mean_x2: f64,
+    /// Mean local energy (exactly 0.5 for the exact trial state).
+    pub mean_energy: f64,
+}
+
+/// xorshift64* uniform in `[0, 1)`.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Metropolis sampler of `|ψ_α(x)|² ∝ exp(-2·α·x²)` with trial parameter
+/// `α` (exact ground state at `α = 0.5`).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    alpha: f64,
+    x: f64,
+    step: f64,
+    rng: Rng,
+}
+
+impl Sampler {
+    /// Create a sampler with variational parameter `alpha`.
+    pub fn new(alpha: f64, seed: u64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        Sampler { alpha, x: 0.0, step: 1.0, rng: Rng(seed.max(1)) }
+    }
+
+    /// Local energy of the harmonic oscillator for trial `ψ_α`:
+    /// `E_L(x) = α + x²(1/2 − 2α²)`. Constant 0.5 at the exact `α = 0.5`.
+    pub fn local_energy(&self, x: f64) -> f64 {
+        self.alpha + x * x * (0.5 - 2.0 * self.alpha * self.alpha)
+    }
+
+    /// Run one block of `n` Metropolis steps.
+    pub fn block(&mut self, n: u64) -> McBlock {
+        let mut accepted = 0u64;
+        let mut sum_x2 = 0.0;
+        let mut sum_e = 0.0;
+        for _ in 0..n {
+            let proposal = self.x + (self.rng.next() - 0.5) * 2.0 * self.step;
+            let log_ratio = -2.0 * self.alpha * (proposal * proposal - self.x * self.x);
+            if log_ratio >= 0.0 || self.rng.next() < log_ratio.exp() {
+                self.x = proposal;
+                accepted += 1;
+            }
+            sum_x2 += self.x * self.x;
+            sum_e += self.local_energy(self.x);
+        }
+        McBlock {
+            samples: n,
+            accepted,
+            mean_x2: sum_x2 / n as f64,
+            mean_energy: sum_e / n as f64,
+        }
+    }
+
+    /// Run `blocks` blocks of `per_block` steps, returning the energy
+    /// estimate per block (what the allreduce in the MPI code would
+    /// combine across ranks).
+    pub fn run(&mut self, blocks: usize, per_block: u64) -> Vec<McBlock> {
+        (0..blocks).map(|_| self.block(per_block)).collect()
+    }
+}
+
+/// Combine block results the way the MPI allreduce does: sample-weighted
+/// means over all blocks/ranks.
+pub fn reduce(blocks: &[McBlock]) -> Option<McBlock> {
+    if blocks.is_empty() {
+        return None;
+    }
+    let samples: u64 = blocks.iter().map(|b| b.samples).sum();
+    let accepted: u64 = blocks.iter().map(|b| b.accepted).sum();
+    if samples == 0 {
+        return None;
+    }
+    let wmean = |f: fn(&McBlock) -> f64| {
+        blocks.iter().map(|b| f(b) * b.samples as f64).sum::<f64>() / samples as f64
+    };
+    Some(McBlock {
+        samples,
+        accepted,
+        mean_x2: wmean(|b| b.mean_x2),
+        mean_energy: wmean(|b| b.mean_energy),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_trial_state_has_constant_energy() {
+        let mut s = Sampler::new(0.5, 42);
+        let blocks = s.run(10, 10_000);
+        let total = reduce(&blocks).unwrap();
+        // E_L ≡ 0.5 regardless of sampling noise
+        assert!((total.mean_energy - 0.5).abs() < 1e-12, "E = {}", total.mean_energy);
+    }
+
+    #[test]
+    fn variational_principle_holds() {
+        // any α ≠ 0.5 must give ⟨E⟩ > 0.5
+        for alpha in [0.3, 0.4, 0.7, 1.0] {
+            let mut s = Sampler::new(alpha, 7);
+            s.block(20_000); // warm-up
+            let blocks = s.run(20, 20_000);
+            let e = reduce(&blocks).unwrap().mean_energy;
+            assert!(e > 0.5, "alpha={alpha}: E={e} violates the variational bound");
+        }
+    }
+
+    #[test]
+    fn x2_matches_gaussian_variance() {
+        // ⟨x²⟩ of exp(-2αx²) is 1/(4α)
+        let mut s = Sampler::new(0.5, 11);
+        s.block(20_000);
+        let blocks = s.run(30, 20_000);
+        let x2 = reduce(&blocks).unwrap().mean_x2;
+        assert!((x2 - 0.5).abs() < 0.02, "x2 = {x2}");
+    }
+
+    #[test]
+    fn acceptance_rate_is_reasonable() {
+        let mut s = Sampler::new(0.5, 3);
+        let b = s.block(50_000);
+        let rate = b.accepted as f64 / b.samples as f64;
+        assert!(rate > 0.4 && rate < 0.95, "rate = {rate}");
+    }
+
+    #[test]
+    fn determinism_and_reduction() {
+        let run = |seed| {
+            let mut s = Sampler::new(0.6, seed);
+            reduce(&s.run(5, 1000)).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+        assert!(reduce(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_alpha_panics() {
+        let _ = Sampler::new(0.0, 1);
+    }
+}

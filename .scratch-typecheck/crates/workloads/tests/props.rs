@@ -1,0 +1,133 @@
+//! Property-based tests for the workload models and compute kernels.
+
+use proptest::prelude::*;
+use vap_workloads::catalog;
+use vap_workloads::kernels::{dgemm, ep, montecarlo, stencil, stream};
+use vap_workloads::spec::WorkloadId;
+
+proptest! {
+    /// DGEMM: the blocked kernel equals the naive kernel at arbitrary
+    /// sizes and thread counts (the classic metamorphic check).
+    #[test]
+    fn dgemm_blocked_equals_naive(n in 1usize..48, threads in 1usize..9, seed in 0u64..100) {
+        let a = dgemm::Matrix::pseudo_random(n, seed);
+        let b = dgemm::Matrix::pseudo_random(n, seed + 1);
+        let fast = dgemm::matmul_blocked(&a, &b, threads);
+        let slow = dgemm::matmul_naive(&a, &b);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((fast.get(i, j) - slow.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// DGEMM is linear: (k·A)·B = k·(A·B).
+    #[test]
+    fn dgemm_scalar_linearity(n in 2usize..24, k in -3.0f64..3.0, seed in 0u64..50) {
+        let a = dgemm::Matrix::pseudo_random(n, seed);
+        let b = dgemm::Matrix::pseudo_random(n, seed + 7);
+        let ka = dgemm::Matrix::from_fn(n, |i, j| k * a.get(i, j));
+        let left = dgemm::matmul_blocked(&ka, &b, 2);
+        let right = dgemm::matmul_blocked(&a, &b, 2);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((left.get(i, j) - k * right.get(i, j)).abs() < 1e-7);
+            }
+        }
+    }
+
+    /// STREAM triad satisfies its definition element-wise for arbitrary
+    /// inputs and chunkings.
+    #[test]
+    fn stream_triad_definition(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        s in -10.0f64..10.0,
+        threads in 1usize..7,
+    ) {
+        let n = vals.len();
+        let b: Vec<f64> = vals.clone();
+        let c: Vec<f64> = vals.iter().rev().cloned().collect();
+        let mut a = vec![0.0; n];
+        stream::triad(&b, &c, &mut a, s, threads);
+        for i in 0..n {
+            prop_assert_eq!(a[i], b[i] + s * c[i]);
+        }
+    }
+
+    /// EP tallies are conserved: counts sum to accepted pairs, acceptance
+    /// never exceeds attempts, and parallel merging loses nothing.
+    #[test]
+    fn ep_tally_conservation(attempts in 1_000u64..50_000, seed in 0u64..100, threads in 1usize..9) {
+        let r = ep::generate_parallel(attempts, seed, threads);
+        prop_assert!(r.pairs <= attempts);
+        prop_assert_eq!(r.counts.iter().sum::<u64>(), r.pairs);
+    }
+
+    /// The Dufort–Frankel stencil conserves mass for any initial field and
+    /// stable nu.
+    #[test]
+    fn stencil_mass_conservation(
+        n in 3usize..10,
+        nu in 0.01f64..0.5,
+        seed in 0u64..50,
+        steps in 1usize..20,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let field: Vec<f64> = (0..n * n * n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state >> 40) as f64 / (1u64 << 24) as f64
+            })
+            .collect();
+        let mut g =
+            stencil::LeapfrogGrid::from_fn(n, n, n, |x, y, z| field[(x * n + y) * n + z]);
+        let m0 = g.total_mass();
+        g.run(steps, nu);
+        prop_assert!((g.total_mass() - m0).abs() < 1e-6 * m0.abs().max(1.0));
+    }
+
+    /// Monte Carlo: the variational bound ⟨E⟩ ≥ 0.5 holds for any trial
+    /// parameter, and the reduction is sample-weight exact.
+    #[test]
+    fn montecarlo_variational_bound(alpha in 0.2f64..1.2, seed in 1u64..50) {
+        let mut s = montecarlo::Sampler::new(alpha, seed);
+        s.block(5_000); // warm-up
+        let blocks = s.run(8, 5_000);
+        let total = montecarlo::reduce(&blocks).unwrap();
+        prop_assert!(total.mean_energy > 0.5 - 0.02, "E = {} at alpha {alpha}", total.mean_energy);
+        prop_assert_eq!(total.samples, 8 * 5_000);
+    }
+
+    /// Workload programs conserve their budgeted work across scales and
+    /// always produce runnable op sequences.
+    #[test]
+    fn workload_programs_scale_linearly(scale in 0.01f64..4.0) {
+        for id in WorkloadId::ALL {
+            let spec = catalog::get(id);
+            let p = spec.program(scale);
+            let expect = spec.reference_time.value() * scale;
+            prop_assert!(
+                (p.total_work() - expect).abs() < 1e-9 * expect.max(1.0),
+                "{id}: {} vs {}", p.total_work(), expect
+            );
+            prop_assert!(!p.ops().is_empty());
+        }
+    }
+
+    /// Workload fingerprints stay physical under arbitrary base draws.
+    #[test]
+    fn workload_variation_is_physical(dyn_mult in 0.5f64..2.0, dram_mult in 0.5f64..2.0, seed in 0u64..200) {
+        let mut base = vap_model::variability::ModuleVariation::nominal(3, 12);
+        base.dynamic = dyn_mult;
+        base.dram = dram_mult;
+        for id in WorkloadId::ALL {
+            let w = catalog::get(id).workload_variation(&base, seed);
+            prop_assert!(w.dynamic >= 0.5 && w.dynamic <= 2.0);
+            prop_assert!(w.dram >= 0.5 && w.dram <= 2.0);
+            prop_assert_eq!(w.leakage, base.leakage);
+            prop_assert_eq!(w.module_id, base.module_id);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Extension (paper §7): several applications sharing one system-level
+//! power constraint.
+//!
+//! Three jobs — DGEMM, MHD and STREAM — share a 192-module fleet under a
+//! tightening system budget. Three resource-manager policies split the
+//! watts; the per-job budgeting (the paper's core) turns each share into
+//! per-module allocations.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use vap::core::multijob::{partition, system_throughput, JobRequest, PartitionPolicy};
+use vap::core::pmt::PowerModelTable;
+use vap::core::testrun::single_module_test_run;
+use vap::prelude::*;
+
+const SEED: u64 = 3;
+const FLEET: usize = 192;
+
+fn main() {
+    let mut cluster = Cluster::with_size(SystemSpec::ha8k(), FLEET, SEED);
+    let budgeter = Budgeter::install(&mut cluster, SEED);
+
+    // Three tenants, 64 modules each.
+    let mut jobs = Vec::new();
+    for (w, lo) in [(WorkloadId::Dgemm, 0), (WorkloadId::Mhd, 64), (WorkloadId::Stream, 128)] {
+        let spec = catalog::get(w);
+        let ids: Vec<usize> = (lo..lo + 64).collect();
+        let test = single_module_test_run(&mut cluster, ids[0], &spec, SEED);
+        let pmt = PowerModelTable::calibrate(budgeter.pvt(), &test, &ids).unwrap();
+        jobs.push(JobRequest {
+            workload: w,
+            module_ids: ids,
+            pmt,
+            cpu_fraction: spec.cpu_fraction,
+        });
+    }
+
+    println!("== Three tenants on {FLEET} HA8K modules ==\n");
+    println!(
+        "{:<10} {:>8} | {:>28} | {:>28} | {:>28}",
+        "Cs [kW]", "", "ProportionalToModules", "FairFloor+UniformAlpha", "ThroughputGreedy"
+    );
+
+    for cm in [100.0, 85.0, 75.0, 68.0] {
+        let system = Watts(cm * FLEET as f64);
+        let mut row = format!("{:<10.1} {:>8}", system.kilowatts(), "");
+        let mut details = Vec::new();
+        for policy in [
+            PartitionPolicy::ProportionalToModules,
+            PartitionPolicy::FairFloorPlusUniformAlpha,
+            PartitionPolicy::ThroughputGreedy,
+        ] {
+            match partition(system, &jobs, policy) {
+                Ok(parts) => {
+                    let t = system_throughput(&parts, &jobs);
+                    let alphas: Vec<String> =
+                        parts.iter().map(|p| format!("{:.2}", p.alpha.value())).collect();
+                    row.push_str(&format!(" | thr {:.3} α[{}]", t, alphas.join(",")));
+                    details.push((policy, parts));
+                }
+                Err(e) => row.push_str(&format!(" | {e}")),
+            }
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nα triplets are [DGEMM, MHD, STREAM]. The greedy policy starves the\n\
+         frequency-insensitive STREAM job of headroom (its α falls) and\n\
+         feeds DGEMM, buying extra module-weighted throughput; the uniform-α\n\
+         policy keeps relative progress equal — the fairness/throughput\n\
+         trade-off RMAP-style resource managers navigate."
+    );
+}

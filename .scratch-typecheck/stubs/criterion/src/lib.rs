@@ -1,0 +1,85 @@
+//! Typecheck-only stub of criterion's used surface; bodies panic.
+pub struct Criterion;
+pub struct Bencher;
+pub struct BenchmarkGroup;
+pub struct BenchmarkId;
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, _f: F) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup {
+        unimplemented!("criterion stub")
+    }
+}
+
+impl BenchmarkGroup {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: impl Into<String>, _f: F) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        unimplemented!("criterion stub")
+    }
+    pub fn finish(self) {}
+}
+
+impl BenchmarkId {
+    pub fn new(_name: impl Into<String>, _param: impl std::fmt::Display) -> Self {
+        BenchmarkId
+    }
+    pub fn from_parameter(_param: impl std::fmt::Display) -> Self {
+        BenchmarkId
+    }
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, _routine: F) {
+        unimplemented!("criterion stub")
+    }
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        _setup: S,
+        _routine: F,
+    ) {
+        unimplemented!("criterion stub")
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),* $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)*
+        }
+    };
+}
+#[macro_export]
+macro_rules! criterion_main {
+    ($($name:path),* $(,)?) => {
+        fn main() {
+            if false {
+                let mut c = $crate::Criterion;
+                $($name(&mut c);)*
+            }
+        }
+    };
+}

@@ -1,0 +1,1 @@
+//! Typecheck-only stub (the workspace declares but does not use it).

@@ -1,0 +1,99 @@
+//! Typecheck-only stub of proptest: the `proptest!` macro expands each
+//! property into a `#[test]` whose body typechecks but never executes
+//! (guarded by `if false`), with strategy values conjured via
+//! `Strategy::__stub_value` (an `unimplemented!()` that is never reached).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    pub trait Strategy: Sized {
+        type Value;
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, _f: F) -> Mapped<O> {
+            Mapped(std::marker::PhantomData)
+        }
+        fn __stub_value(&self) -> Self::Value {
+            unimplemented!("proptest stub")
+        }
+    }
+
+    pub struct Any<T>(pub std::marker::PhantomData<T>);
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+    pub struct Mapped<T>(pub std::marker::PhantomData<T>);
+    impl<T> Strategy for Mapped<T> {
+        type Value = T;
+    }
+
+    impl<T> Strategy for std::ops::Range<T> {
+        type Value = T;
+    }
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy
+        for (A, B, C, D, E)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    }
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+        for (A, B, C, D, E, F)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    }
+
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    pub mod prop {
+        pub mod collection {
+            pub use crate::collection::*;
+        }
+    }
+}
+
+pub mod collection {
+    use crate::prelude::{Mapped, Strategy};
+    pub fn vec<S: Strategy>(_element: S, _size: std::ops::Range<usize>) -> Mapped<Vec<S::Value>> {
+        Mapped(std::marker::PhantomData)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unused_variables, unreachable_code)]
+        fn $name() {
+            if false {
+                use $crate::prelude::Strategy as _;
+                $( let $arg = ($strat).__stub_value(); )*
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)*)?) => { assert!($cond $(, $($fmt)*)?) };
+}
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => { assert_eq!($a, $b $(, $($fmt)*)?) };
+}
+#[macro_export]
+macro_rules! prop_assume {
+    ($($tt:tt)*) => {};
+}

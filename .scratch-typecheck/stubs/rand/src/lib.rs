@@ -1,0 +1,87 @@
+//! Functional stand-in for rand 0.9's used surface: a real (SplitMix64)
+//! generator so simulation code runs, though streams differ from the
+//! real StdRng (ChaCha12). Determinism properties (same seed -> same
+//! bytes, thread-count invariance) are unaffected.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait FromRng {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+pub trait Rng: RngCore {
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+    fn sample<T, D: distr::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+pub mod distr {
+    pub trait Distribution<T> {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+pub mod seq {
+    use crate::Rng;
+    pub trait SliceRandom {
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher-Yates; modulo bias is irrelevant for a test stand-in
+            for i in (1..self.len()).rev() {
+                let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub fn rng() -> rngs::StdRng {
+    unimplemented!("unseeded entropy is forbidden in this workspace (determinism lint)")
+}

@@ -1,0 +1,51 @@
+//! Functional stand-in for rand_distr's used surface (Box-Muller).
+pub use rand::distr::Distribution;
+use rand::Rng;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+#[derive(Debug, Clone, Copy)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal parameters")
+    }
+}
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+}
+impl Distribution<f64> for Normal {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u clamped away from 0 so ln() stays finite
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        let v: f64 = rng.random();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        self.mean + self.std_dev * z
+    }
+}
+impl Distribution<f64> for LogNormal {
+    fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}

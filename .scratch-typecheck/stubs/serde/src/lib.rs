@@ -1,0 +1,17 @@
+//! Typecheck-only stub of serde: blanket-implemented marker traits plus
+//! the derive re-exports. Runtime behavior lives in serde_json's stub.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T {}
+}
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-10c502924f03e184.d: crates/report/src/bin/ablations.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libablations-10c502924f03e184.rmeta: crates/report/src/bin/ablations.rs
+
+crates/report/src/bin/ablations.rs:

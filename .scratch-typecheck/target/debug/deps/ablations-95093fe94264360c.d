@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-95093fe94264360c.d: crates/report/src/bin/ablations.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libablations-95093fe94264360c.rmeta: crates/report/src/bin/ablations.rs Cargo.toml
+
+crates/report/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-c29127330152be5f.d: crates/report/src/bin/ablations.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libablations-c29127330152be5f.rmeta: crates/report/src/bin/ablations.rs
+
+crates/report/src/bin/ablations.rs:

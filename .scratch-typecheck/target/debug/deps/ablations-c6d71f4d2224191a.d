@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-c6d71f4d2224191a.d: crates/report/src/bin/ablations.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libablations-c6d71f4d2224191a.rmeta: crates/report/src/bin/ablations.rs
+
+crates/report/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-cc9e3bfe0ed76712.d: crates/report/src/bin/ablations.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libablations-cc9e3bfe0ed76712.rmeta: crates/report/src/bin/ablations.rs
+
+crates/report/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-cde1cbac07e9c97f.d: crates/report/src/bin/ablations.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/ablations-cde1cbac07e9c97f: crates/report/src/bin/ablations.rs
+
+crates/report/src/bin/ablations.rs:

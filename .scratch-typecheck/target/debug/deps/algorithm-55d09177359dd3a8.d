@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/algorithm-55d09177359dd3a8.d: crates/bench/benches/algorithm.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libalgorithm-55d09177359dd3a8.rmeta: crates/bench/benches/algorithm.rs Cargo.toml
+
+crates/bench/benches/algorithm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

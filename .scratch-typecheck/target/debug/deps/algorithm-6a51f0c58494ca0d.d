@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/algorithm-6a51f0c58494ca0d.d: crates/bench/benches/algorithm.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libalgorithm-6a51f0c58494ca0d.rmeta: crates/bench/benches/algorithm.rs
+
+crates/bench/benches/algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/algorithm-746224872914411b.d: crates/bench/benches/algorithm.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libalgorithm-746224872914411b.rmeta: crates/bench/benches/algorithm.rs
+
+crates/bench/benches/algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/all-0096a3cb958c9ac4.d: crates/report/src/bin/all.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/liball-0096a3cb958c9ac4.rmeta: crates/report/src/bin/all.rs
+
+crates/report/src/bin/all.rs:

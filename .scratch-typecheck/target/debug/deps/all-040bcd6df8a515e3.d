@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/all-040bcd6df8a515e3.d: crates/report/src/bin/all.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/liball-040bcd6df8a515e3.rmeta: crates/report/src/bin/all.rs
+
+crates/report/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/all-23d102452d41321b.d: crates/report/src/bin/all.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/all-23d102452d41321b: crates/report/src/bin/all.rs
+
+crates/report/src/bin/all.rs:

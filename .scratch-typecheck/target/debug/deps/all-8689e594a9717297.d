@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/all-8689e594a9717297.d: crates/report/src/bin/all.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/liball-8689e594a9717297.rmeta: crates/report/src/bin/all.rs
+
+crates/report/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/all-b95cd55396d3f83d.d: crates/report/src/bin/all.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/liball-b95cd55396d3f83d.rmeta: crates/report/src/bin/all.rs
+
+crates/report/src/bin/all.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/all-dfe284ac5ac1b0bc.d: crates/report/src/bin/all.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/liball-dfe284ac5ac1b0bc.rmeta: crates/report/src/bin/all.rs Cargo.toml
+
+crates/report/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/campaign-28e05f76f4d86876.d: crates/bench/benches/campaign.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcampaign-28e05f76f4d86876.rmeta: crates/bench/benches/campaign.rs Cargo.toml
+
+crates/bench/benches/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/campaign-2e6136e246a37e74.d: crates/bench/benches/campaign.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcampaign-2e6136e246a37e74.rmeta: crates/bench/benches/campaign.rs
+
+crates/bench/benches/campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/campaign-938cc2da7352c3ca.d: crates/bench/benches/campaign.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcampaign-938cc2da7352c3ca.rmeta: crates/bench/benches/campaign.rs
+
+crates/bench/benches/campaign.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/criterion-ada24b5468314372.d: stubs/criterion/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcriterion-ada24b5468314372.rlib: stubs/criterion/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcriterion-ada24b5468314372.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/criterion-b787aed2c7856bdb.d: stubs/criterion/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcriterion-b787aed2c7856bdb.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/criterion-bb514a8af9030c84.d: stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcriterion-bb514a8af9030c84.rmeta: stubs/criterion/src/lib.rs Cargo.toml
+
+stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/criterion-db9e97b8a2d397dd.d: stubs/criterion/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcriterion-db9e97b8a2d397dd.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

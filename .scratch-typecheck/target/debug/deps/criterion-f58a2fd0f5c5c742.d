@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/criterion-f58a2fd0f5c5c742.d: stubs/criterion/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/criterion-f58a2fd0f5c5c742: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/crossbeam-2360c72758c47fe9.d: stubs/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcrossbeam-2360c72758c47fe9.rmeta: stubs/crossbeam/src/lib.rs Cargo.toml
+
+stubs/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

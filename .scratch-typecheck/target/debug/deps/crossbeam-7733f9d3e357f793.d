@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/crossbeam-7733f9d3e357f793.d: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcrossbeam-7733f9d3e357f793.rmeta: stubs/crossbeam/src/lib.rs
+
+stubs/crossbeam/src/lib.rs:

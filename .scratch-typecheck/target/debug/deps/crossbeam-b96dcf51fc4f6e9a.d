@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/crossbeam-b96dcf51fc4f6e9a.d: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcrossbeam-b96dcf51fc4f6e9a.rlib: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcrossbeam-b96dcf51fc4f6e9a.rmeta: stubs/crossbeam/src/lib.rs
+
+stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/crossbeam-d299b286cd560787.d: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libcrossbeam-d299b286cd560787.rmeta: stubs/crossbeam/src/lib.rs
+
+stubs/crossbeam/src/lib.rs:

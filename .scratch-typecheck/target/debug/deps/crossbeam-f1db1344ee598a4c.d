@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/crossbeam-f1db1344ee598a4c.d: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/crossbeam-f1db1344ee598a4c: stubs/crossbeam/src/lib.rs
+
+stubs/crossbeam/src/lib.rs:

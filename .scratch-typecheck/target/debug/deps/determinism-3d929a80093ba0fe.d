@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/determinism-3d929a80093ba0fe.d: tests/determinism.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libdeterminism-3d929a80093ba0fe.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

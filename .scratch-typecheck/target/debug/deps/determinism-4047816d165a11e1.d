@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/determinism-4047816d165a11e1.d: tests/determinism.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/determinism-4047816d165a11e1: tests/determinism.rs
+
+tests/determinism.rs:

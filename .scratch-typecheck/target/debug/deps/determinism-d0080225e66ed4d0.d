@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/determinism-d0080225e66ed4d0.d: tests/determinism.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libdeterminism-d0080225e66ed4d0.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

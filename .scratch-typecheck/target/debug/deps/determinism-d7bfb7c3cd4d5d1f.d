@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/determinism-d7bfb7c3cd4d5d1f.d: tests/determinism.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libdeterminism-d7bfb7c3cd4d5d1f.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/end_to_end-6f2e4655fce14364.d: tests/end_to_end.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/end_to_end-6f2e4655fce14364: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/end_to_end-910fc065621330e0.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libend_to_end-910fc065621330e0.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/end_to_end-df673069464ac65a.d: tests/end_to_end.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libend_to_end-df673069464ac65a.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/end_to_end-f931db30ea49ed27.d: tests/end_to_end.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libend_to_end-f931db30ea49ed27.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig1-1d17f10f3eea628a.d: crates/report/src/bin/fig1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig1-1d17f10f3eea628a.rmeta: crates/report/src/bin/fig1.rs
+
+crates/report/src/bin/fig1.rs:

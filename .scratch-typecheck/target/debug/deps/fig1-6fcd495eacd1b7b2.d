@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig1-6fcd495eacd1b7b2.d: crates/report/src/bin/fig1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig1-6fcd495eacd1b7b2: crates/report/src/bin/fig1.rs
+
+crates/report/src/bin/fig1.rs:

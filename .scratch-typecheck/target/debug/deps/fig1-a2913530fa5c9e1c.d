@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig1-a2913530fa5c9e1c.d: crates/report/src/bin/fig1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig1-a2913530fa5c9e1c.rmeta: crates/report/src/bin/fig1.rs
+
+crates/report/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig1-a4f510240983b91d.d: crates/report/src/bin/fig1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig1-a4f510240983b91d.rmeta: crates/report/src/bin/fig1.rs
+
+crates/report/src/bin/fig1.rs:

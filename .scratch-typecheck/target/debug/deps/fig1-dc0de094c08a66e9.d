@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig1-dc0de094c08a66e9.d: crates/report/src/bin/fig1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig1-dc0de094c08a66e9.rmeta: crates/report/src/bin/fig1.rs
+
+crates/report/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-6575e4d7ced8f8af.d: crates/report/src/bin/fig2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig2-6575e4d7ced8f8af.rmeta: crates/report/src/bin/fig2.rs
+
+crates/report/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-809b1d5122e7a3a2.d: crates/report/src/bin/fig2.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig2-809b1d5122e7a3a2.rmeta: crates/report/src/bin/fig2.rs Cargo.toml
+
+crates/report/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

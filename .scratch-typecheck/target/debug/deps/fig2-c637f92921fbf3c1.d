@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-c637f92921fbf3c1.d: crates/report/src/bin/fig2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig2-c637f92921fbf3c1.rmeta: crates/report/src/bin/fig2.rs
+
+crates/report/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-ccc9b3dae5833148.d: crates/report/src/bin/fig2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig2-ccc9b3dae5833148.rmeta: crates/report/src/bin/fig2.rs
+
+crates/report/src/bin/fig2.rs:

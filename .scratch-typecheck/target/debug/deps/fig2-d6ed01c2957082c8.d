@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-d6ed01c2957082c8.d: crates/report/src/bin/fig2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig2-d6ed01c2957082c8.rmeta: crates/report/src/bin/fig2.rs
+
+crates/report/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-fc4ce17b8a97a163.d: crates/report/src/bin/fig2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig2-fc4ce17b8a97a163: crates/report/src/bin/fig2.rs
+
+crates/report/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig3-07c565f39475adc6.d: crates/report/src/bin/fig3.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig3-07c565f39475adc6: crates/report/src/bin/fig3.rs
+
+crates/report/src/bin/fig3.rs:

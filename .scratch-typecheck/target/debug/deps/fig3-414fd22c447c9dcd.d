@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig3-414fd22c447c9dcd.d: crates/report/src/bin/fig3.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig3-414fd22c447c9dcd.rmeta: crates/report/src/bin/fig3.rs
+
+crates/report/src/bin/fig3.rs:

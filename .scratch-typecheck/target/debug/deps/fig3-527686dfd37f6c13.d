@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig3-527686dfd37f6c13.d: crates/report/src/bin/fig3.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig3-527686dfd37f6c13.rmeta: crates/report/src/bin/fig3.rs
+
+crates/report/src/bin/fig3.rs:

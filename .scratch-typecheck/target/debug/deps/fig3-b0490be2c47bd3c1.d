@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig3-b0490be2c47bd3c1.d: crates/report/src/bin/fig3.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig3-b0490be2c47bd3c1.rmeta: crates/report/src/bin/fig3.rs
+
+crates/report/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig3-e7f156dd07b58d78.d: crates/report/src/bin/fig3.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig3-e7f156dd07b58d78.rmeta: crates/report/src/bin/fig3.rs
+
+crates/report/src/bin/fig3.rs:

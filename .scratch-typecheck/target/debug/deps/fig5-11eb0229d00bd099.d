@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig5-11eb0229d00bd099.d: crates/report/src/bin/fig5.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig5-11eb0229d00bd099: crates/report/src/bin/fig5.rs
+
+crates/report/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig5-14f6e20fda6a66f1.d: crates/report/src/bin/fig5.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig5-14f6e20fda6a66f1.rmeta: crates/report/src/bin/fig5.rs
+
+crates/report/src/bin/fig5.rs:

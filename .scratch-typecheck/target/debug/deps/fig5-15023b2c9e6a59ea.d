@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig5-15023b2c9e6a59ea.d: crates/report/src/bin/fig5.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig5-15023b2c9e6a59ea.rmeta: crates/report/src/bin/fig5.rs
+
+crates/report/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig5-8601e6f18a8ac5cd.d: crates/report/src/bin/fig5.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig5-8601e6f18a8ac5cd.rmeta: crates/report/src/bin/fig5.rs
+
+crates/report/src/bin/fig5.rs:

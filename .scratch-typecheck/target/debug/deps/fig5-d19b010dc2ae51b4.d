@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig5-d19b010dc2ae51b4.d: crates/report/src/bin/fig5.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig5-d19b010dc2ae51b4.rmeta: crates/report/src/bin/fig5.rs
+
+crates/report/src/bin/fig5.rs:

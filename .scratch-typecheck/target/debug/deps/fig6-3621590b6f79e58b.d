@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig6-3621590b6f79e58b.d: crates/report/src/bin/fig6.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig6-3621590b6f79e58b.rmeta: crates/report/src/bin/fig6.rs
+
+crates/report/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig6-67c149681e1fc808.d: crates/report/src/bin/fig6.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig6-67c149681e1fc808.rmeta: crates/report/src/bin/fig6.rs
+
+crates/report/src/bin/fig6.rs:

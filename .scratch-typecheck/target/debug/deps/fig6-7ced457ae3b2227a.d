@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig6-7ced457ae3b2227a.d: crates/report/src/bin/fig6.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig6-7ced457ae3b2227a.rmeta: crates/report/src/bin/fig6.rs
+
+crates/report/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig6-99c2eb5a80abc51d.d: crates/report/src/bin/fig6.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig6-99c2eb5a80abc51d: crates/report/src/bin/fig6.rs
+
+crates/report/src/bin/fig6.rs:

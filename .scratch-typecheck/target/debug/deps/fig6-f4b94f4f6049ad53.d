@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig6-f4b94f4f6049ad53.d: crates/report/src/bin/fig6.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig6-f4b94f4f6049ad53.rmeta: crates/report/src/bin/fig6.rs
+
+crates/report/src/bin/fig6.rs:

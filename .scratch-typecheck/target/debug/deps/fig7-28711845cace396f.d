@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig7-28711845cace396f.d: crates/report/src/bin/fig7.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig7-28711845cace396f.rmeta: crates/report/src/bin/fig7.rs
+
+crates/report/src/bin/fig7.rs:

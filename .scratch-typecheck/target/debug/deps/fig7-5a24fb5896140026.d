@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig7-5a24fb5896140026.d: crates/report/src/bin/fig7.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig7-5a24fb5896140026.rmeta: crates/report/src/bin/fig7.rs
+
+crates/report/src/bin/fig7.rs:

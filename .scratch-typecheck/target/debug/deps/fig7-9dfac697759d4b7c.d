@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig7-9dfac697759d4b7c.d: crates/report/src/bin/fig7.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig7-9dfac697759d4b7c.rmeta: crates/report/src/bin/fig7.rs
+
+crates/report/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig7-b3c65193d1a74052.d: crates/report/src/bin/fig7.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig7-b3c65193d1a74052.rmeta: crates/report/src/bin/fig7.rs
+
+crates/report/src/bin/fig7.rs:

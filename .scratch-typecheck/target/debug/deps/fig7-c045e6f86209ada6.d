@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig7-c045e6f86209ada6.d: crates/report/src/bin/fig7.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig7-c045e6f86209ada6: crates/report/src/bin/fig7.rs
+
+crates/report/src/bin/fig7.rs:

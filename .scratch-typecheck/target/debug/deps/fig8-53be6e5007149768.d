@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-53be6e5007149768.d: crates/report/src/bin/fig8.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig8-53be6e5007149768.rmeta: crates/report/src/bin/fig8.rs
+
+crates/report/src/bin/fig8.rs:

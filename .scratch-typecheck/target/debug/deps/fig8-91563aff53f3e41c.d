@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-91563aff53f3e41c.d: crates/report/src/bin/fig8.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig8-91563aff53f3e41c.rmeta: crates/report/src/bin/fig8.rs Cargo.toml
+
+crates/report/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-e80a08e6b384a400.d: crates/report/src/bin/fig8.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig8-e80a08e6b384a400.rmeta: crates/report/src/bin/fig8.rs
+
+crates/report/src/bin/fig8.rs:

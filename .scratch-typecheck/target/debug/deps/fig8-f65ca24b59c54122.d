@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-f65ca24b59c54122.d: crates/report/src/bin/fig8.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig8-f65ca24b59c54122.rmeta: crates/report/src/bin/fig8.rs
+
+crates/report/src/bin/fig8.rs:

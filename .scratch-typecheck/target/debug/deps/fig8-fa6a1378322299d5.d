@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-fa6a1378322299d5.d: crates/report/src/bin/fig8.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-fa6a1378322299d5: crates/report/src/bin/fig8.rs
+
+crates/report/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig8-fd91cc100d1ac00d.d: crates/report/src/bin/fig8.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig8-fd91cc100d1ac00d.rmeta: crates/report/src/bin/fig8.rs
+
+crates/report/src/bin/fig8.rs:

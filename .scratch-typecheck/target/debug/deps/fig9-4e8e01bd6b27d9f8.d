@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig9-4e8e01bd6b27d9f8.d: crates/report/src/bin/fig9.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/fig9-4e8e01bd6b27d9f8: crates/report/src/bin/fig9.rs
+
+crates/report/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig9-5370fc84ad86be1e.d: crates/report/src/bin/fig9.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig9-5370fc84ad86be1e.rmeta: crates/report/src/bin/fig9.rs
+
+crates/report/src/bin/fig9.rs:

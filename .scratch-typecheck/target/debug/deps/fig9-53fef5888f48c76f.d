@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig9-53fef5888f48c76f.d: crates/report/src/bin/fig9.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig9-53fef5888f48c76f.rmeta: crates/report/src/bin/fig9.rs
+
+crates/report/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig9-8a1791447441c39f.d: crates/report/src/bin/fig9.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig9-8a1791447441c39f.rmeta: crates/report/src/bin/fig9.rs
+
+crates/report/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/fig9-f4a57e3afefd406c.d: crates/report/src/bin/fig9.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfig9-f4a57e3afefd406c.rmeta: crates/report/src/bin/fig9.rs
+
+crates/report/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/figures-59e57cd1af77d37e.d: crates/bench/benches/figures.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfigures-59e57cd1af77d37e.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/figures-9d375f8cda40f38c.d: crates/bench/benches/figures.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfigures-9d375f8cda40f38c.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

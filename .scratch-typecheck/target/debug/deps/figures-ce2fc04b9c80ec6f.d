@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/figures-ce2fc04b9c80ec6f.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libfigures-ce2fc04b9c80ec6f.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

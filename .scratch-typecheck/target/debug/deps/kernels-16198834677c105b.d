@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/kernels-16198834677c105b.d: crates/bench/benches/kernels.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libkernels-16198834677c105b.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/kernels-2d16a0b5700d93ec.d: crates/bench/benches/kernels.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libkernels-2d16a0b5700d93ec.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

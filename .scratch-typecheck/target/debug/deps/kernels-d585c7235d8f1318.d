@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/kernels-d585c7235d8f1318.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libkernels-d585c7235d8f1318.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

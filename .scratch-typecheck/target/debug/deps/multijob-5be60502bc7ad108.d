@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-5be60502bc7ad108.d: crates/report/src/bin/multijob.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libmultijob-5be60502bc7ad108.rmeta: crates/report/src/bin/multijob.rs
+
+crates/report/src/bin/multijob.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-8717f7ec71ff6f10.d: crates/report/src/bin/multijob.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-8717f7ec71ff6f10: crates/report/src/bin/multijob.rs
+
+crates/report/src/bin/multijob.rs:

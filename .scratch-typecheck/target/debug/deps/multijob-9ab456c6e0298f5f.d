@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-9ab456c6e0298f5f.d: crates/report/src/bin/multijob.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libmultijob-9ab456c6e0298f5f.rmeta: crates/report/src/bin/multijob.rs
+
+crates/report/src/bin/multijob.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-9eec3fc05d3da93d.d: crates/report/src/bin/multijob.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libmultijob-9eec3fc05d3da93d.rmeta: crates/report/src/bin/multijob.rs
+
+crates/report/src/bin/multijob.rs:

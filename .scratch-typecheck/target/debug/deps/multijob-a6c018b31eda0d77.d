@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-a6c018b31eda0d77.d: crates/report/src/bin/multijob.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libmultijob-a6c018b31eda0d77.rmeta: crates/report/src/bin/multijob.rs Cargo.toml
+
+crates/report/src/bin/multijob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob-e91c408bae8ba2d6.d: crates/report/src/bin/multijob.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libmultijob-e91c408bae8ba2d6.rmeta: crates/report/src/bin/multijob.rs
+
+crates/report/src/bin/multijob.rs:

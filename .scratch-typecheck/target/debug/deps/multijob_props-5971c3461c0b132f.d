@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob_props-5971c3461c0b132f.d: crates/core/tests/multijob_props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libmultijob_props-5971c3461c0b132f.rmeta: crates/core/tests/multijob_props.rs
+
+crates/core/tests/multijob_props.rs:

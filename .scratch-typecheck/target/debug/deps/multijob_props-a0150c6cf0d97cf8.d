@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/multijob_props-a0150c6cf0d97cf8.d: crates/core/tests/multijob_props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/multijob_props-a0150c6cf0d97cf8: crates/core/tests/multijob_props.rs
+
+crates/core/tests/multijob_props.rs:

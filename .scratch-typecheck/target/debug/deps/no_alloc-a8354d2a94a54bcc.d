@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/no_alloc-a8354d2a94a54bcc.d: crates/obs/tests/no_alloc.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/no_alloc-a8354d2a94a54bcc: crates/obs/tests/no_alloc.rs
+
+crates/obs/tests/no_alloc.rs:

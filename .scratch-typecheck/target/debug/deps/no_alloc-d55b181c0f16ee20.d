@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/no_alloc-d55b181c0f16ee20.d: crates/obs/tests/no_alloc.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libno_alloc-d55b181c0f16ee20.rmeta: crates/obs/tests/no_alloc.rs
+
+crates/obs/tests/no_alloc.rs:

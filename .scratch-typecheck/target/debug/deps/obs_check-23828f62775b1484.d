@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-23828f62775b1484.d: crates/obs/src/bin/obs_check.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-23828f62775b1484: crates/obs/src/bin/obs_check.rs
+
+crates/obs/src/bin/obs_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-430844000eef44e5.d: crates/obs/src/bin/obs_check.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-430844000eef44e5: crates/obs/src/bin/obs_check.rs
+
+crates/obs/src/bin/obs_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-65d5e798a27c2146.d: crates/obs/src/bin/obs_check.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libobs_check-65d5e798a27c2146.rmeta: crates/obs/src/bin/obs_check.rs
+
+crates/obs/src/bin/obs_check.rs:

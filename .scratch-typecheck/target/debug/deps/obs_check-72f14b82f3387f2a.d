@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-72f14b82f3387f2a.d: crates/obs/src/bin/obs_check.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libobs_check-72f14b82f3387f2a.rmeta: crates/obs/src/bin/obs_check.rs
+
+crates/obs/src/bin/obs_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/obs_check-cb36d9cdfd12b5fe.d: crates/obs/src/bin/obs_check.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libobs_check-cb36d9cdfd12b5fe.rmeta: crates/obs/src/bin/obs_check.rs Cargo.toml
+
+crates/obs/src/bin/obs_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/paper_reproduction-48e5f27a9a8570a3.d: tests/paper_reproduction.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libpaper_reproduction-48e5f27a9a8570a3.rmeta: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/paper_reproduction-8a1c08ccd0f91fae.d: tests/paper_reproduction.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/paper_reproduction-8a1c08ccd0f91fae: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/paper_reproduction-93ac71633a9af968.d: tests/paper_reproduction.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libpaper_reproduction-93ac71633a9af968.rmeta: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

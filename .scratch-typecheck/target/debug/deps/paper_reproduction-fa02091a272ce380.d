@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/paper_reproduction-fa02091a272ce380.d: tests/paper_reproduction.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libpaper_reproduction-fa02091a272ce380.rmeta: tests/paper_reproduction.rs Cargo.toml
+
+tests/paper_reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/parking_lot-090f79847f664fcc.d: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libparking_lot-090f79847f664fcc.rmeta: stubs/parking_lot/src/lib.rs
+
+stubs/parking_lot/src/lib.rs:

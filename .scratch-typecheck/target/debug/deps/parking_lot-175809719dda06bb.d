@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/parking_lot-175809719dda06bb.d: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libparking_lot-175809719dda06bb.rmeta: stubs/parking_lot/src/lib.rs
+
+stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/parking_lot-68c04e5636b897cb.d: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libparking_lot-68c04e5636b897cb.rlib: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libparking_lot-68c04e5636b897cb.rmeta: stubs/parking_lot/src/lib.rs
+
+stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/parking_lot-ae46104b1fadfbfd.d: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/parking_lot-ae46104b1fadfbfd: stubs/parking_lot/src/lib.rs
+
+stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/parking_lot-aef78a1fa32aac65.d: stubs/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libparking_lot-aef78a1fa32aac65.rmeta: stubs/parking_lot/src/lib.rs Cargo.toml
+
+stubs/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/properties-38a701064fac977e.d: tests/properties.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproperties-38a701064fac977e.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/properties-5aad05bebf9b899f.d: tests/properties.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproperties-5aad05bebf9b899f.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/properties-608827bd95e1179d.d: tests/properties.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproperties-608827bd95e1179d.rmeta: tests/properties.rs
+
+tests/properties.rs:

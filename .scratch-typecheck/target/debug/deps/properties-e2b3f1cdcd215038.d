@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/properties-e2b3f1cdcd215038.d: tests/properties.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/properties-e2b3f1cdcd215038: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/props-02599db9657e95fa.d: crates/sim/tests/props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libprops-02599db9657e95fa.rmeta: crates/sim/tests/props.rs
+
+crates/sim/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/props-090e1ad53cf44a7b.d: crates/workloads/tests/props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/props-090e1ad53cf44a7b: crates/workloads/tests/props.rs
+
+crates/workloads/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/props-5683120f8df63b12.d: crates/model/tests/props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libprops-5683120f8df63b12.rmeta: crates/model/tests/props.rs
+
+crates/model/tests/props.rs:

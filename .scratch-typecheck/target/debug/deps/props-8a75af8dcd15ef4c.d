@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/props-8a75af8dcd15ef4c.d: crates/model/tests/props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/props-8a75af8dcd15ef4c: crates/model/tests/props.rs
+
+crates/model/tests/props.rs:

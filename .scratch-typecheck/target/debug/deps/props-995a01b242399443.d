@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/props-995a01b242399443.d: crates/sim/tests/props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/props-995a01b242399443: crates/sim/tests/props.rs
+
+crates/sim/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/props-bfd1c1f53cb41f70.d: crates/workloads/tests/props.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libprops-bfd1c1f53cb41f70.rmeta: crates/workloads/tests/props.rs
+
+crates/workloads/tests/props.rs:

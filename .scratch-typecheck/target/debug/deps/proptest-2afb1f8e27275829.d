@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/proptest-2afb1f8e27275829.d: stubs/proptest/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproptest-2afb1f8e27275829.rlib: stubs/proptest/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproptest-2afb1f8e27275829.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/proptest-773c036998cc2c22.d: stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproptest-773c036998cc2c22.rmeta: stubs/proptest/src/lib.rs Cargo.toml
+
+stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

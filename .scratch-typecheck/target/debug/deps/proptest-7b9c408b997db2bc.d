@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/proptest-7b9c408b997db2bc.d: stubs/proptest/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/proptest-7b9c408b997db2bc: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/proptest-9b4291649b4b61a2.d: stubs/proptest/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproptest-9b4291649b4b61a2.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

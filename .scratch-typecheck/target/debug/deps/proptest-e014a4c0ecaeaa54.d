@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/proptest-e014a4c0ecaeaa54.d: stubs/proptest/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libproptest-e014a4c0ecaeaa54.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand-1cbd0c54da112614.d: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/rand-1cbd0c54da112614: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

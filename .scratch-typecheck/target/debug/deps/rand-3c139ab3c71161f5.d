@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand-3c139ab3c71161f5.d: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand-3c139ab3c71161f5.rlib: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand-3c139ab3c71161f5.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

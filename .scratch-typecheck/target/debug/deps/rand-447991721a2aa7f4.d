@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand-447991721a2aa7f4.d: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand-447991721a2aa7f4.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand-6a2f369d3fc08cfa.d: stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand-6a2f369d3fc08cfa.rmeta: stubs/rand/src/lib.rs Cargo.toml
+
+stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand-ac2527ec24f132e3.d: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand-ac2527ec24f132e3.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

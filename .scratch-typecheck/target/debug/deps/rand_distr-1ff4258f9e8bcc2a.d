@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand_distr-1ff4258f9e8bcc2a.d: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand_distr-1ff4258f9e8bcc2a.rmeta: stubs/rand_distr/src/lib.rs
+
+stubs/rand_distr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand_distr-382394b510c9fe81.d: stubs/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand_distr-382394b510c9fe81.rmeta: stubs/rand_distr/src/lib.rs Cargo.toml
+
+stubs/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

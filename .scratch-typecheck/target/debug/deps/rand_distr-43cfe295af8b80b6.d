@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand_distr-43cfe295af8b80b6.d: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand_distr-43cfe295af8b80b6.rlib: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand_distr-43cfe295af8b80b6.rmeta: stubs/rand_distr/src/lib.rs
+
+stubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand_distr-4fba2753302cd19e.d: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/rand_distr-4fba2753302cd19e: stubs/rand_distr/src/lib.rs
+
+stubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/rand_distr-d5659426bddfffb3.d: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/librand_distr-d5659426bddfffb3.rmeta: stubs/rand_distr/src/lib.rs
+
+stubs/rand_distr/src/lib.rs:

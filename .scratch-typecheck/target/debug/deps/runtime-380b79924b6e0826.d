@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/runtime-380b79924b6e0826.d: crates/sched/tests/runtime.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libruntime-380b79924b6e0826.rmeta: crates/sched/tests/runtime.rs
+
+crates/sched/tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/runtime-4a038bedb165c30b.d: crates/sched/tests/runtime.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/runtime-4a038bedb165c30b: crates/sched/tests/runtime.rs
+
+crates/sched/tests/runtime.rs:

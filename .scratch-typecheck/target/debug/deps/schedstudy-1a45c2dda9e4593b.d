@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/schedstudy-1a45c2dda9e4593b.d: crates/report/src/bin/schedstudy.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/schedstudy-1a45c2dda9e4593b: crates/report/src/bin/schedstudy.rs
+
+crates/report/src/bin/schedstudy.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/schedstudy-484d80dceb34f32d.d: crates/report/src/bin/schedstudy.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libschedstudy-484d80dceb34f32d.rmeta: crates/report/src/bin/schedstudy.rs Cargo.toml
+
+crates/report/src/bin/schedstudy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

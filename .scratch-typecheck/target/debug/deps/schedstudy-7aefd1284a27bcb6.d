@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/schedstudy-7aefd1284a27bcb6.d: crates/report/src/bin/schedstudy.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libschedstudy-7aefd1284a27bcb6.rmeta: crates/report/src/bin/schedstudy.rs
+
+crates/report/src/bin/schedstudy.rs:

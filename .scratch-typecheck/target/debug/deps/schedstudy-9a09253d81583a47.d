@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/schedstudy-9a09253d81583a47.d: crates/report/src/bin/schedstudy.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libschedstudy-9a09253d81583a47.rmeta: crates/report/src/bin/schedstudy.rs
+
+crates/report/src/bin/schedstudy.rs:

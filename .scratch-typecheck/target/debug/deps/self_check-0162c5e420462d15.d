@@ -1,0 +1,10 @@
+/root/repo/.scratch-typecheck/target/debug/deps/self_check-0162c5e420462d15.d: crates/lint/tests/self_check.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libself_check-0162c5e420462d15.rmeta: crates/lint/tests/self_check.rs Cargo.toml
+
+crates/lint/tests/self_check.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/.scratch-typecheck/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

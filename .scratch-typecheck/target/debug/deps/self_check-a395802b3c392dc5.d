@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/self_check-a395802b3c392dc5.d: crates/lint/tests/self_check.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/self_check-a395802b3c392dc5: crates/lint/tests/self_check.rs
+
+crates/lint/tests/self_check.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/.scratch-typecheck/crates/lint

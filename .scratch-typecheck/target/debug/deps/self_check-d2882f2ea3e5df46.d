@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/self_check-d2882f2ea3e5df46.d: crates/lint/tests/self_check.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libself_check-d2882f2ea3e5df46.rmeta: crates/lint/tests/self_check.rs
+
+crates/lint/tests/self_check.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/.scratch-typecheck/crates/lint

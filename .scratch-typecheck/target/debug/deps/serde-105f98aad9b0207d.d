@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde-105f98aad9b0207d.d: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/serde-105f98aad9b0207d: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

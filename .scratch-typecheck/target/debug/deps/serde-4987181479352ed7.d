@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde-4987181479352ed7.d: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde-4987181479352ed7.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

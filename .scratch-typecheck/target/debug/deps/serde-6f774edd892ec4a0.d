@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde-6f774edd892ec4a0.d: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde-6f774edd892ec4a0.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde-dea299a395557fea.d: stubs/serde/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde-dea299a395557fea.rmeta: stubs/serde/src/lib.rs Cargo.toml
+
+stubs/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

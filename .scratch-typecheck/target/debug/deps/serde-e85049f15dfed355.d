@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde-e85049f15dfed355.d: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde-e85049f15dfed355.rlib: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde-e85049f15dfed355.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

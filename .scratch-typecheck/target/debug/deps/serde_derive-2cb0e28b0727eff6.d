@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_derive-2cb0e28b0727eff6.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_derive-2cb0e28b0727eff6.so: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_derive-7c3054183acb5390.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/serde_derive-7c3054183acb5390: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_derive-904ef30035cdf56e.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_derive-904ef30035cdf56e.rmeta: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

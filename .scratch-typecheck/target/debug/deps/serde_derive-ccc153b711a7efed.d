@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_derive-ccc153b711a7efed.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_derive-ccc153b711a7efed.rmeta: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_derive-dd0d12e4f6431927.d: stubs/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_derive-dd0d12e4f6431927.so: stubs/serde_derive/src/lib.rs Cargo.toml
+
+stubs/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

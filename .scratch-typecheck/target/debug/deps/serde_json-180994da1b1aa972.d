@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_json-180994da1b1aa972.d: stubs/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_json-180994da1b1aa972.rmeta: stubs/serde_json/src/lib.rs Cargo.toml
+
+stubs/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

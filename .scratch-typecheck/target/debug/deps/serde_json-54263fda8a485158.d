@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_json-54263fda8a485158.d: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_json-54263fda8a485158.rlib: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_json-54263fda8a485158.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_json-9c8788bd3298ab34.d: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_json-9c8788bd3298ab34.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_json-c60ba94b5f004947.d: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/serde_json-c60ba94b5f004947: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

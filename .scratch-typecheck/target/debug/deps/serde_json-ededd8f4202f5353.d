@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/serde_json-ededd8f4202f5353.d: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libserde_json-ededd8f4202f5353.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

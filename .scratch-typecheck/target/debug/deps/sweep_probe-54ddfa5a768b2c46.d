@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/sweep_probe-54ddfa5a768b2c46.d: crates/sched/tests/sweep_probe.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/sweep_probe-54ddfa5a768b2c46: crates/sched/tests/sweep_probe.rs
+
+crates/sched/tests/sweep_probe.rs:

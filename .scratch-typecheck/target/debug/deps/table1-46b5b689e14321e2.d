@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table1-46b5b689e14321e2.d: crates/report/src/bin/table1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/table1-46b5b689e14321e2: crates/report/src/bin/table1.rs
+
+crates/report/src/bin/table1.rs:

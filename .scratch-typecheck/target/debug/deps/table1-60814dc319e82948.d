@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table1-60814dc319e82948.d: crates/report/src/bin/table1.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable1-60814dc319e82948.rmeta: crates/report/src/bin/table1.rs Cargo.toml
+
+crates/report/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table1-92d263ca73362ac2.d: crates/report/src/bin/table1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable1-92d263ca73362ac2.rmeta: crates/report/src/bin/table1.rs
+
+crates/report/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table1-bdea98fd2a68cc0e.d: crates/report/src/bin/table1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable1-bdea98fd2a68cc0e.rmeta: crates/report/src/bin/table1.rs
+
+crates/report/src/bin/table1.rs:

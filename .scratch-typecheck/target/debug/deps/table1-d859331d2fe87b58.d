@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table1-d859331d2fe87b58.d: crates/report/src/bin/table1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable1-d859331d2fe87b58.rmeta: crates/report/src/bin/table1.rs
+
+crates/report/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table1-ea5fb8bcefce977b.d: crates/report/src/bin/table1.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable1-ea5fb8bcefce977b.rmeta: crates/report/src/bin/table1.rs
+
+crates/report/src/bin/table1.rs:

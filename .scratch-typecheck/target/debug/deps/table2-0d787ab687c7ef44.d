@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table2-0d787ab687c7ef44.d: crates/report/src/bin/table2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable2-0d787ab687c7ef44.rmeta: crates/report/src/bin/table2.rs
+
+crates/report/src/bin/table2.rs:

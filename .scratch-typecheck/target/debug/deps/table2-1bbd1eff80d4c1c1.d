@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table2-1bbd1eff80d4c1c1.d: crates/report/src/bin/table2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable2-1bbd1eff80d4c1c1.rmeta: crates/report/src/bin/table2.rs
+
+crates/report/src/bin/table2.rs:

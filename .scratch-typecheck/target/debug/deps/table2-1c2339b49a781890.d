@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table2-1c2339b49a781890.d: crates/report/src/bin/table2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable2-1c2339b49a781890.rmeta: crates/report/src/bin/table2.rs
+
+crates/report/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table2-46f1d3634e70962e.d: crates/report/src/bin/table2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/table2-46f1d3634e70962e: crates/report/src/bin/table2.rs
+
+crates/report/src/bin/table2.rs:

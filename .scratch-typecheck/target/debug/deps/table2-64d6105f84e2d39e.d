@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table2-64d6105f84e2d39e.d: crates/report/src/bin/table2.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable2-64d6105f84e2d39e.rmeta: crates/report/src/bin/table2.rs
+
+crates/report/src/bin/table2.rs:

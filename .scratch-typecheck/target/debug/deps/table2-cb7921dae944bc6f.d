@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table2-cb7921dae944bc6f.d: crates/report/src/bin/table2.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable2-cb7921dae944bc6f.rmeta: crates/report/src/bin/table2.rs Cargo.toml
+
+crates/report/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table4-0ca6c3f89bf657f9.d: crates/report/src/bin/table4.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable4-0ca6c3f89bf657f9.rmeta: crates/report/src/bin/table4.rs
+
+crates/report/src/bin/table4.rs:

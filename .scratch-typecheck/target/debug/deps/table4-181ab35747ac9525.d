@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table4-181ab35747ac9525.d: crates/report/src/bin/table4.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/table4-181ab35747ac9525: crates/report/src/bin/table4.rs
+
+crates/report/src/bin/table4.rs:

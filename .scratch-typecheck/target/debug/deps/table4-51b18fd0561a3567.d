@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table4-51b18fd0561a3567.d: crates/report/src/bin/table4.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable4-51b18fd0561a3567.rmeta: crates/report/src/bin/table4.rs Cargo.toml
+
+crates/report/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table4-95d8ed1f553b09ba.d: crates/report/src/bin/table4.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable4-95d8ed1f553b09ba.rmeta: crates/report/src/bin/table4.rs
+
+crates/report/src/bin/table4.rs:

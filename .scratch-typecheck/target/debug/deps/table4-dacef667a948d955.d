@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table4-dacef667a948d955.d: crates/report/src/bin/table4.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable4-dacef667a948d955.rmeta: crates/report/src/bin/table4.rs
+
+crates/report/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/table4-e721761f02af3cba.d: crates/report/src/bin/table4.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libtable4-e721761f02af3cba.rmeta: crates/report/src/bin/table4.rs
+
+crates/report/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-36a31afff24e025a.d: src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-36a31afff24e025a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-3897ca92f2b89dc3.d: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-3897ca92f2b89dc3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-612f495939197af0.d: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-612f495939197af0.rmeta: src/lib.rs
+
+src/lib.rs:

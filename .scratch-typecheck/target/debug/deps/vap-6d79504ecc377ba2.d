@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-6d79504ecc377ba2.d: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap-6d79504ecc377ba2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-c41eac2fc5f1077b.d: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-c41eac2fc5f1077b.rmeta: src/lib.rs
+
+src/lib.rs:

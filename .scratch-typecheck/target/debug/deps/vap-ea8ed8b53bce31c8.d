@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-ea8ed8b53bce31c8.d: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-ea8ed8b53bce31c8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap-f52ba7083ca3a153.d: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-f52ba7083ca3a153.rlib: src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap-f52ba7083ca3a153.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-284476aadffdca2f.d: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-284476aadffdca2f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

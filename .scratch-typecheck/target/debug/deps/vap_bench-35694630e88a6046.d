@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-35694630e88a6046.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-35694630e88a6046.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

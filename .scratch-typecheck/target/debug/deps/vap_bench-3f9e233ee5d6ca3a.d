@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-3f9e233ee5d6ca3a.d: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-3f9e233ee5d6ca3a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-5bd8e110cb7de3c1.d: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-5bd8e110cb7de3c1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-5d9fb7783a72bf51.d: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-5d9fb7783a72bf51.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-918c0428dad9e315.d: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-918c0428dad9e315.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

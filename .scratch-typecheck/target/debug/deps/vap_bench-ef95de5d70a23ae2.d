@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_bench-ef95de5d70a23ae2.d: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-ef95de5d70a23ae2.rlib: crates/bench/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_bench-ef95de5d70a23ae2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

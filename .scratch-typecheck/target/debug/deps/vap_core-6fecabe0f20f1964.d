@@ -1,0 +1,20 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_core-6fecabe0f20f1964.d: crates/core/src/lib.rs crates/core/src/alpha.rs crates/core/src/budgeter.rs crates/core/src/dynamic.rs crates/core/src/error.rs crates/core/src/feasibility.rs crates/core/src/multijob.rs crates/core/src/pmmd.rs crates/core/src/pmt.rs crates/core/src/pvt.rs crates/core/src/schemes.rs crates/core/src/testrun.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_core-6fecabe0f20f1964.rmeta: crates/core/src/lib.rs crates/core/src/alpha.rs crates/core/src/budgeter.rs crates/core/src/dynamic.rs crates/core/src/error.rs crates/core/src/feasibility.rs crates/core/src/multijob.rs crates/core/src/pmmd.rs crates/core/src/pmt.rs crates/core/src/pvt.rs crates/core/src/schemes.rs crates/core/src/testrun.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alpha.rs:
+crates/core/src/budgeter.rs:
+crates/core/src/dynamic.rs:
+crates/core/src/error.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/multijob.rs:
+crates/core/src/pmmd.rs:
+crates/core/src/pmt.rs:
+crates/core/src/pvt.rs:
+crates/core/src/schemes.rs:
+crates/core/src/testrun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

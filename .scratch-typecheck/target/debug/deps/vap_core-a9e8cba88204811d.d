@@ -1,0 +1,16 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_core-a9e8cba88204811d.d: crates/core/src/lib.rs crates/core/src/alpha.rs crates/core/src/budgeter.rs crates/core/src/dynamic.rs crates/core/src/error.rs crates/core/src/feasibility.rs crates/core/src/multijob.rs crates/core/src/pmmd.rs crates/core/src/pmt.rs crates/core/src/pvt.rs crates/core/src/schemes.rs crates/core/src/testrun.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_core-a9e8cba88204811d.rmeta: crates/core/src/lib.rs crates/core/src/alpha.rs crates/core/src/budgeter.rs crates/core/src/dynamic.rs crates/core/src/error.rs crates/core/src/feasibility.rs crates/core/src/multijob.rs crates/core/src/pmmd.rs crates/core/src/pmt.rs crates/core/src/pvt.rs crates/core/src/schemes.rs crates/core/src/testrun.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alpha.rs:
+crates/core/src/budgeter.rs:
+crates/core/src/dynamic.rs:
+crates/core/src/error.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/multijob.rs:
+crates/core/src/pmmd.rs:
+crates/core/src/pmt.rs:
+crates/core/src/pvt.rs:
+crates/core/src/schemes.rs:
+crates/core/src/testrun.rs:

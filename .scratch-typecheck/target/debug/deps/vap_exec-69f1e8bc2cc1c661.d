@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_exec-69f1e8bc2cc1c661.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_exec-69f1e8bc2cc1c661.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_exec-994e67136b9fd830.d: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_exec-994e67136b9fd830.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_exec-b4c7a77c647c6a44.d: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_exec-b4c7a77c647c6a44.rlib: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_exec-b4c7a77c647c6a44.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

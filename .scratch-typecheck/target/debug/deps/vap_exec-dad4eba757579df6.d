@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_exec-dad4eba757579df6.d: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_exec-dad4eba757579df6.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

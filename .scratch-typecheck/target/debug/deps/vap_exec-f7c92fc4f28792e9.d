@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_exec-f7c92fc4f28792e9.d: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap_exec-f7c92fc4f28792e9: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-05fbb1139109715f.d: crates/lint/src/main.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-05fbb1139109715f.rmeta: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

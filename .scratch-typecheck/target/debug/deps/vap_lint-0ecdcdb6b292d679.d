@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-0ecdcdb6b292d679.d: crates/lint/src/main.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-0ecdcdb6b292d679: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

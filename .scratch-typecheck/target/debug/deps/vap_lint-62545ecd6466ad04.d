@@ -1,0 +1,17 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-62545ecd6466ad04.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-62545ecd6466ad04.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/cli.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules/mod.rs:
+crates/lint/src/rules/determinism.rs:
+crates/lint/src/rules/float_eq.rs:
+crates/lint/src/rules/no_panic.rs:
+crates/lint/src/rules/no_println.rs:
+crates/lint/src/rules/raw_unit_f64.rs:
+crates/lint/src/source.rs:
+crates/lint/src/walker.rs:

@@ -1,0 +1,19 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-9cc2a627709176d1.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-9cc2a627709176d1.rlib: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-9cc2a627709176d1.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/cli.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules/mod.rs:
+crates/lint/src/rules/determinism.rs:
+crates/lint/src/rules/float_eq.rs:
+crates/lint/src/rules/no_panic.rs:
+crates/lint/src/rules/no_println.rs:
+crates/lint/src/rules/raw_unit_f64.rs:
+crates/lint/src/source.rs:
+crates/lint/src/walker.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-b4c8b4d266591b75.d: crates/lint/src/main.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-b4c8b4d266591b75: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

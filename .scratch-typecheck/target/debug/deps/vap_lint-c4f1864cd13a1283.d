@@ -1,0 +1,21 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-c4f1864cd13a1283.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-c4f1864cd13a1283.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/cli.rs crates/lint/src/diag.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/float_eq.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/no_println.rs crates/lint/src/rules/raw_unit_f64.rs crates/lint/src/source.rs crates/lint/src/walker.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/cli.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules/mod.rs:
+crates/lint/src/rules/determinism.rs:
+crates/lint/src/rules/float_eq.rs:
+crates/lint/src/rules/no_panic.rs:
+crates/lint/src/rules/no_println.rs:
+crates/lint/src/rules/raw_unit_f64.rs:
+crates/lint/src/source.rs:
+crates/lint/src/walker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-d52b28094f448730.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-d52b28094f448730.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

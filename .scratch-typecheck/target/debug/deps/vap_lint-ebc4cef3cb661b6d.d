@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_lint-ebc4cef3cb661b6d.d: crates/lint/src/main.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_lint-ebc4cef3cb661b6d.rmeta: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

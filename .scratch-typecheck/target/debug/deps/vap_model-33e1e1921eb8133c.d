@@ -1,0 +1,17 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_model-33e1e1921eb8133c.d: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_model-33e1e1921eb8133c.rmeta: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/boundedness.rs:
+crates/model/src/linear.rs:
+crates/model/src/power.rs:
+crates/model/src/pstate.rs:
+crates/model/src/systems.rs:
+crates/model/src/thermal.rs:
+crates/model/src/units.rs:
+crates/model/src/variability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_model-92903f180255edb9.d: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_model-92903f180255edb9.rmeta: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs
+
+crates/model/src/lib.rs:
+crates/model/src/boundedness.rs:
+crates/model/src/linear.rs:
+crates/model/src/power.rs:
+crates/model/src/pstate.rs:
+crates/model/src/systems.rs:
+crates/model/src/thermal.rs:
+crates/model/src/units.rs:
+crates/model/src/variability.rs:

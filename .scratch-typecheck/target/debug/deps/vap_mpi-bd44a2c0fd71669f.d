@@ -1,0 +1,10 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_mpi-bd44a2c0fd71669f.d: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap_mpi-bd44a2c0fd71669f: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/event.rs:
+crates/mpi/src/program.rs:
+crates/mpi/src/timeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_mpi-c679aa7e94fb6429.d: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_mpi-c679aa7e94fb6429.rlib: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_mpi-c679aa7e94fb6429.rmeta: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/event.rs:
+crates/mpi/src/program.rs:
+crates/mpi/src/timeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_mpi-e5a4f4a7203c87b1.d: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_mpi-e5a4f4a7203c87b1.rmeta: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/event.rs:
+crates/mpi/src/program.rs:
+crates/mpi/src/timeline.rs:

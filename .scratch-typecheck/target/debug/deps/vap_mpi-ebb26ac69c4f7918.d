@@ -1,0 +1,14 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_mpi-ebb26ac69c4f7918.d: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_mpi-ebb26ac69c4f7918.rmeta: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/event.rs:
+crates/mpi/src/program.rs:
+crates/mpi/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

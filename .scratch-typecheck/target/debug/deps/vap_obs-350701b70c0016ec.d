@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_obs-350701b70c0016ec.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_obs-350701b70c0016ec.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/span.rs:

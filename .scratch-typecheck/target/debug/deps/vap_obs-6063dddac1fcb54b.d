@@ -1,0 +1,13 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_obs-6063dddac1fcb54b.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_obs-6063dddac1fcb54b.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

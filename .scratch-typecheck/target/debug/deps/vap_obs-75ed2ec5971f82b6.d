@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_obs-75ed2ec5971f82b6.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/vap_obs-75ed2ec5971f82b6: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/span.rs:

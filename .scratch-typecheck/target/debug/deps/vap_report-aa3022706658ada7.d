@@ -1,0 +1,29 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_report-aa3022706658ada7.d: crates/report/src/lib.rs crates/report/src/cli.rs crates/report/src/csv.rs crates/report/src/experiments/mod.rs crates/report/src/experiments/ablations.rs crates/report/src/experiments/common.rs crates/report/src/experiments/fig1.rs crates/report/src/experiments/fig2.rs crates/report/src/experiments/fig3.rs crates/report/src/experiments/fig5.rs crates/report/src/experiments/fig6.rs crates/report/src/experiments/fig7.rs crates/report/src/experiments/fig8.rs crates/report/src/experiments/fig9.rs crates/report/src/experiments/multijob_study.rs crates/report/src/experiments/sched_study.rs crates/report/src/experiments/table1.rs crates/report/src/experiments/table2.rs crates/report/src/experiments/table4.rs crates/report/src/options.rs crates/report/src/render.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_report-aa3022706658ada7.rmeta: crates/report/src/lib.rs crates/report/src/cli.rs crates/report/src/csv.rs crates/report/src/experiments/mod.rs crates/report/src/experiments/ablations.rs crates/report/src/experiments/common.rs crates/report/src/experiments/fig1.rs crates/report/src/experiments/fig2.rs crates/report/src/experiments/fig3.rs crates/report/src/experiments/fig5.rs crates/report/src/experiments/fig6.rs crates/report/src/experiments/fig7.rs crates/report/src/experiments/fig8.rs crates/report/src/experiments/fig9.rs crates/report/src/experiments/multijob_study.rs crates/report/src/experiments/sched_study.rs crates/report/src/experiments/table1.rs crates/report/src/experiments/table2.rs crates/report/src/experiments/table4.rs crates/report/src/options.rs crates/report/src/render.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/cli.rs:
+crates/report/src/csv.rs:
+crates/report/src/experiments/mod.rs:
+crates/report/src/experiments/ablations.rs:
+crates/report/src/experiments/common.rs:
+crates/report/src/experiments/fig1.rs:
+crates/report/src/experiments/fig2.rs:
+crates/report/src/experiments/fig3.rs:
+crates/report/src/experiments/fig5.rs:
+crates/report/src/experiments/fig6.rs:
+crates/report/src/experiments/fig7.rs:
+crates/report/src/experiments/fig8.rs:
+crates/report/src/experiments/fig9.rs:
+crates/report/src/experiments/multijob_study.rs:
+crates/report/src/experiments/sched_study.rs:
+crates/report/src/experiments/table1.rs:
+crates/report/src/experiments/table2.rs:
+crates/report/src/experiments/table4.rs:
+crates/report/src/options.rs:
+crates/report/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

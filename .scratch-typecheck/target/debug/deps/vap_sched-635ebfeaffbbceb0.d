@@ -1,0 +1,10 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_sched-635ebfeaffbbceb0.d: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_sched-635ebfeaffbbceb0.rmeta: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/event.rs:
+crates/sched/src/job.rs:
+crates/sched/src/report.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_sched-71f97b5a3537145d.d: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_sched-71f97b5a3537145d.rmeta: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/event.rs:
+crates/sched/src/job.rs:
+crates/sched/src/report.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

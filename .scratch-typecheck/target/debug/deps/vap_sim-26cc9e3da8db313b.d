@@ -1,0 +1,18 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_sim-26cc9e3da8db313b.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/cpufreq.rs crates/sim/src/dynamics.rs crates/sim/src/measurement.rs crates/sim/src/module.rs crates/sim/src/msr.rs crates/sim/src/rapl.rs crates/sim/src/scheduler.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_sim-26cc9e3da8db313b.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/cpufreq.rs crates/sim/src/dynamics.rs crates/sim/src/measurement.rs crates/sim/src/module.rs crates/sim/src/msr.rs crates/sim/src/rapl.rs crates/sim/src/scheduler.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/cpufreq.rs:
+crates/sim/src/dynamics.rs:
+crates/sim/src/measurement.rs:
+crates/sim/src/module.rs:
+crates/sim/src/msr.rs:
+crates/sim/src/rapl.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_sim-c11cfe2f211911d8.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/cpufreq.rs crates/sim/src/dynamics.rs crates/sim/src/measurement.rs crates/sim/src/module.rs crates/sim/src/msr.rs crates/sim/src/rapl.rs crates/sim/src/scheduler.rs crates/sim/src/trace.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_sim-c11cfe2f211911d8.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/cpufreq.rs crates/sim/src/dynamics.rs crates/sim/src/measurement.rs crates/sim/src/module.rs crates/sim/src/msr.rs crates/sim/src/rapl.rs crates/sim/src/scheduler.rs crates/sim/src/trace.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_sim-c11cfe2f211911d8.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/cpufreq.rs crates/sim/src/dynamics.rs crates/sim/src/measurement.rs crates/sim/src/module.rs crates/sim/src/msr.rs crates/sim/src/rapl.rs crates/sim/src/scheduler.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/cpufreq.rs:
+crates/sim/src/dynamics.rs:
+crates/sim/src/measurement.rs:
+crates/sim/src/module.rs:
+crates/sim/src/msr.rs:
+crates/sim/src/rapl.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_stats-362c5944fb819164.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_stats-362c5944fb819164.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/speedup.rs:
+crates/stats/src/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_stats-9aaaedb539af24cd.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_stats-9aaaedb539af24cd.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/speedup.rs:
+crates/stats/src/variation.rs:

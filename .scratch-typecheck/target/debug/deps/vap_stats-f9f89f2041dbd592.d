@@ -1,0 +1,13 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_stats-f9f89f2041dbd592.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_stats-f9f89f2041dbd592.rlib: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_stats-f9f89f2041dbd592.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/speedup.rs:
+crates/stats/src/variation.rs:

@@ -1,0 +1,18 @@
+/root/repo/.scratch-typecheck/target/debug/deps/vap_workloads-365a59edbe3fd417.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/dgemm.rs crates/workloads/src/kernels/ep.rs crates/workloads/src/kernels/linesolve.rs crates/workloads/src/kernels/montecarlo.rs crates/workloads/src/kernels/stencil.rs crates/workloads/src/kernels/stream.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/deps/libvap_workloads-365a59edbe3fd417.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/dgemm.rs crates/workloads/src/kernels/ep.rs crates/workloads/src/kernels/linesolve.rs crates/workloads/src/kernels/montecarlo.rs crates/workloads/src/kernels/stencil.rs crates/workloads/src/kernels/stream.rs crates/workloads/src/spec.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/dgemm.rs:
+crates/workloads/src/kernels/ep.rs:
+crates/workloads/src/kernels/linesolve.rs:
+crates/workloads/src/kernels/montecarlo.rs:
+crates/workloads/src/kernels/stencil.rs:
+crates/workloads/src/kernels/stream.rs:
+crates/workloads/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

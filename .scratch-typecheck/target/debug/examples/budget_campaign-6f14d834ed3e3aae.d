@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/budget_campaign-6f14d834ed3e3aae.d: examples/budget_campaign.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libbudget_campaign-6f14d834ed3e3aae.rmeta: examples/budget_campaign.rs Cargo.toml
+
+examples/budget_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

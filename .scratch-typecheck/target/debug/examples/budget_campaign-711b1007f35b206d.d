@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/budget_campaign-711b1007f35b206d.d: examples/budget_campaign.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libbudget_campaign-711b1007f35b206d.rmeta: examples/budget_campaign.rs
+
+examples/budget_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/budget_campaign-749ab5c1bbea5557.d: examples/budget_campaign.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libbudget_campaign-749ab5c1bbea5557.rmeta: examples/budget_campaign.rs
+
+examples/budget_campaign.rs:

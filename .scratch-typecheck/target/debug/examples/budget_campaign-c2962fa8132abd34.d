@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/budget_campaign-c2962fa8132abd34.d: examples/budget_campaign.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/budget_campaign-c2962fa8132abd34: examples/budget_campaign.rs
+
+examples/budget_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/dynamic_phases-394d3a5312fe8b9c.d: examples/dynamic_phases.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libdynamic_phases-394d3a5312fe8b9c.rmeta: examples/dynamic_phases.rs
+
+examples/dynamic_phases.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/dynamic_phases-544eff83785970e4.d: examples/dynamic_phases.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libdynamic_phases-544eff83785970e4.rmeta: examples/dynamic_phases.rs Cargo.toml
+
+examples/dynamic_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/dynamic_phases-a68347a642299dd7.d: examples/dynamic_phases.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/dynamic_phases-a68347a642299dd7: examples/dynamic_phases.rs
+
+examples/dynamic_phases.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/dynamic_phases-d18af447f685d4b3.d: examples/dynamic_phases.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libdynamic_phases-d18af447f685d4b3.rmeta: examples/dynamic_phases.rs
+
+examples/dynamic_phases.rs:

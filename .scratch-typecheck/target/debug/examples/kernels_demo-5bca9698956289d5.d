@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/kernels_demo-5bca9698956289d5.d: examples/kernels_demo.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libkernels_demo-5bca9698956289d5.rmeta: examples/kernels_demo.rs
+
+examples/kernels_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/kernels_demo-64b9bb0fcb94b29b.d: examples/kernels_demo.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/kernels_demo-64b9bb0fcb94b29b: examples/kernels_demo.rs
+
+examples/kernels_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/kernels_demo-f65ad51c4372e4b1.d: examples/kernels_demo.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libkernels_demo-f65ad51c4372e4b1.rmeta: examples/kernels_demo.rs
+
+examples/kernels_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/kernels_demo-fcfad222d6140f10.d: examples/kernels_demo.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libkernels_demo-fcfad222d6140f10.rmeta: examples/kernels_demo.rs Cargo.toml
+
+examples/kernels_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/multi_tenant-4c2170e0a0326e33.d: examples/multi_tenant.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libmulti_tenant-4c2170e0a0326e33.rmeta: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/multi_tenant-63c5c175dfe31cc1.d: examples/multi_tenant.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libmulti_tenant-63c5c175dfe31cc1.rmeta: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

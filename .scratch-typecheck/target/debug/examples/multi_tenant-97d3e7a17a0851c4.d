@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/multi_tenant-97d3e7a17a0851c4.d: examples/multi_tenant.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libmulti_tenant-97d3e7a17a0851c4.rmeta: examples/multi_tenant.rs Cargo.toml
+
+examples/multi_tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/multi_tenant-d1d9296106849dee.d: examples/multi_tenant.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/multi_tenant-d1d9296106849dee: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

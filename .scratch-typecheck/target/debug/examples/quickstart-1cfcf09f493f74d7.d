@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/quickstart-1cfcf09f493f74d7.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libquickstart-1cfcf09f493f74d7.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/quickstart-8c17701290e50bdc.d: examples/quickstart.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/quickstart-8c17701290e50bdc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/quickstart-a371bf9f0b9433e3.d: examples/quickstart.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libquickstart-a371bf9f0b9433e3.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

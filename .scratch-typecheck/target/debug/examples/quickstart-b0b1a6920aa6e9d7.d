@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/quickstart-b0b1a6920aa6e9d7.d: examples/quickstart.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libquickstart-b0b1a6920aa6e9d7.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/rapl_dynamics-44e4672e0a527f19.d: examples/rapl_dynamics.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/librapl_dynamics-44e4672e0a527f19.rmeta: examples/rapl_dynamics.rs
+
+examples/rapl_dynamics.rs:

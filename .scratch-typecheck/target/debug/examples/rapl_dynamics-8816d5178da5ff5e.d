@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/rapl_dynamics-8816d5178da5ff5e.d: examples/rapl_dynamics.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/rapl_dynamics-8816d5178da5ff5e: examples/rapl_dynamics.rs
+
+examples/rapl_dynamics.rs:

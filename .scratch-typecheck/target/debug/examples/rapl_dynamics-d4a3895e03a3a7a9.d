@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/rapl_dynamics-d4a3895e03a3a7a9.d: examples/rapl_dynamics.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/librapl_dynamics-d4a3895e03a3a7a9.rmeta: examples/rapl_dynamics.rs
+
+examples/rapl_dynamics.rs:

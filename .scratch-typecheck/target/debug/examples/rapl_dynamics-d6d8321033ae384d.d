@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/rapl_dynamics-d6d8321033ae384d.d: examples/rapl_dynamics.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/librapl_dynamics-d6d8321033ae384d.rmeta: examples/rapl_dynamics.rs Cargo.toml
+
+examples/rapl_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/scheduler_whatif-7e2542a15da9217f.d: examples/scheduler_whatif.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libscheduler_whatif-7e2542a15da9217f.rmeta: examples/scheduler_whatif.rs Cargo.toml
+
+examples/scheduler_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/scheduler_whatif-858af8b6b1a27e5f.d: examples/scheduler_whatif.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libscheduler_whatif-858af8b6b1a27e5f.rmeta: examples/scheduler_whatif.rs
+
+examples/scheduler_whatif.rs:

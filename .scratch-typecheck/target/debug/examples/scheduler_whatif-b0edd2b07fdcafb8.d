@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/scheduler_whatif-b0edd2b07fdcafb8.d: examples/scheduler_whatif.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/scheduler_whatif-b0edd2b07fdcafb8: examples/scheduler_whatif.rs
+
+examples/scheduler_whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/scheduler_whatif-c2437844cc6cfa13.d: examples/scheduler_whatif.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libscheduler_whatif-c2437844cc6cfa13.rmeta: examples/scheduler_whatif.rs
+
+examples/scheduler_whatif.rs:

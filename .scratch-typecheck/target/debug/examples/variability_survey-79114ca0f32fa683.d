@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/variability_survey-79114ca0f32fa683.d: examples/variability_survey.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libvariability_survey-79114ca0f32fa683.rmeta: examples/variability_survey.rs
+
+examples/variability_survey.rs:

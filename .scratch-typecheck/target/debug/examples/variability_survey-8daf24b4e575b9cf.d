@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/variability_survey-8daf24b4e575b9cf.d: examples/variability_survey.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/libvariability_survey-8daf24b4e575b9cf.rmeta: examples/variability_survey.rs
+
+examples/variability_survey.rs:

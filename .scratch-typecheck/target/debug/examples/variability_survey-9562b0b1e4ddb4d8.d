@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/debug/examples/variability_survey-9562b0b1e4ddb4d8.d: examples/variability_survey.rs
+
+/root/repo/.scratch-typecheck/target/debug/examples/variability_survey-9562b0b1e4ddb4d8: examples/variability_survey.rs
+
+examples/variability_survey.rs:

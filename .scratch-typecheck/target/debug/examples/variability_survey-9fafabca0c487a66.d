@@ -1,0 +1,9 @@
+/root/repo/.scratch-typecheck/target/debug/examples/variability_survey-9fafabca0c487a66.d: examples/variability_survey.rs Cargo.toml
+
+/root/repo/.scratch-typecheck/target/debug/examples/libvariability_survey-9fafabca0c487a66.rmeta: examples/variability_survey.rs Cargo.toml
+
+examples/variability_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap-used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

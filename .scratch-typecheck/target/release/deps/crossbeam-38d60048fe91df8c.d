@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/crossbeam-38d60048fe91df8c.d: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libcrossbeam-38d60048fe91df8c.rlib: stubs/crossbeam/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libcrossbeam-38d60048fe91df8c.rmeta: stubs/crossbeam/src/lib.rs
+
+stubs/crossbeam/src/lib.rs:

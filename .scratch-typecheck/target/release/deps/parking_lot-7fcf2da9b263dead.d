@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/parking_lot-7fcf2da9b263dead.d: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libparking_lot-7fcf2da9b263dead.rlib: stubs/parking_lot/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libparking_lot-7fcf2da9b263dead.rmeta: stubs/parking_lot/src/lib.rs
+
+stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/rand-e5e0d4b3a586728f.d: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/librand-e5e0d4b3a586728f.rlib: stubs/rand/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/librand-e5e0d4b3a586728f.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/rand_distr-204ddde28cd4f973.d: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/librand_distr-204ddde28cd4f973.rlib: stubs/rand_distr/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/librand_distr-204ddde28cd4f973.rmeta: stubs/rand_distr/src/lib.rs
+
+stubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/release/deps/schedstudy-f0dde79f5498662b.d: crates/report/src/bin/schedstudy.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/schedstudy-f0dde79f5498662b: crates/report/src/bin/schedstudy.rs
+
+crates/report/src/bin/schedstudy.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/serde-49d16b070066b902.d: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libserde-49d16b070066b902.rlib: stubs/serde/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libserde-49d16b070066b902.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/.scratch-typecheck/target/release/deps/serde_derive-a76495178e44b552.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libserde_derive-a76495178e44b552.so: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

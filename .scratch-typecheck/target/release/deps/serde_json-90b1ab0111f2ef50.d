@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/serde_json-90b1ab0111f2ef50.d: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libserde_json-90b1ab0111f2ef50.rlib: stubs/serde_json/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libserde_json-90b1ab0111f2ef50.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_exec-c8eecca4000b0de1.d: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_exec-c8eecca4000b0de1.rlib: crates/exec/src/lib.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_exec-c8eecca4000b0de1.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

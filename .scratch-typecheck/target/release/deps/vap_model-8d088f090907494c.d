@@ -1,0 +1,15 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_model-8d088f090907494c.d: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_model-8d088f090907494c.rlib: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_model-8d088f090907494c.rmeta: crates/model/src/lib.rs crates/model/src/boundedness.rs crates/model/src/linear.rs crates/model/src/power.rs crates/model/src/pstate.rs crates/model/src/systems.rs crates/model/src/thermal.rs crates/model/src/units.rs crates/model/src/variability.rs
+
+crates/model/src/lib.rs:
+crates/model/src/boundedness.rs:
+crates/model/src/linear.rs:
+crates/model/src/power.rs:
+crates/model/src/pstate.rs:
+crates/model/src/systems.rs:
+crates/model/src/thermal.rs:
+crates/model/src/units.rs:
+crates/model/src/variability.rs:

@@ -1,0 +1,12 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_mpi-d1ce1b0d02df2607.d: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_mpi-d1ce1b0d02df2607.rlib: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_mpi-d1ce1b0d02df2607.rmeta: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/engine.rs crates/mpi/src/event.rs crates/mpi/src/program.rs crates/mpi/src/timeline.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/engine.rs:
+crates/mpi/src/event.rs:
+crates/mpi/src/program.rs:
+crates/mpi/src/timeline.rs:

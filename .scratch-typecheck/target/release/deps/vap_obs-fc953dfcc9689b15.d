@@ -1,0 +1,11 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_obs-fc953dfcc9689b15.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_obs-fc953dfcc9689b15.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_obs-fc953dfcc9689b15.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/span.rs:

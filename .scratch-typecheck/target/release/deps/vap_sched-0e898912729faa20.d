@@ -1,0 +1,12 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_sched-0e898912729faa20.d: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_sched-0e898912729faa20.rlib: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_sched-0e898912729faa20.rmeta: crates/sched/src/lib.rs crates/sched/src/event.rs crates/sched/src/job.rs crates/sched/src/report.rs crates/sched/src/runtime.rs crates/sched/src/trace.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/event.rs:
+crates/sched/src/job.rs:
+crates/sched/src/report.rs:
+crates/sched/src/runtime.rs:
+crates/sched/src/trace.rs:

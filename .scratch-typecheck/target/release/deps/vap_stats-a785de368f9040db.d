@@ -1,0 +1,13 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_stats-a785de368f9040db.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_stats-a785de368f9040db.rlib: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_stats-a785de368f9040db.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/histogram.rs crates/stats/src/regression.rs crates/stats/src/speedup.rs crates/stats/src/variation.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/speedup.rs:
+crates/stats/src/variation.rs:

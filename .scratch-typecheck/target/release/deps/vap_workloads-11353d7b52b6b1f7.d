@@ -1,0 +1,16 @@
+/root/repo/.scratch-typecheck/target/release/deps/vap_workloads-11353d7b52b6b1f7.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/dgemm.rs crates/workloads/src/kernels/ep.rs crates/workloads/src/kernels/linesolve.rs crates/workloads/src/kernels/montecarlo.rs crates/workloads/src/kernels/stencil.rs crates/workloads/src/kernels/stream.rs crates/workloads/src/spec.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_workloads-11353d7b52b6b1f7.rlib: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/dgemm.rs crates/workloads/src/kernels/ep.rs crates/workloads/src/kernels/linesolve.rs crates/workloads/src/kernels/montecarlo.rs crates/workloads/src/kernels/stencil.rs crates/workloads/src/kernels/stream.rs crates/workloads/src/spec.rs
+
+/root/repo/.scratch-typecheck/target/release/deps/libvap_workloads-11353d7b52b6b1f7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/dgemm.rs crates/workloads/src/kernels/ep.rs crates/workloads/src/kernels/linesolve.rs crates/workloads/src/kernels/montecarlo.rs crates/workloads/src/kernels/stencil.rs crates/workloads/src/kernels/stream.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/dgemm.rs:
+crates/workloads/src/kernels/ep.rs:
+crates/workloads/src/kernels/linesolve.rs:
+crates/workloads/src/kernels/montecarlo.rs:
+crates/workloads/src/kernels/stencil.rs:
+crates/workloads/src/kernels/stream.rs:
+crates/workloads/src/spec.rs:

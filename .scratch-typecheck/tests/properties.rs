@@ -1,0 +1,164 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use vap::prelude::*;
+use vap_core::alpha::{allocations, max_alpha, total_allocated};
+use vap_core::pmt::PowerModelTable;
+use vap_model::power::{CpuPowerModel, VoltageCurve};
+use vap_model::pstate::PStateTable;
+use vap_model::variability::ModuleVariation;
+use vap_mpi::engine;
+use vap_mpi::program::ProgramBuilder;
+use vap_sim::rapl::{steady_state, steady_state_power, RaplSteadyState};
+
+/// Build a synthetic PMT from generated per-module anchor powers.
+fn pmt_from(anchors: &[(f64, f64, f64, f64)]) -> PowerModelTable {
+    let entries: Vec<serde_json::Value> = anchors
+        .iter()
+        .enumerate()
+        .map(|(id, &(cpu_max, cpu_min, dram_max, dram_min))| {
+            serde_json::json!({
+                "module_id": id,
+                "cpu":  {"f_max": 2.7, "f_min": 1.2, "p_max": cpu_max, "p_min": cpu_min},
+                "dram": {"f_max": 2.7, "f_min": 1.2, "p_max": dram_max, "p_min": dram_min},
+            })
+        })
+        .collect();
+    serde_json::from_value(serde_json::json!({ "entries": entries })).expect("valid PMT")
+}
+
+/// Anchors with p_max >= p_min and sane magnitudes.
+fn anchor_strategy() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (40.0f64..140.0, 20.0f64..40.0, 8.0f64..40.0, 4.0f64..8.0)
+        .prop_map(|(cmax, cmin_off, dmax, dmin_off)| {
+            let cmin = cmax - cmin_off.min(cmax - 1.0);
+            let dmin = dmax - dmin_off.min(dmax - 1.0);
+            (cmax, cmin, dmax, dmin)
+        })
+}
+
+proptest! {
+    /// Eq. 6/7 invariant: whatever the fleet looks like, the allocations
+    /// at the solved α never exceed the budget, and every module gets at
+    /// least its minimum.
+    #[test]
+    fn alpha_allocations_respect_budget(
+        anchors in proptest::collection::vec(anchor_strategy(), 1..40),
+        slack in 0.0f64..1.5,
+    ) {
+        let pmt = pmt_from(&anchors);
+        let min = pmt.fleet_minimum().value();
+        let max = pmt.fleet_maximum().value();
+        let budget = Watts(min + slack * (max - min));
+        let alpha = max_alpha(budget, &pmt).expect("budget >= fleet minimum");
+        let allocs = allocations(&pmt, alpha);
+        let total = total_allocated(&allocs).value();
+        prop_assert!(total <= budget.value() + 1e-6,
+            "total {total} exceeds budget {}", budget.value());
+        for (a, e) in allocs.iter().zip(pmt.entries()) {
+            prop_assert!(a.p_module.value() >= e.module().p_min.value() - 1e-9);
+            prop_assert!(a.p_module.value() <= e.module().p_max.value() + 1e-9);
+        }
+        // all modules share the frequency
+        let f0 = allocs[0].frequency;
+        prop_assert!(allocs.iter().all(|a| (a.frequency.value() - f0.value()).abs() < 1e-12));
+    }
+
+    /// Budgets below the fleet minimum are always rejected, never planned.
+    #[test]
+    fn starvation_budgets_always_error(
+        anchors in proptest::collection::vec(anchor_strategy(), 1..20),
+        frac in 0.1f64..0.999,
+    ) {
+        let pmt = pmt_from(&anchors);
+        let budget = Watts(pmt.fleet_minimum().value() * frac - 1e-6);
+        prop_assert!(max_alpha(budget, &pmt).is_err());
+    }
+
+    /// The two-point model's α ↔ frequency ↔ power mappings are mutually
+    /// consistent for arbitrary anchors.
+    #[test]
+    fn two_point_model_round_trips(
+        p_max in 20.0f64..200.0,
+        span in 0.1f64..100.0,
+        raw in 0.0f64..1.0,
+    ) {
+        let m = TwoPointModel::new(
+            GigaHertz(2.7), GigaHertz(1.2), Watts(p_max), Watts(p_max - span),
+        );
+        let a = Alpha::saturating(raw);
+        let f = m.frequency(a);
+        let p = m.power(a);
+        prop_assert!((m.alpha_for_frequency(f) - raw).abs() < 1e-9);
+        prop_assert!((m.alpha_for_power(p).unwrap() - raw).abs() < 1e-9);
+        prop_assert!((m.power_at_frequency(f).value() - p.value()).abs() < 1e-9);
+    }
+
+    /// RAPL steady state never draws more than the cap whenever the cap is
+    /// physically enforceable (i.e. the solution was not floored).
+    #[test]
+    fn rapl_steady_state_respects_enforceable_caps(
+        cap_w in 20.0f64..160.0,
+        dynamic in 0.9f64..1.1,
+        leakage in 0.7f64..1.5,
+        activity in 0.3f64..1.0,
+    ) {
+        let model = CpuPowerModel {
+            voltage: VoltageCurve { v0: 0.6, v1: 0.1 },
+            dynamic_scale: Watts(36.7),
+            leakage: Watts(18.0),
+            idle: Watts(8.0),
+            gated_leakage_fraction: 1.0,
+        };
+        let pstates = PStateTable::evenly_spaced(GigaHertz(1.2), GigaHertz(2.7), GigaHertz(0.1));
+        let mut v = ModuleVariation::nominal(0, 12);
+        v.dynamic = dynamic;
+        v.leakage = leakage;
+        let s = steady_state(Watts(cap_w), &model, activity, &v, 1.0, &pstates);
+        let p = steady_state_power(&s, &model, activity, &v, 1.0, &pstates);
+        let floored = matches!(s, RaplSteadyState::ClockModulated { floored: true, .. });
+        if !floored {
+            prop_assert!(p.value() <= cap_w + 1e-6, "{s:?} drew {p} over {cap_w} W");
+        }
+        // effective frequency is monotone in the cap
+        let s2 = steady_state(Watts(cap_w + 10.0), &model, activity, &v, 1.0, &pstates);
+        prop_assert!(
+            s2.effective_frequency(&pstates) >= s.effective_frequency(&pstates)
+        );
+    }
+
+    /// Engine sanity for arbitrary SPMD rate vectors: a barrier-closed
+    /// program finishes exactly at the slowest rank's pace, wait times are
+    /// non-negative, and scaling every rate up can only shrink makespan.
+    #[test]
+    fn engine_invariants_under_random_rates(
+        rates in proptest::collection::vec(0.05f64..2.0, 2..32),
+        work in 0.5f64..20.0,
+        boost in 1.01f64..3.0,
+    ) {
+        let p = ProgramBuilder::new().compute(work).barrier().build();
+        let comm = CommParams::ideal();
+        let r = engine::run(&p, &rates, &comm);
+        let slowest = rates.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!((r.makespan().value() - work / slowest).abs() < 1e-9);
+        prop_assert!(r.sync_wait.iter().all(|w| w.value() >= -1e-12));
+        prop_assert_eq!(r.vt().unwrap(), 1.0);
+
+        let boosted: Vec<f64> = rates.iter().map(|x| x * boost).collect();
+        let r2 = engine::run(&p, &boosted, &comm);
+        prop_assert!(r2.makespan() < r.makespan());
+    }
+
+    /// Worst-case variation is scale-invariant and >= 1 for positive data.
+    #[test]
+    fn variation_metric_properties(
+        xs in proptest::collection::vec(0.01f64..1e6, 1..64),
+        k in 0.01f64..100.0,
+    ) {
+        let v = vap::stats::worst_case_variation(&xs).unwrap();
+        prop_assert!(v >= 1.0);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let v2 = vap::stats::worst_case_variation(&scaled).unwrap();
+        prop_assert!((v - v2).abs() < 1e-6 * v.max(1.0));
+    }
+}
