@@ -28,6 +28,7 @@ use vap_model::units::{GigaHertz, Watts};
 /// The raw (unclamped) Eq. 6 bound. Negative values mean the budget
 /// cannot sustain `f_min` everywhere; values above 1 mean the budget does
 /// not bind.
+// vap:allow(unit-flow): α is the paper's dimensionless scaling coefficient
 pub fn raw_alpha(budget: Watts, pmt: &PowerModelTable) -> f64 {
     let min_sum = pmt.fleet_minimum();
     let span_sum: f64 = pmt.entries().iter().map(|e| e.module().span().value()).sum();

@@ -14,6 +14,7 @@ use std::path::PathBuf;
 
 use crate::baseline::Baseline;
 use crate::diag::{self, Finding, Status, Summary};
+use crate::index::SymbolIndex;
 use crate::rules;
 use crate::source::SourceFile;
 use crate::walker;
@@ -45,6 +46,8 @@ pub struct Options {
     pub rules: Vec<String>,
     /// Print the rule table and exit.
     pub list_rules: bool,
+    /// Print the pass-1 symbol index and exit (debugging aid).
+    pub index_dump: bool,
     /// Print usage and exit.
     pub help: bool,
 }
@@ -60,6 +63,7 @@ impl Options {
             write_baseline: false,
             rules: Vec::new(),
             list_rules: false,
+            index_dump: false,
             help: false,
         }
     }
@@ -79,6 +83,7 @@ OPTIONS:
   --write-baseline      regenerate the baseline from current findings
   --rule <name>         run only this rule (repeatable)
   --list-rules          print the rule table and exit
+  --index-dump          print the pass-1 symbol index and exit
   -h, --help            print this help
 ";
 
@@ -105,6 +110,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--write-baseline" => opts.write_baseline = true,
             "--rule" => opts.rules.push(value(&mut i, "--rule")?),
             "--list-rules" => opts.list_rules = true,
+            "--index-dump" => opts.index_dump = true,
             "-h" | "--help" => opts.help = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -125,7 +131,36 @@ pub struct Outcome {
     pub counts: Vec<(String, String, usize)>,
 }
 
-/// Walk the workspace, run the rules, apply `vap:allow` and the baseline.
+/// Pass 0: walk the workspace and lex/parse every source file.
+fn load_files(opts: &Options) -> Result<Vec<SourceFile>, String> {
+    let files = walker::workspace_files(&opts.root)
+        .map_err(|e| format!("walking {}: {e}", opts.root.display()))?;
+    // An empty walk means the root is not a workspace (wrong --root, moved
+    // checkout). Erroring beats a green "0 files scanned" in a CI gate.
+    if files.is_empty() {
+        return Err(format!(
+            "no Rust sources found under {} — is this the workspace root?",
+            opts.root.display()
+        ));
+    }
+    let mut sources = Vec::with_capacity(files.len());
+    for wf in &files {
+        let text = fs::read_to_string(&wf.abs)
+            .map_err(|e| format!("reading {}: {e}", wf.abs.display()))?;
+        sources.push(SourceFile::from_source(&wf.rel, &wf.crate_name, &text));
+    }
+    Ok(sources)
+}
+
+/// Pass 1: build the workspace symbol index over loaded sources.
+fn build_index(opts: &Options, sources: &[SourceFile]) -> Result<SymbolIndex, String> {
+    let deps = walker::crate_dependencies(&opts.root)
+        .map_err(|e| format!("reading manifests under {}: {e}", opts.root.display()))?;
+    Ok(SymbolIndex::build(sources, deps))
+}
+
+/// Walk the workspace, index it, run the rules, apply `vap:allow` and the
+/// baseline.
 pub fn scan(opts: &Options) -> Result<Outcome, String> {
     let all = rules::all_rules();
     for name in &opts.rules {
@@ -139,25 +174,15 @@ pub fn scan(opts: &Options) -> Result<Outcome, String> {
         .collect();
 
     let baseline = load_baseline(opts)?;
-    let files = walker::workspace_files(&opts.root)
-        .map_err(|e| format!("walking {}: {e}", opts.root.display()))?;
-    // An empty walk means the root is not a workspace (wrong --root, moved
-    // checkout). Erroring beats a green "0 files scanned" in a CI gate.
-    if files.is_empty() {
-        return Err(format!(
-            "no Rust sources found under {} — is this the workspace root?",
-            opts.root.display()
-        ));
-    }
+    let sources = load_files(opts)?;
+    let index = build_index(opts, &sources)?;
+    let ctx = rules::Context { index: &index };
 
     let mut findings: Vec<Finding> = Vec::new();
-    for wf in &files {
-        let text = fs::read_to_string(&wf.abs)
-            .map_err(|e| format!("reading {}: {e}", wf.abs.display()))?;
-        let sf = SourceFile::from_source(&wf.rel, &wf.crate_name, &text);
+    for sf in &sources {
         let mut raw = Vec::new();
         for rule in &active {
-            rule.check(&sf, &mut raw);
+            rule.check(sf, &ctx, &mut raw);
         }
         for mut f in raw {
             if sf.is_allowed(f.rule, f.line - 1) {
@@ -181,7 +206,7 @@ pub fn scan(opts: &Options) -> Result<Outcome, String> {
         *n += 1;
     }
 
-    let mut summary = Summary { files: files.len(), ..Summary::default() };
+    let mut summary = Summary { files: sources.len(), ..Summary::default() };
     for f in &findings {
         summary.total += 1;
         match f.status {
@@ -213,9 +238,22 @@ pub fn run(opts: &Options) -> i32 {
     }
     if opts.list_rules {
         for rule in rules::all_rules() {
-            println!("{:<16} {}", rule.name(), rule.description());
+            println!("{:<20} {}", rule.name(), rule.description());
         }
         return 0;
+    }
+    if opts.index_dump {
+        let dumped = load_files(opts).and_then(|srcs| build_index(opts, &srcs));
+        return match dumped {
+            Ok(index) => {
+                print!("{}", index.dump());
+                0
+            }
+            Err(e) => {
+                eprintln!("vap-lint: error: {e}");
+                2
+            }
+        };
     }
     let outcome = match scan(opts) {
         Ok(o) => o,

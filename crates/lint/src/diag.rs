@@ -177,7 +177,7 @@ mod tests {
             column: 12,
             message: "floating-point `==` comparison".into(),
             snippet: "if sxx == 0.0 {".into(),
-            help: "compare with an explicit tolerance".into(),
+            help: "compare with an explicit tolerance",
             status: Status::New,
         }
     }

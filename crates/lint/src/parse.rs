@@ -1,0 +1,1002 @@
+//! A lightweight token-tree parser over the scrubbed source.
+//!
+//! The per-line rules of PR 1 see one line at a time; the index-aware
+//! rules (`unit-flow`, `shared-state-in-par`, `panic-propagation`) need
+//! *items*: function signatures with typed parameters, newtype structs,
+//! `impl` blocks, `static`/`thread_local!` state, and call sites with
+//! their argument expressions. This module turns [`crate::lexer::scrub`]
+//! output into a flat token stream (identifiers, numbers, and punctuation
+//! with `::`/`->` fused), then walks it once with balanced-delimiter
+//! tracking to extract those items. It is *not* a Rust grammar: macro
+//! bodies, patterns and generics are skipped or approximated, which is
+//! exactly the right trade for a zero-dependency analyzer — unresolvable
+//! constructs degrade to "not indexed", never to a false parse.
+
+/// One lexical token of scrubbed code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (`foo`, `42.5`, `::`, `->`, `(` …).
+    pub text: String,
+    /// 0-based source line.
+    pub line: usize,
+    /// 0-based starting column (byte offset in the scrubbed line).
+    pub col: usize,
+}
+
+impl Tok {
+    fn is_ident(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    }
+}
+
+/// Tokenize scrubbed lines. Identifier/number runs become one token;
+/// `::` and `->` fuse; every other non-space byte is a one-char token.
+pub fn tokenize(code: &[String]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (line_no, line) in code.iter().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                // extend numeric runs across `1.5` and `1e-6` shapes so a
+                // float literal is a single token
+                if bytes.get(start).is_some_and(u8::is_ascii_digit) {
+                    if i + 1 < bytes.len()
+                        && bytes[i] == b'.'
+                        && bytes[i + 1].is_ascii_digit()
+                    {
+                        i += 1;
+                        while i < bytes.len()
+                            && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                        {
+                            i += 1;
+                        }
+                    }
+                    if i > start
+                        && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')
+                        && i + 1 < bytes.len()
+                        && (bytes[i] == b'+' || bytes[i] == b'-')
+                        && bytes[i + 1].is_ascii_digit()
+                    {
+                        i += 1;
+                        while i < bytes.len()
+                            && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                        {
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok { text: line[start..i].to_string(), line: line_no, col: start });
+                continue;
+            }
+            // multi-byte UTF-8 punctuation (·, α in scrubbed code should
+            // not appear — it is blanked — but be byte-safe regardless)
+            if !c.is_ascii() {
+                let ch_len = line[i..].chars().next().map_or(1, char::len_utf8);
+                toks.push(Tok { text: line[i..i + ch_len].to_string(), line: line_no, col: i });
+                i += ch_len;
+                continue;
+            }
+            let two = &bytes[i..(i + 2).min(bytes.len())];
+            if two == b"::" || two == b"->" {
+                toks.push(Tok {
+                    text: String::from_utf8_lossy(two).into_owned(),
+                    line: line_no,
+                    col: i,
+                });
+                i += 2;
+                continue;
+            }
+            toks.push(Tok { text: c.to_string(), line: line_no, col: i });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// One `name: Type` parameter of an indexed function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Binding name (`_` for patterns the parser does not resolve).
+    pub name: String,
+    /// Type text with tokens joined canonically (`Vec<f64>`, `&Watts`).
+    pub ty: String,
+}
+
+/// One `fn` signature (free function or `impl` method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` inside an `impl Type` block, else the bare name.
+    pub qualified: String,
+    /// Declared `pub` (any visibility restriction counts as pub).
+    pub is_pub: bool,
+    /// Takes `self` / `&self` / `&mut self`.
+    pub has_self: bool,
+    /// Typed parameters, excluding the receiver.
+    pub params: Vec<Param>,
+    /// Return type text (`None` for `()`).
+    pub ret: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// 0-based inclusive line range of the body, if the fn has one.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A `struct` definition (newtype detection only needs tuple structs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// For single-field tuple structs, the field's type text.
+    pub newtype_of: Option<String>,
+    /// 0-based line of the `struct` keyword.
+    pub line: usize,
+}
+
+/// Flavor of a module-level state item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticKind {
+    /// `static NAME: T`.
+    Static,
+    /// `static mut NAME: T`.
+    StaticMut,
+    /// A `static` inside a `thread_local!` block.
+    ThreadLocal,
+}
+
+impl StaticKind {
+    /// Stable display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StaticKind::Static => "static",
+            StaticKind::StaticMut => "static mut",
+            StaticKind::ThreadLocal => "thread_local! static",
+        }
+    }
+}
+
+/// One `static` / `static mut` / `thread_local!` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticItem {
+    /// Item name.
+    pub name: String,
+    /// Which flavor of state.
+    pub kind: StaticKind,
+    /// Type text.
+    pub ty: String,
+    /// 0-based line of the `static` keyword.
+    pub line: usize,
+}
+
+/// One argument expression at a call site, as raw tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arg {
+    /// The argument's tokens (delimiters included, commas excluded).
+    pub toks: Vec<Tok>,
+}
+
+impl Arg {
+    /// Canonical text form (for diagnostics).
+    pub fn text(&self) -> String {
+        join_tokens(&self.toks)
+    }
+}
+
+/// One call site `path::to::f(args)` or `recv.method(args)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Final path segment (the function or method name).
+    pub callee: String,
+    /// Full path segments (`["Watts"]`, `["vap_exec", "par_map"]`).
+    pub path: Vec<String>,
+    /// `recv.method(..)` rather than `path(..)`.
+    pub is_method: bool,
+    /// Turbofish type arguments, joined (`f64` for `.sum::<f64>()`).
+    pub turbofish: Option<String>,
+    /// 0-based line of the callee token.
+    pub line: usize,
+    /// 0-based column of the callee token.
+    pub col: usize,
+    /// Argument expressions, split at top-level commas.
+    pub args: Vec<Arg>,
+    /// 0-based line of the matching close paren.
+    pub end_line: usize,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Function and method signatures, in source order.
+    pub fns: Vec<FnSig>,
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Module-level state items.
+    pub statics: Vec<StaticItem>,
+    /// Call sites.
+    pub calls: Vec<Call>,
+}
+
+impl ParsedFile {
+    /// The innermost function whose body contains 0-based `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSig> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| a <= line && line <= b))
+            .min_by_key(|f| f.body.map(|(a, b)| b - a).unwrap_or(usize::MAX))
+    }
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 10] =
+    ["if", "while", "for", "match", "return", "in", "as", "move", "loop", "else"];
+
+/// Parse one scrubbed file into items and call sites.
+pub fn parse_file(code: &[String]) -> ParsedFile {
+    let toks = tokenize(code);
+    let mut out = ParsedFile::default();
+    // (self type, brace depth the impl body opened at)
+    let mut impl_stack: Vec<(String, i32)> = Vec::new();
+    // brace depth at which an open thread_local! body closes
+    let mut thread_local_until: Option<i32> = None;
+    let mut depth = 0i32;
+    let mut pending_pub = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth -= 1;
+                while impl_stack.last().is_some_and(|(_, d)| depth < *d) {
+                    impl_stack.pop();
+                }
+                if thread_local_until.is_some_and(|d| depth < d) {
+                    thread_local_until = None;
+                }
+                pending_pub = false;
+                i += 1;
+            }
+            ";" => {
+                pending_pub = false;
+                i += 1;
+            }
+            "pub" => {
+                pending_pub = true;
+                // skip a `(crate)` / `(super)` restriction
+                if toks.get(i + 1).is_some_and(|t| t.text == "(") {
+                    i = skip_balanced(&toks, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" => {
+                if let Some((self_ty, next)) = parse_impl_header(&toks, i) {
+                    depth += 1; // the consumed `{`
+                    impl_stack.push((self_ty, depth));
+                    i = next;
+                } else {
+                    i += 1;
+                }
+                pending_pub = false;
+            }
+            "fn" => {
+                let self_ty = impl_stack.last().map(|(ty, _)| ty.as_str());
+                if let Some((sig, next)) = parse_fn(&toks, i, pending_pub, self_ty) {
+                    // continue *inside* the body so nested items and call
+                    // sites are still visited; only the signature tokens
+                    // are consumed here
+                    i = next;
+                    if sig.body.is_some() {
+                        depth += 1; // the consumed body `{`
+                    }
+                    out.fns.push(sig);
+                } else {
+                    i += 1;
+                }
+                pending_pub = false;
+            }
+            "struct" => {
+                if let Some((def, next)) = parse_struct(&toks, i) {
+                    out.structs.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+                pending_pub = false;
+            }
+            "static" => {
+                // `&'static T` has a lifetime tick right before it
+                let after_lifetime = i > 0 && toks[i - 1].text == "'";
+                if !after_lifetime {
+                    if let Some((item, next)) =
+                        parse_static(&toks, i, thread_local_until.is_some())
+                    {
+                        out.statics.push(item);
+                        i = next;
+                        pending_pub = false;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "thread_local"
+                if toks.get(i + 1).is_some_and(|t| t.text == "!")
+                    && toks.get(i + 2).is_some_and(|t| t.text == "{") =>
+            {
+                depth += 1;
+                thread_local_until = Some(depth);
+                i += 3;
+            }
+            "(" => {
+                if let Some(call) = parse_call(&toks, i) {
+                    out.calls.push(call);
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `impl [<..>] Path [for Path] {` → (self type base name, index after `{`).
+fn parse_impl_header(toks: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut i = at + 1;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    // read path segments; remember the base ident of the last path seen
+    // before `{`, preferring the path after `for`
+    let mut self_ty = String::new();
+    let mut saw_for = false;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "{" => {
+                if self_ty.is_empty() {
+                    return None;
+                }
+                return Some((self_ty, i + 1));
+            }
+            ";" => return None, // `impl Trait for Type;`-like degenerate
+            "for" => {
+                saw_for = true;
+                self_ty.clear();
+                i += 1;
+            }
+            "<" => i = skip_generics(toks, i),
+            "where" => {
+                // skip ahead to the `{`
+                while toks.get(i).is_some_and(|t| t.text != "{") {
+                    i += 1;
+                }
+            }
+            _ => {
+                if t.is_ident() && (self_ty.is_empty() || !saw_for) {
+                    self_ty = t.text.clone();
+                }
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Skip a balanced `<...>` starting at the `<`; returns index after `>`.
+fn skip_generics(toks: &[Tok], at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            // `->` inside fn-pointer generics contains `>` but is fused,
+            // so it cannot unbalance the scan; `>>` arrives as two tokens
+            ";" | "{" => return i, // bail on malformed input
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a balanced `(..)` / `[..]` / `{..}` starting at the opener.
+fn skip_balanced(toks: &[Tok], at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `fn name<..>(params) [-> Ret] [where ..] ({ | ;)`.
+///
+/// Returns the signature and the token index to resume from (just inside
+/// the body brace, so nested items are still visited).
+fn parse_fn(
+    toks: &[Tok],
+    at: usize,
+    is_pub: bool,
+    self_ty: Option<&str>,
+) -> Option<(FnSig, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if !name_tok.is_ident() {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let mut i = at + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    if toks.get(i).is_none_or(|t| t.text != "(") {
+        return None;
+    }
+    // split the parameter list at top-level commas
+    let mut params_toks: Vec<Vec<Tok>> = vec![Vec::new()];
+    let mut pdepth = 0i32;
+    let mut adepth = 0i32; // angle depth, only sane inside type position
+    i += 1;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => pdepth += 1,
+            ")" | "]" | "}" if pdepth > 0 => pdepth -= 1,
+            ")" => break,
+            "<" => adepth += 1,
+            ">" if adepth > 0 => adepth -= 1,
+            "," if pdepth == 0 && adepth <= 0 => {
+                params_toks.push(Vec::new());
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(last) = params_toks.last_mut() {
+            last.push(t.clone());
+        }
+        i += 1;
+    }
+    if toks.get(i).is_none_or(|t| t.text != ")") {
+        return None;
+    }
+    i += 1;
+    let mut has_self = false;
+    let mut params = Vec::new();
+    for ptoks in &params_toks {
+        if ptoks.is_empty() {
+            continue;
+        }
+        if ptoks.iter().any(|t| t.text == "self") {
+            has_self = true;
+            continue;
+        }
+        let colon = ptoks.iter().position(|t| t.text == ":");
+        let Some(c) = colon else { continue };
+        // binding name: the last ident before the colon (`mut x: T`)
+        let pname = ptoks[..c]
+            .iter()
+            .rev()
+            .find(|t| t.is_ident() && t.text != "mut")
+            .map(|t| t.text.clone())
+            .unwrap_or_else(|| "_".to_string());
+        params.push(Param { name: pname, ty: join_tokens(&ptoks[c + 1..]) });
+    }
+    // return type
+    let mut ret = None;
+    if toks.get(i).is_some_and(|t| t.text == "->") {
+        i += 1;
+        let start = i;
+        let mut adepth = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t.text.as_str() {
+                "<" | "(" | "[" => adepth += 1,
+                ">" | ")" | "]" if adepth > 0 => adepth -= 1,
+                "{" | ";" | "where" if adepth <= 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        ret = Some(join_tokens(&toks[start..i]));
+    }
+    // where clause
+    if toks.get(i).is_some_and(|t| t.text == "where") {
+        while toks.get(i).is_some_and(|t| t.text != "{" && t.text != ";") {
+            i += 1;
+        }
+    }
+    // body extent
+    let mut body = None;
+    let resume;
+    match toks.get(i).map(|t| t.text.as_str()) {
+        Some("{") => {
+            let close = skip_balanced(toks, i);
+            let end_line = toks.get(close.saturating_sub(1)).map_or(toks[i].line, |t| t.line);
+            body = Some((toks[i].line, end_line));
+            resume = i + 1; // step inside the body
+        }
+        _ => resume = i, // trait method or declaration without body
+    }
+    let qualified = match self_ty {
+        Some(ty) => format!("{ty}::{name}"),
+        None => name.clone(),
+    };
+    Some((
+        FnSig {
+            name,
+            qualified,
+            is_pub,
+            has_self,
+            params,
+            ret: ret.filter(|r| !r.is_empty() && r != "()"),
+            line: toks[at].line,
+            body,
+        },
+        resume,
+    ))
+}
+
+/// Parse `struct Name<..> ( .. ) ;` / `struct Name { .. }` / `struct Name;`.
+fn parse_struct(toks: &[Tok], at: usize) -> Option<(StructDef, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if !name_tok.is_ident() {
+        return None; // `$name` inside a macro definition, etc.
+    }
+    let name = name_tok.text.clone();
+    let mut i = at + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    let mut newtype_of = None;
+    match toks.get(i).map(|t| t.text.as_str()) {
+        Some("(") => {
+            let close = skip_balanced(toks, i);
+            let inner = &toks[i + 1..close.saturating_sub(1)];
+            let top_commas = {
+                let mut depth = 0i32;
+                let mut n = 0usize;
+                for t in inner {
+                    match t.text.as_str() {
+                        "(" | "[" | "<" => depth += 1,
+                        ")" | "]" | ">" if depth > 0 => depth -= 1,
+                        "," if depth == 0 => n += 1,
+                        _ => {}
+                    }
+                }
+                n
+            };
+            if top_commas == 0 && !inner.is_empty() {
+                let field: Vec<Tok> = inner
+                    .iter()
+                    .filter(|t| !matches!(t.text.as_str(), "pub" | "crate" | "super"))
+                    .cloned()
+                    .collect();
+                // `pub(crate)` leaves bare parens behind; strip them
+                let field: Vec<Tok> =
+                    field.into_iter().filter(|t| t.text != "(" && t.text != ")").collect();
+                newtype_of = Some(join_tokens(&field));
+            }
+            i = close;
+        }
+        Some("{") => {
+            i = skip_balanced(toks, i);
+        }
+        _ => {}
+    }
+    Some((StructDef { name, newtype_of, line: toks[at].line }, i))
+}
+
+/// Parse `static [mut] NAME: Type` (inside or outside `thread_local!`).
+fn parse_static(toks: &[Tok], at: usize, in_thread_local: bool) -> Option<(StaticItem, usize)> {
+    let mut i = at + 1;
+    let mut kind = if in_thread_local { StaticKind::ThreadLocal } else { StaticKind::Static };
+    if toks.get(i).is_some_and(|t| t.text == "mut") {
+        if !in_thread_local {
+            kind = StaticKind::StaticMut;
+        }
+        i += 1;
+    }
+    let name_tok = toks.get(i)?;
+    if !name_tok.is_ident() {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    i += 1;
+    if toks.get(i).is_none_or(|t| t.text != ":") {
+        return None;
+    }
+    i += 1;
+    let start = i;
+    let mut adepth = 0i32;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "<" | "(" | "[" => adepth += 1,
+            ">" | ")" | "]" if adepth > 0 => adepth -= 1,
+            "=" | ";" if adepth <= 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((StaticItem { name, kind, ty: join_tokens(&toks[start..i]), line: toks[at].line }, i))
+}
+
+/// Parse the call whose argument list opens at the `(` at `at`, if the
+/// tokens before it name a callee.
+fn parse_call(toks: &[Tok], at: usize) -> Option<Call> {
+    // step back over a turbofish `::<..>`
+    let mut j = at.checked_sub(1)?;
+    let mut turbofish = None;
+    if toks[j].text == ">" {
+        let close = j;
+        let mut depth = 0i32;
+        loop {
+            match toks[j].text.as_str() {
+                ">" => depth += 1,
+                "<" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j = j.checked_sub(1)?;
+        }
+        turbofish = Some(join_tokens(&toks[j + 1..close]));
+        // expect `::` before the `<`
+        j = j.checked_sub(1)?;
+        if toks[j].text != "::" {
+            return None;
+        }
+        j = j.checked_sub(1)?;
+    }
+    let callee_tok = &toks[j];
+    if !callee_tok.is_ident() || NON_CALL_KEYWORDS.contains(&callee_tok.text.as_str()) {
+        return None;
+    }
+    // walk the path backwards: ident (:: ident)*
+    let mut path = vec![callee_tok.text.clone()];
+    let mut k = j;
+    while k >= 2 && toks[k - 1].text == "::" && toks[k - 2].is_ident() {
+        path.push(toks[k - 2].text.clone());
+        k -= 2;
+    }
+    path.reverse();
+    let before = k.checked_sub(1).map(|p| toks[p].text.clone());
+    // definitions and macros are not calls
+    if matches!(
+        before.as_deref(),
+        Some("fn") | Some("struct") | Some("enum") | Some("union") | Some("trait") | Some("mod")
+    ) {
+        return None;
+    }
+    if toks.get(j + 1).is_some_and(|t| t.text == "!") {
+        return None; // macro, and its `(` follows the `!` anyway
+    }
+    let is_method = before.as_deref() == Some(".");
+    // split args at top-level commas
+    let close = skip_balanced(toks, at);
+    let inner = &toks[at + 1..close.saturating_sub(1)];
+    let mut args: Vec<Arg> = Vec::new();
+    let mut cur: Vec<Tok> = Vec::new();
+    let mut pdepth = 0i32;
+    // commas inside a closure head `|a, b|` do not split arguments
+    let mut in_closure_head = false;
+    for t in inner {
+        match t.text.as_str() {
+            "(" | "[" | "{" => pdepth += 1,
+            ")" | "]" | "}" => pdepth -= 1,
+            "|" if pdepth == 0 => {
+                if in_closure_head {
+                    in_closure_head = false;
+                } else {
+                    // `|` opens a closure head when an argument starts
+                    // with it (bitwise-or never begins an expression);
+                    // only `move` may precede the opening pipe
+                    in_closure_head = cur.iter().all(|t| t.text == "move");
+                }
+            }
+            "," if pdepth == 0 && !in_closure_head => {
+                args.push(Arg { toks: std::mem::take(&mut cur) });
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        args.push(Arg { toks: cur });
+    }
+    let end_line = toks.get(close.saturating_sub(1)).map_or(callee_tok.line, |t| t.line);
+    Some(Call {
+        callee: callee_tok.text.clone(),
+        path,
+        is_method,
+        turbofish,
+        line: callee_tok.line,
+        col: callee_tok.col,
+        args,
+        end_line,
+    })
+}
+
+/// Join tokens into canonical type/expression text: no spaces around
+/// `::`, `.`, `<`, `>`, `&`, `'` or inside delimiters; single spaces
+/// elsewhere.
+pub fn join_tokens(toks: &[Tok]) -> String {
+    let tight_after = ["::", ".", "<", "&", "'", "(", "[", "-", "->"];
+    let tight_before = ["::", ".", "<", ">", ",", ";", "(", ")", "[", "]"];
+    let mut out = String::new();
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0
+            && !tight_after.contains(&toks[i - 1].text.as_str())
+            && !tight_before.contains(&t.text.as_str())
+        {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+/// Does `ty` mention `name` as a whole path segment (e.g. `Watts`,
+/// `&Watts`, `Option<Watts>`, but not `MilliWatts`)?
+pub fn type_mentions(ty: &str, name: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(rel) = ty[from..].find(name) {
+        let pos = from + rel;
+        let before_ok = !ty[..pos].chars().next_back().is_some_and(super::rules::is_ident_char);
+        let after = ty[pos + name.len()..].chars().next();
+        let after_ok = !after.is_some_and(super::rules::is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = pos + name.len();
+    }
+    false
+}
+
+/// Is this argument a "bare f64" expression: a float-literal arithmetic
+/// expression, or anything containing a `.0` tuple/newtype projection?
+pub fn is_bare_f64_arg(arg: &Arg) -> bool {
+    if has_projection(&arg.toks) {
+        return true;
+    }
+    // pure literal arithmetic: every token is a number or an operator,
+    // and at least one number is float-shaped
+    let mut saw_float = false;
+    for t in &arg.toks {
+        let s = t.text.as_str();
+        if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            if is_float_literal(s) {
+                saw_float = true;
+            }
+            continue;
+        }
+        if matches!(s, "+" | "-" | "*" | "/" | "(" | ")") {
+            continue;
+        }
+        return false;
+    }
+    saw_float
+}
+
+/// Does the token run contain an `x.0` / `(..).0` projection (as opposed
+/// to the `.0` inside a float literal, which tokenizes as one number)?
+pub fn has_projection(toks: &[Tok]) -> bool {
+    toks.windows(3).any(|w| {
+        w[1].text == "."
+            && w[2].text == "0"
+            && (w[0].is_ident() || w[0].text == ")" || w[0].text == "]")
+    })
+}
+
+/// Is `s` a float literal token (`2.5`, `1e-6`, `3f64`)?
+pub fn is_float_literal(s: &str) -> bool {
+    if !s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    if s.starts_with("0x") || s.starts_with("0b") || s.starts_with("0o") {
+        return false;
+    }
+    s.contains('.')
+        || s.ends_with("f64")
+        || s.ends_with("f32")
+        || (s.contains(['e', 'E']) && !s.ends_with(['e', 'E']))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        let scrubbed = crate::lexer::scrub(src);
+        parse_file(&scrubbed.code)
+    }
+
+    #[test]
+    fn fn_signature_with_params_and_return() {
+        let p = parse("pub fn plan(cap: Watts, n: usize) -> GigaHertz {\n    body()\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "plan");
+        assert!(f.is_pub);
+        assert!(!f.has_self);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0], Param { name: "cap".into(), ty: "Watts".into() });
+        assert_eq!(f.params[1].ty, "usize");
+        assert_eq!(f.ret.as_deref(), Some("GigaHertz"));
+        assert_eq!(f.body, Some((0, 2)));
+    }
+
+    #[test]
+    fn impl_methods_are_qualified() {
+        let src = "impl Cluster {\n    pub fn set_cap(&mut self, cap: Watts) {}\n}\n\
+                   impl Display for Watts {\n    fn fmt(&self) {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qualified, "Cluster::set_cap");
+        assert!(p.fns[0].has_self);
+        assert_eq!(p.fns[0].params.len(), 1);
+        assert_eq!(p.fns[1].qualified, "Watts::fmt");
+    }
+
+    #[test]
+    fn generic_fn_and_multiline_signature() {
+        let src = "pub fn par_map<I, T, F>(\n    items: &[I],\n    threads: usize,\n    f: F,\n) -> Vec<T>\nwhere\n    F: Fn(usize) -> T,\n{\n    inner()\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "par_map");
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].ty, "&[I]");
+        assert_eq!(f.ret.as_deref(), Some("Vec<T>"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn newtype_struct_detection() {
+        let src = "pub struct Watts(pub f64);\npub struct Pair(f64, f64);\n\
+                   pub struct Named { x: f64 }\nstruct Id(usize);\n";
+        let p = parse(src);
+        assert_eq!(p.structs.len(), 4);
+        assert_eq!(p.structs[0].newtype_of.as_deref(), Some("f64"));
+        assert_eq!(p.structs[1].newtype_of, None); // two fields
+        assert_eq!(p.structs[2].newtype_of, None); // named fields
+        assert_eq!(p.structs[3].newtype_of.as_deref(), Some("usize"));
+    }
+
+    #[test]
+    fn macro_definition_structs_are_skipped() {
+        // `$name` is not an ident token, so the macro template is ignored
+        let p = parse("macro_rules! unit {\n    () => {\n        pub struct $name(pub f64);\n    };\n}\n");
+        assert!(p.structs.is_empty());
+    }
+
+    #[test]
+    fn statics_and_thread_locals() {
+        let src = "static LIVE: AtomicUsize = AtomicUsize::new(0);\n\
+                   static mut COUNTER: u64 = 0;\n\
+                   thread_local! {\n    static CURRENT: RefCell<Option<u32>> = x;\n}\n\
+                   fn f(s: &'static str) {}\n";
+        let p = parse(src);
+        assert_eq!(p.statics.len(), 3);
+        assert_eq!(p.statics[0].kind, StaticKind::Static);
+        assert_eq!(p.statics[0].ty, "AtomicUsize");
+        assert_eq!(p.statics[1].kind, StaticKind::StaticMut);
+        assert_eq!(p.statics[2].kind, StaticKind::ThreadLocal);
+        assert_eq!(p.statics[2].name, "CURRENT");
+        // the `&'static str` lifetime did not parse as a static item
+        assert_eq!(p.fns.len(), 1);
+    }
+
+    #[test]
+    fn call_sites_with_args_and_paths() {
+        let src = "fn f() {\n    plan(2.5, n);\n    vap_core::budget::plan(x.0 * 1.05);\n    c.set_cap(Watts(60.0));\n}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(names.contains(&"plan"));
+        assert!(names.contains(&"set_cap"));
+        assert!(names.contains(&"Watts"));
+        let qualified = p.calls.iter().find(|c| c.path.len() == 3).unwrap();
+        assert_eq!(qualified.path, ["vap_core", "budget", "plan"]);
+        assert_eq!(qualified.args.len(), 1);
+        assert!(has_projection(&qualified.args[0].toks));
+        let method = p.calls.iter().find(|c| c.callee == "set_cap").unwrap();
+        assert!(method.is_method);
+        assert_eq!(method.args.len(), 1);
+        assert!(!is_bare_f64_arg(&method.args[0]));
+    }
+
+    #[test]
+    fn turbofish_and_macro_calls() {
+        let src = "fn f() {\n    let s = xs.iter().sum::<f64>();\n    println!(\"{}\", s);\n}\n";
+        let p = parse(src);
+        let sums: Vec<_> = p.calls.iter().filter(|c| c.callee == "sum").collect();
+        assert_eq!(sums.len(), 1);
+        assert!(sums[0].is_method);
+        assert_eq!(sums[0].turbofish.as_deref(), Some("f64"));
+        // println! is a macro, not a call
+        assert!(!p.calls.iter().any(|c| c.callee == "println"));
+    }
+
+    #[test]
+    fn multiline_call_extent() {
+        let src = "fn f() {\n    par_map(\n        &items,\n        threads,\n        |i, x| x.iter().sum::<f64>(),\n    );\n}\n";
+        let p = parse(src);
+        let c = p.calls.iter().find(|c| c.callee == "par_map").unwrap();
+        assert_eq!(c.line, 1);
+        assert_eq!(c.end_line, 5);
+        assert_eq!(c.args.len(), 3);
+    }
+
+    #[test]
+    fn bare_f64_classification() {
+        let arg = |src: &str| {
+            let p = parse(&format!("fn f() {{ g({src}); }}\n"));
+            p.calls.iter().find(|c| c.callee == "g").unwrap().args[0].clone()
+        };
+        assert!(is_bare_f64_arg(&arg("2.5")));
+        assert!(is_bare_f64_arg(&arg("1e-6")));
+        assert!(is_bare_f64_arg(&arg("2.0 * 3.5")));
+        assert!(is_bare_f64_arg(&arg("x.0")));
+        assert!(is_bare_f64_arg(&arg("cap.0 * 1.05")));
+        assert!(is_bare_f64_arg(&arg("(a + b).0")));
+        assert!(!is_bare_f64_arg(&arg("x")));
+        assert!(!is_bare_f64_arg(&arg("Watts(2.5)")));
+        assert!(!is_bare_f64_arg(&arg("3")));
+        assert!(!is_bare_f64_arg(&arg("n + 1")));
+    }
+
+    #[test]
+    fn enclosing_fn_resolution() {
+        let src = "fn outer() {\n    a();\n}\nfn later() {\n    b();\n}\n";
+        let p = parse(src);
+        assert_eq!(p.enclosing_fn(1).unwrap().name, "outer");
+        assert_eq!(p.enclosing_fn(4).unwrap().name, "later");
+    }
+
+    #[test]
+    fn type_mention_boundaries() {
+        assert!(type_mentions("Watts", "Watts"));
+        assert!(type_mentions("&Watts", "Watts"));
+        assert!(type_mentions("Option<Watts>", "Watts"));
+        assert!(type_mentions("Vec<(usize, Watts)>", "Watts"));
+        assert!(!type_mentions("MilliWatts", "Watts"));
+        assert!(!type_mentions("WattsPerCore", "Watts"));
+    }
+}

@@ -14,7 +14,7 @@
 //! * `thread_rng()` / `rand::rng()` — use a seeded `StdRng`;
 //! * `SystemTime::now()` / `Instant::now()` — simulated time only.
 
-use super::{word_occurrences, Rule};
+use super::{word_occurrences, Context, Rule};
 use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
@@ -67,7 +67,7 @@ impl Rule for Determinism {
         "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
         if !SCOPE.contains(&file.crate_name.as_str()) {
             return;
         }
@@ -105,7 +105,7 @@ mod tests {
     fn findings(crate_name: &str, src: &str) -> Vec<Finding> {
         let f = SourceFile::from_source("crates/sim/src/x.rs", crate_name, src);
         let mut out = Vec::new();
-        Determinism.check(&f, &mut out);
+        Determinism.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
         out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
         out
     }

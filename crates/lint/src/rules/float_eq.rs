@@ -10,7 +10,7 @@
 //! variable float comparisons are out of reach of a lexical pass — the
 //! literal form is both the common and the dangerous one.
 
-use super::Rule;
+use super::{Context, Rule};
 use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
@@ -26,7 +26,7 @@ impl Rule for FloatEq {
         "no ==/!= against floating-point operands outside tests"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
         for (i, line) in file.code.iter().enumerate() {
             if file.in_test[i] {
                 continue;
@@ -129,7 +129,7 @@ mod tests {
     fn findings(src: &str) -> Vec<Finding> {
         let f = SourceFile::from_source("crates/stats/src/x.rs", "vap-stats", src);
         let mut out = Vec::new();
-        FloatEq.check(&f, &mut out);
+        FloatEq.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
         out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
         out
     }

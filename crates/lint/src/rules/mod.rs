@@ -1,18 +1,31 @@
 //! The pluggable rule registry.
 //!
-//! A rule is a stateless checker over one [`SourceFile`]; the registry in
-//! [`all_rules`] is the single place a new rule is wired in. Rules only
+//! A rule is a stateless checker over one [`SourceFile`] plus the shared
+//! workspace [`Context`] (symbol index); the registry in [`all_rules`] is
+//! the single place a new rule is wired in. Per-line rules simply ignore
+//! the context; index-aware rules (`unit-flow`, `shared-state-in-par`,
+//! `panic-propagation`) query it for cross-function facts. Rules only
 //! *report* — suppression (`vap:allow`) and baselining are applied
 //! uniformly by the driver in [`crate::cli`].
 
 use crate::diag::Finding;
+use crate::index::SymbolIndex;
 use crate::source::SourceFile;
 
 pub mod determinism;
 pub mod float_eq;
 pub mod no_panic;
 pub mod no_println;
+pub mod panic_propagation;
 pub mod raw_unit_f64;
+pub mod shared_state_in_par;
+pub mod unit_flow;
+
+/// Shared workspace facts available to every rule during pass 2.
+pub struct Context<'a> {
+    /// The pass-1 symbol index over the whole workspace.
+    pub index: &'a SymbolIndex,
+}
 
 /// A domain-invariant check.
 pub trait Rule {
@@ -22,17 +35,20 @@ pub trait Rule {
     /// One-line description for `--list-rules`.
     fn description(&self) -> &'static str;
     /// Scan one file, appending findings.
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+    fn check(&self, file: &SourceFile, ctx: &Context<'_>, out: &mut Vec<Finding>);
 }
 
 /// Every registered rule, in diagnostic order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(raw_unit_f64::RawUnitF64),
+        Box::new(unit_flow::UnitFlow),
         Box::new(no_panic::NoPanicInLib),
+        Box::new(panic_propagation::PanicPropagation),
         Box::new(no_println::NoPrintlnInLib),
         Box::new(float_eq::FloatEq),
         Box::new(determinism::Determinism),
+        Box::new(shared_state_in_par::SharedStateInPar),
     ]
 }
 
@@ -43,9 +59,21 @@ pub(crate) fn is_ident_char(c: char) -> bool {
 
 /// Shared helper: does `needle` occur in `hay` at `pos` on identifier
 /// boundaries (no ident char directly before or after)?
+///
+/// `pos`/`pos + len` come from `str::find`, so they are char boundaries
+/// by construction — but the *neighboring* characters may be multi-byte
+/// (`·`, `α` in doc comments), so the neighbors are read with
+/// boundary-safe scans instead of direct slicing.
 pub(crate) fn on_word_boundary(hay: &str, pos: usize, len: usize) -> bool {
-    let before_ok = pos == 0 || !hay[..pos].chars().next_back().is_some_and(is_ident_char);
-    let after_ok = !hay[pos + len..].chars().next().is_some_and(is_ident_char);
+    let before_ok = pos == 0
+        || !hay
+            .get(..pos)
+            .and_then(|s| s.chars().next_back())
+            .is_some_and(is_ident_char);
+    let after_ok = !hay
+        .get(pos + len..)
+        .and_then(|s| s.chars().next())
+        .is_some_and(is_ident_char);
     before_ok && after_ok
 }
 
@@ -61,4 +89,34 @@ pub(crate) fn word_occurrences(line: &str, needle: &str) -> Vec<usize> {
         from = pos + needle.len();
     }
     hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundary_is_utf8_safe() {
+        // `α` (2 bytes) directly before/after a needle must not panic
+        // and must not count as an identifier character
+        let hay = "αunwrap·x.unwrap()·";
+        assert!(!word_occurrences(hay, "unwrap").is_empty());
+        // needle adjacent to multi-byte punctuation on both sides
+        let hay2 = "·panic!·";
+        assert_eq!(word_occurrences(hay2, "panic!"), vec!["·".len()]);
+        // plain ASCII ident adjacency still rejects
+        assert!(word_occurrences("xpanic!", "panic!").is_empty());
+    }
+
+    #[test]
+    fn word_boundary_handles_trailing_multibyte() {
+        // regression: slicing hay[pos+len..] used to panic when the byte
+        // after the match was in the middle of a multi-byte char — it
+        // cannot be, but the preceding-char scan could land inside one
+        let hay = "see E·t formula: plan() uses α";
+        for needle in ["plan", "formula", "uses"] {
+            let _ = word_occurrences(hay, needle); // must not panic
+        }
+        assert_eq!(word_occurrences(hay, "plan").len(), 1);
+    }
 }

@@ -10,7 +10,7 @@
 //! — top-level error reporting in a CLI may abort. Existing debt is
 //! carried by `lint-baseline.toml` and burned down over time.
 
-use super::{on_word_boundary, word_occurrences, Rule};
+use super::{on_word_boundary, word_occurrences, Context, Rule};
 use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
@@ -36,7 +36,7 @@ impl Rule for NoPanicInLib {
         "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside #[cfg(test)] in library code"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
         // binaries may panic at top level
         if file.path.contains("/bin/") || file.path.ends_with("src/main.rs") {
             return;
@@ -70,6 +70,24 @@ impl Rule for NoPanicInLib {
     }
 }
 
+/// Panic-capable constructs on one scrubbed line — shared with the
+/// symbol index, which counts panics per function body so
+/// `panic-propagation` can follow debt through wrappers.
+pub(crate) fn panic_count(line: &str) -> usize {
+    PANICS
+        .iter()
+        .map(|(needle, followed_by, _)| {
+            occurrences(line, needle)
+                .into_iter()
+                .filter(|&pos| match followed_by {
+                    Some(req) => line[pos + needle.len()..].starts_with(*req),
+                    None => true,
+                })
+                .count()
+        })
+        .sum()
+}
+
 /// Occurrences of `needle` in `line`; for needles starting with `.` the
 /// word boundary only applies at the end (method calls follow idents).
 fn occurrences(line: &str, needle: &str) -> Vec<usize> {
@@ -99,8 +117,9 @@ mod tests {
 
     fn findings(path: &str, src: &str) -> Vec<Finding> {
         let f = SourceFile::from_source(path, "vap-core", src);
+        let index = crate::index::SymbolIndex::default();
         let mut out = Vec::new();
-        NoPanicInLib.check(&f, &mut out);
+        NoPanicInLib.check(&f, &Context { index: &index }, &mut out);
         out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
         out
     }

@@ -12,7 +12,7 @@
 //! and the two crates whose *job* is terminal output — `vap-report`
 //! (drivers print rendered tables) and `vap-lint` (diagnostic renderer).
 
-use super::{word_occurrences, Rule};
+use super::{word_occurrences, Context, Rule};
 use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
@@ -39,7 +39,7 @@ impl Rule for NoPrintlnInLib {
         "no println!/print!/eprintln!/eprint! outside #[cfg(test)] in library code"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
         // binaries and the terminal-facing crates may print
         if file.path.contains("/bin/")
             || file.path.ends_with("src/main.rs")
@@ -81,7 +81,7 @@ mod tests {
     fn findings(path: &str, krate: &str, src: &str) -> Vec<Finding> {
         let f = SourceFile::from_source(path, krate, src);
         let mut out = Vec::new();
-        NoPrintlnInLib.check(&f, &mut out);
+        NoPrintlnInLib.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
         out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
         out
     }

@@ -13,7 +13,7 @@
 //! unit-named functions. `let` bindings are exempt — locals routinely
 //! unwrap to `f64` for statistics via `.value()`.
 
-use super::{is_ident_char, word_occurrences, Rule};
+use super::{is_ident_char, word_occurrences, Context, Rule};
 use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
@@ -39,7 +39,7 @@ impl Rule for RawUnitF64 {
         "power/frequency/time/energy names must use unit newtypes, not bare f64"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
         if !SCOPE.contains(&file.crate_name.as_str()) {
             return;
         }
@@ -177,7 +177,7 @@ mod tests {
     fn findings(crate_name: &str, src: &str) -> Vec<Finding> {
         let f = SourceFile::from_source("x.rs", crate_name, src);
         let mut out = Vec::new();
-        RawUnitF64.check(&f, &mut out);
+        RawUnitF64.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
         out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
         out
     }

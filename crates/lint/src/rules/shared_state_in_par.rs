@@ -1,0 +1,256 @@
+//! `shared-state-in-par`: no mutable shared state or order-sensitive
+//! reductions reachable from `vap-exec` worker closures.
+//!
+//! The deterministic fan-out in `vap-exec` (`par_map`, `par_grid`,
+//! `par_map_modules`) guarantees bit-identical campaign replays only as
+//! long as worker closures are pure over their per-item inputs. Two
+//! things break that silently:
+//!
+//! * **module state** in any crate whose code can run inside a worker —
+//!   `static mut`, `thread_local!`, or a `static` with interior
+//!   mutability (`Mutex`, `RwLock`, atomics, `RefCell`, `OnceLock`, …).
+//!   Reachability comes from the symbol index: every crate with a
+//!   non-test par call site, plus its transitive `vap-*` dependencies;
+//! * **order-sensitive float reductions** written syntactically inside a
+//!   par closure — `.sum::<f64>()` / `.product::<f64>()` or a `fold`
+//!   seeded with a float accumulator. Float addition is not associative;
+//!   if the iterated collection's order ever depends on thread timing,
+//!   the reduced value drifts between replays.
+//!
+//! Deliberate, documented state (e.g. the `vap-obs` recorder's
+//! process-wide counters) is `vap:allow`'d with a reason at the
+//! definition site.
+
+use super::{Context, Rule};
+use crate::diag::{Finding, Status};
+use crate::index::PAR_ENTRY_POINTS;
+use crate::parse::{is_float_literal, StaticKind};
+use crate::source::SourceFile;
+
+/// Type heads that give a `static` interior mutability.
+const INTERIOR_MUTABLE: [&str; 11] = [
+    "Mutex", "RwLock", "RefCell", "Cell", "UnsafeCell", "OnceLock", "OnceCell", "LazyLock",
+    "AtomicUsize", "AtomicU64", "AtomicBool",
+];
+
+/// The `shared-state-in-par` rule.
+pub struct SharedStateInPar;
+
+impl Rule for SharedStateInPar {
+    fn name(&self) -> &'static str {
+        "shared-state-in-par"
+    }
+
+    fn description(&self) -> &'static str {
+        "no mutable statics in par-reachable crates, no order-sensitive float reductions in par closures"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context<'_>, out: &mut Vec<Finding>) {
+        // mutable module state in crates reachable from worker closures
+        if ctx.index.par_crates.contains(&file.crate_name) {
+            for item in &file.parsed.statics {
+                if file.in_test.get(item.line).copied().unwrap_or(false) {
+                    continue;
+                }
+                let mutable = match item.kind {
+                    StaticKind::StaticMut | StaticKind::ThreadLocal => true,
+                    StaticKind::Static => {
+                        INTERIOR_MUTABLE.iter().any(|t| {
+                            item.ty.starts_with(t) || item.ty.contains("Atomic")
+                        })
+                    }
+                };
+                if !mutable {
+                    continue; // a plain immutable static cannot race
+                }
+                out.push(Finding {
+                    rule: "shared-state-in-par",
+                    path: file.path.clone(),
+                    line: item.line + 1,
+                    column: 1,
+                    message: format!(
+                        "{} `{}: {}` lives in `{}`, which is reachable from vap-exec worker closures",
+                        item.kind.label(),
+                        item.name,
+                        item.ty,
+                        file.crate_name,
+                    ),
+                    snippet: file.snippet(item.line).to_string(),
+                    help: "thread state through per-item closure arguments (the par_* APIs \
+                           reduce in index order) or move it behind an explicit campaign-scoped \
+                           handle; vap:allow at the definition with a reason if the state is \
+                           deliberately process-wide and race-safe",
+                    status: Status::New,
+                });
+            }
+        }
+        // order-sensitive float reductions inside par closures
+        let par_extents: Vec<(usize, usize)> = file
+            .parsed
+            .calls
+            .iter()
+            .filter(|c| PAR_ENTRY_POINTS.contains(&c.callee.as_str()))
+            .filter(|c| !file.in_test.get(c.line).copied().unwrap_or(false))
+            .map(|c| (c.line, c.end_line))
+            .collect();
+        if par_extents.is_empty() {
+            return;
+        }
+        for call in &file.parsed.calls {
+            let inside = par_extents
+                .iter()
+                .any(|&(a, b)| call.line >= a && call.line <= b)
+                && !PAR_ENTRY_POINTS.contains(&call.callee.as_str());
+            if !inside || !call.is_method {
+                continue;
+            }
+            let float_reduce = match call.callee.as_str() {
+                "sum" | "product" => call
+                    .turbofish
+                    .as_deref()
+                    .is_some_and(|t| t.contains("f64") || t.contains("f32")),
+                "fold" => call
+                    .args
+                    .first()
+                    .and_then(|a| a.toks.first())
+                    .is_some_and(|t| is_float_literal(&t.text)),
+                _ => false,
+            };
+            if !float_reduce {
+                continue;
+            }
+            out.push(Finding {
+                rule: "shared-state-in-par",
+                path: file.path.clone(),
+                line: call.line + 1,
+                column: call.col + 1,
+                message: format!(
+                    "order-sensitive float `{}` inside a par closure — float addition is not associative",
+                    call.callee,
+                ),
+                snippet: file.snippet(call.line).to_string(),
+                help: "reduce over a deterministically ordered collection (index order, as the \
+                       par_* APIs hand back) or hoist the reduction out of the closure; \
+                       vap:allow with a reason if the iteration order is provably fixed",
+                status: Status::New,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::SymbolIndex;
+    use crate::source::SourceFile;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn findings_with_deps(
+        path: &str,
+        krate: &str,
+        src: &str,
+        extra: &[(&str, &str, &str)],
+        deps: &[(&str, &[&str])],
+    ) -> Vec<Finding> {
+        let mut files: Vec<SourceFile> =
+            extra.iter().map(|(p, k, s)| SourceFile::from_source(p, k, s)).collect();
+        files.push(SourceFile::from_source(path, krate, src));
+        let dep_map: BTreeMap<String, BTreeSet<String>> = deps
+            .iter()
+            .map(|(c, ds)| (c.to_string(), ds.iter().map(|d| d.to_string()).collect()))
+            .collect();
+        let index = SymbolIndex::build(&files, dep_map);
+        let f = files.last().unwrap();
+        let mut out = Vec::new();
+        SharedStateInPar.check(f, &Context { index: &index }, &mut out);
+        out.retain(|fi| !f.is_allowed(fi.rule, fi.line - 1));
+        out
+    }
+
+    const SIM_PAR: (&str, &str, &str) = (
+        "crates/sim/src/run.rs",
+        "vap-sim",
+        "pub fn sweep() {\n    vap_exec::par_map(&xs, 8, |i, x| f(x));\n}\n",
+    );
+
+    #[test]
+    fn static_in_par_reachable_crate_fires() {
+        let hits = findings_with_deps(
+            "crates/obs/src/recorder.rs",
+            "vap-obs",
+            "static LIVE: AtomicUsize = AtomicUsize::new(0);\n",
+            &[SIM_PAR],
+            &[("vap-sim", &["vap-core", "vap-exec"]), ("vap-core", &["vap-obs"])],
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("vap-obs"));
+    }
+
+    #[test]
+    fn static_in_unreachable_crate_is_quiet() {
+        let hits = findings_with_deps(
+            "crates/report/src/table.rs",
+            "vap-report",
+            "static CACHE: Mutex<u32> = Mutex::new(0);\n",
+            &[SIM_PAR],
+            &[("vap-sim", &["vap-core"]), ("vap-report", &["vap-sim"])],
+        );
+        assert!(hits.is_empty(), "reverse dependency must not taint");
+    }
+
+    #[test]
+    fn immutable_static_is_quiet_mutable_kinds_fire() {
+        let src = "static TABLE: [f64; 4] = [1.0, 2.0, 3.0, 4.0];\n\
+                   static mut COUNTER: u64 = 0;\n\
+                   thread_local! {\n    static SCRATCH: RefCell<Vec<f64>> = x;\n}\n";
+        let hits = findings_with_deps(
+            "crates/sim/src/state.rs",
+            "vap-sim",
+            src,
+            &[SIM_PAR],
+            &[],
+        );
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("static mut"));
+        assert!(hits[1].message.contains("thread_local"));
+    }
+
+    #[test]
+    fn float_sum_inside_par_closure_fires() {
+        let src = "pub fn sweep(xs: &[Vec<f64>]) {\n    let r = vap_exec::par_map(xs, 8, |i, x| {\n        x.iter().sum::<f64>()\n    });\n}\n";
+        let hits = findings_with_deps("crates/sim/src/run.rs", "vap-sim", src, &[], &[]);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("sum"));
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn float_fold_inside_par_grid_fires() {
+        let src = "pub fn sweep(xs: &[Vec<f64>]) {\n    par_grid(cells, 8, |c| {\n        c.iter().fold(0.0, |a, b| a + b)\n    });\n}\n";
+        let hits = findings_with_deps("crates/sim/src/run.rs", "vap-sim", src, &[], &[]);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("fold"));
+    }
+
+    #[test]
+    fn reductions_outside_par_and_integer_reductions_are_quiet() {
+        let src = "pub fn total(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n\
+                   pub fn sweep(xs: &[Vec<u64>]) {\n    par_map(xs, 8, |i, x| {\n        x.iter().sum::<u64>()\n    });\n}\n";
+        let hits = findings_with_deps("crates/sim/src/run.rs", "vap-sim", src, &[], &[]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn test_code_par_calls_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        par_map(&xs, 2, |i, x| x.iter().sum::<f64>());\n    }\n}\n";
+        let hits = findings_with_deps("crates/sim/src/run.rs", "vap-sim", src, &[], &[]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "pub fn sweep(xs: &[Vec<f64>]) {\n    par_map(xs, 8, |i, x| {\n        // vap:allow(shared-state-in-par): per-item slice order is fixed\n        x.iter().sum::<f64>()\n    });\n}\n";
+        let hits = findings_with_deps("crates/sim/src/run.rs", "vap-sim", src, &[], &[]);
+        assert!(hits.is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //! flags and inline `vap:allow` suppression markers.
 
 use crate::lexer;
+use crate::parse;
 
 /// One analyzed source file.
 #[derive(Debug, Clone)]
@@ -18,6 +19,8 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// Whether each line sits inside a `#[cfg(test)]` region.
     pub in_test: Vec<bool>,
+    /// Parsed items and call sites (pass-1 input to the symbol index).
+    pub parsed: parse::ParsedFile,
     /// Per line: rules suppressed by a `vap:allow(rule)` marker on it.
     allows: Vec<Vec<String>>,
 }
@@ -44,12 +47,14 @@ impl SourceFile {
                 slot.extend(parse_allow_rules(comment));
             }
         }
+        let parsed = parse::parse_file(&scrubbed.code);
         SourceFile {
             path: path.replace('\\', "/"),
             crate_name: crate_name.to_string(),
             raw: src.lines().map(str::to_string).collect(),
             code: scrubbed.code,
             in_test,
+            parsed,
             allows,
         }
     }

@@ -77,6 +77,52 @@ fn collect_rs(dir: &Path, visit: &mut dyn FnMut(&Path)) -> io::Result<()> {
     Ok(())
 }
 
+/// The workspace-internal (`vap-*`) dependency edges of every member,
+/// read straight off each manifest's `[dependencies]` /
+/// `[dev-dependencies]` tables. Handles both `vap-x.workspace = true`
+/// and `vap-x = { path = ".." }` spellings.
+pub fn crate_dependencies(
+    root: &Path,
+) -> io::Result<std::collections::BTreeMap<String, std::collections::BTreeSet<String>>> {
+    let mut deps = std::collections::BTreeMap::new();
+    for member in member_dirs(root)? {
+        let manifest = member.join("Cargo.toml");
+        let Some(crate_name) = package_name(&manifest) else { continue };
+        let Ok(text) = fs::read_to_string(&manifest) else { continue };
+        let mut edges = std::collections::BTreeSet::new();
+        let mut in_deps = false;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.starts_with('[') {
+                in_deps = matches!(line, "[dependencies]" | "[dev-dependencies]")
+                    || line.starts_with("[dependencies.")
+                    || line.starts_with("[dev-dependencies.");
+                // `[dependencies.vap-x]` table headers name the dep directly
+                for prefix in ["[dependencies.", "[dev-dependencies."] {
+                    if let Some(rest) = line.strip_prefix(prefix) {
+                        let name = rest.trim_end_matches(']').trim();
+                        if name.starts_with("vap-") {
+                            edges.insert(name.to_string());
+                        }
+                    }
+                }
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            // `vap-x = ...` or `vap-x.workspace = true`
+            let key = line.split('=').next().unwrap_or("").trim();
+            let key = key.split('.').next().unwrap_or("").trim();
+            if key.starts_with("vap-") {
+                edges.insert(key.to_string());
+            }
+        }
+        deps.insert(crate_name, edges);
+    }
+    Ok(deps)
+}
+
 /// The `name = "..."` of a `[package]`, straight off the manifest text.
 fn package_name(manifest: &Path) -> Option<String> {
     let text = fs::read_to_string(manifest).ok()?;
@@ -153,6 +199,27 @@ mod tests {
         // no Cargo.toml for the root or for crates/junk
         let files = workspace_files(&root).unwrap();
         assert!(files.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dependency_edges_cover_both_spellings() {
+        let root = scratch("edges");
+        fs::create_dir_all(root.join("crates/sim/src")).unwrap();
+        fs::write(
+            root.join("crates/sim/Cargo.toml"),
+            "[package]\nname = \"vap-sim\"\n\n[dependencies]\n\
+             vap-core.workspace = true\nvap-exec = { path = \"../exec\" }\n\
+             serde = { version = \"1\" }\n\n[dependencies.vap-model]\npath = \"../model\"\n\n\
+             [dev-dependencies]\nvap-stats.workspace = true\n",
+        )
+        .unwrap();
+        let deps = crate_dependencies(&root).unwrap();
+        let sim = &deps["vap-sim"];
+        for d in ["vap-core", "vap-exec", "vap-model", "vap-stats"] {
+            assert!(sim.contains(d), "missing edge {d}");
+        }
+        assert!(!sim.contains("serde"));
         let _ = fs::remove_dir_all(&root);
     }
 

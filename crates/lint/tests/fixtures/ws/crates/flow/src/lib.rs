@@ -1,0 +1,31 @@
+//! Cross-crate unit-flow violations, seeded (never compiled).
+
+use vap_fix_units::set_cap;
+
+/// Seeded (unit-flow part A): bare literal into a `Watts` parameter
+/// defined in another crate.
+pub fn apply_default_cap() {
+    set_cap(95.0, 0);
+}
+
+/// Seeded (unit-flow part A): arithmetic over a `.0` projection into a
+/// `Watts` parameter.
+pub fn tighten(old: Watts) {
+    set_cap(old.0 * 0.9, 1);
+}
+
+/// Seeded (unit-flow part C): constructor laundering — the `GigaHertz`
+/// provenance is lost in the rewrap.
+pub fn launder(f: GigaHertz) -> Watts {
+    Watts(f.0 * 35.0)
+}
+
+/// Clean: the value is wrapped at the point where its meaning is known.
+pub fn wrapped_cap() {
+    set_cap(Watts(95.0), 2);
+}
+
+/// Clean: passing an already unit-typed binding through.
+pub fn forward(cap: Watts) {
+    set_cap(cap, 3);
+}

@@ -1,0 +1,13 @@
+//! A baselined panicker and the caller that spreads the debt, seeded
+//! (never compiled).
+
+/// Carries one panic of its own (`no-panic-in-lib` territory).
+pub fn parse_width(raw: &str) -> usize {
+    raw.trim().parse().unwrap()
+}
+
+/// Seeded (panic-propagation): library code calling a workspace function
+/// that contains a panic.
+pub fn configure(raw: &str) -> usize {
+    parse_width(raw) + 1
+}

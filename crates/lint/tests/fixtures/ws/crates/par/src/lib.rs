@@ -1,0 +1,16 @@
+//! Par entry points and a seeded order-sensitive reduction (never
+//! compiled). The non-test `par_map` call sites below are what make this
+//! crate — and its dependency `vap-fix-shared` — par-reachable.
+
+/// Seeded (shared-state-in-par): float `.sum::<f64>()` inside a par
+/// closure is order-sensitive if the iterated order ever varies.
+pub fn mean_power(pool: &Pool, samples: &[Vec<f64>]) -> Vec<f64> {
+    pool.par_map(samples, 8, |_i, chunk| {
+        chunk.iter().sum::<f64>() / chunk.len() as f64
+    })
+}
+
+/// Clean: integer reductions are associative.
+pub fn count_all(pool: &Pool, samples: &[Vec<u64>]) -> Vec<u64> {
+    pool.par_map(samples, 8, |_i, chunk| chunk.iter().sum::<u64>())
+}

@@ -1,0 +1,21 @@
+//! Mutable module state in a par-reachable crate, seeded (never compiled).
+
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU64;
+
+/// Clean: an immutable lookup table cannot race.
+pub static TWIDDLE: [f64; 4] = [1.0, 0.5, 0.25, 0.125];
+
+/// Seeded (shared-state-in-par): interior-mutable static reachable from
+/// worker closures via `vap-fix-par`'s dependency edge.
+pub static CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Seeded (shared-state-in-par): `static mut` is a data race waiting for
+/// a second worker.
+pub static mut LAST_SEEN: u64 = 0;
+
+thread_local! {
+    /// Seeded (shared-state-in-par): per-thread scratch makes results
+    /// depend on which worker ran which item.
+    pub static SCRATCH: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+}

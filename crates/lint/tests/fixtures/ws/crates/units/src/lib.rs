@@ -1,0 +1,26 @@
+//! Unit-typed entry points for the fixture workspace (never compiled).
+
+/// A discovered dimensionless newtype: pass 1 must index any
+/// single-field `f64` tuple struct as a unit type.
+pub struct Ratio(pub f64);
+
+/// Canonical-unit sink: callers must hand over a `Watts`.
+pub fn set_cap(cap: Watts, slot: usize) {
+    let _ = (cap, slot);
+}
+
+/// Sink for the discovered newtype.
+pub fn set_duty(d: Ratio) {
+    let _ = d;
+}
+
+/// Seeded (unit-flow part B): unit-typed inputs, bare `f64` out.
+pub fn headroom(cap: Watts, used: Watts) -> f64 {
+    cap.value() - used.value()
+}
+
+/// Clean: documented dimensionless ratio, allowed at the definition.
+// vap:allow(unit-flow): duty cycle is a documented dimensionless fraction
+pub fn duty_fraction(on: Seconds, period: Seconds) -> f64 {
+    on.value() / period.value()
+}

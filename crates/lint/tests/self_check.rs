@@ -47,6 +47,38 @@ fn baseline_has_no_stale_entries() {
 }
 
 #[test]
+fn all_eight_rules_are_registered_in_diagnostic_order() {
+    let names: Vec<&str> = vap_lint::rules::all_rules().iter().map(|r| r.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "raw-unit-f64",
+            "unit-flow",
+            "no-panic-in-lib",
+            "panic-propagation",
+            "no-println-in-lib",
+            "float-eq",
+            "determinism",
+            "shared-state-in-par",
+        ]
+    );
+}
+
+#[test]
+fn baseline_carries_no_accepted_debt() {
+    // The v2 burndown emptied the ledger: every historical finding was
+    // either fixed or justified with an inline vap:allow. Keep it that
+    // way — new debt needs a reason at the offending line, not a
+    // baseline entry.
+    let text = std::fs::read_to_string(workspace_root().join("lint-baseline.toml"))
+        .expect("baseline file");
+    assert!(
+        !text.contains("[[entry]]"),
+        "lint-baseline.toml has regrown entries:\n{text}"
+    );
+}
+
+#[test]
 fn every_rule_is_exercised_by_the_scan() {
     // A rule silently skipping the whole tree (e.g. a crate-name typo in
     // its scope list) would pass --deny vacuously; assert the scan at

@@ -47,6 +47,7 @@ impl Boundedness {
     ///
     /// # Panics
     /// Panics if `f` is non-positive (an upstream frequency-control bug).
+    // vap:allow(unit-flow): slowdown is a dimensionless time ratio
     pub fn slowdown(&self, f: GigaHertz) -> f64 {
         assert!(f.value() > 0.0, "frequency must be positive");
         self.cpu_fraction * (self.f_ref.value() / f.value()) + (1.0 - self.cpu_fraction)
@@ -61,6 +62,7 @@ impl Boundedness {
     /// Instantaneous execution rate relative to the reference
     /// (`1 / slowdown`). This is what a rank's progress integrator uses when
     /// frequency changes mid-phase under RAPL's feedback control.
+    // vap:allow(unit-flow): rate relative to reference is dimensionless
     pub fn relative_rate(&self, f: GigaHertz) -> f64 {
         1.0 / self.slowdown(f)
     }

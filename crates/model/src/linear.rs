@@ -106,14 +106,14 @@ impl TwoPointModel {
     }
 
     /// Invert Eq. 1: the raw (unclamped) `α` that selects frequency `f`.
-    // vap:allow(raw-unit-f64): α is the paper's dimensionless coefficient
+    // vap:allow(raw-unit-f64, unit-flow): α is the paper's dimensionless coefficient
     pub fn alpha_for_frequency(&self, f: GigaHertz) -> f64 {
         (f.value() - self.f_min.value()) / (self.f_max.value() - self.f_min.value())
     }
 
     /// Invert Eqs. 2/3: the raw `α` at which predicted power equals `p`.
     /// `None` when the model is power-flat (`p_max == p_min`).
-    // vap:allow(raw-unit-f64): α is the paper's dimensionless coefficient
+    // vap:allow(raw-unit-f64, unit-flow): α is the paper's dimensionless coefficient
     pub fn alpha_for_power(&self, p: Watts) -> Option<f64> {
         let span = self.p_max.value() - self.p_min.value();
         if span.abs() < 1e-12 {

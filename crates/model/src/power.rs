@@ -46,12 +46,14 @@ pub struct VoltageCurve {
 impl VoltageCurve {
     /// Supply voltage at frequency `f`.
     #[inline]
+    // vap:allow(unit-flow): volts — outside the four campaign units
     pub fn voltage(&self, f: GigaHertz) -> f64 {
         self.v0 + self.v1 * f.value()
     }
 
     /// The dynamic-power shape term `f · V(f)²`.
     #[inline]
+    // vap:allow(unit-flow): model-internal shape term (GHz·V², scaled by k)
     pub fn dynamic_shape(&self, f: GigaHertz) -> f64 {
         let v = self.voltage(f);
         f.value() * v * v

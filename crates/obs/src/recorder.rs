@@ -41,12 +41,15 @@ use crate::export::ObsReport;
 use crate::metrics::Metrics;
 
 /// Number of live sessions in the process — the fast-path gate.
+// vap:allow(shared-state-in-par): deliberately process-wide; a relaxed counter is race-safe and never feeds results
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// The session installed on (or propagated to) this thread.
+    // vap:allow(shared-state-in-par): thread-local by construction; propagation into workers is explicit
     static CURRENT: RefCell<Option<SessionRef>> = const { RefCell::new(None) };
     /// The work item this thread is currently executing, if any.
+    // vap:allow(shared-state-in-par): thread-local by construction; never shared across workers
     static ITEM: RefCell<Option<ItemCtx>> = const { RefCell::new(None) };
 }
 

@@ -80,12 +80,12 @@ pub fn all_ids(cluster: &Cluster) -> Vec<usize> {
     (0..cluster.len()).collect()
 }
 
-/// Mean frequency in GHz of a set of operating frequencies.
-pub fn mean_ghz(freqs: &[GigaHertz]) -> f64 {
+/// Mean of a set of operating frequencies.
+pub fn mean_ghz(freqs: &[GigaHertz]) -> GigaHertz {
     if freqs.is_empty() {
-        return 0.0;
+        return GigaHertz(0.0);
     }
-    freqs.iter().map(|f| f.value()).sum::<f64>() / freqs.len() as f64
+    GigaHertz(freqs.iter().map(|f| f.value()).sum::<f64>() / freqs.len() as f64)
 }
 
 /// Per-rank static load jitter for the synchronization studies: real runs

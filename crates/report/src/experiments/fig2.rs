@@ -214,7 +214,7 @@ pub fn render(result: &Fig2Result) -> String {
                 s.ccpu_w.map_or("-".to_string(), |x| f(x, 1)),
                 f(common::mean_ghz(
                     &s.freqs_ghz.iter().map(|&x| vap_model::units::GigaHertz(x)).collect::<Vec<_>>(),
-                ), 2),
+                ).value(), 2),
                 var(s.vf()),
                 var(s.vp_cpu()),
             ]);

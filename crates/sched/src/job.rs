@@ -97,6 +97,7 @@ impl Job {
     /// ratio `1 / (χ·f_max/f + (1−χ))` — the same fluid model
     /// `vap_core::multijob` scores partitions with, here integrated over
     /// simulated time.
+    // vap:allow(unit-flow): progress rate relative to f_max is dimensionless
     pub fn progress_rate(pmt: &PowerModelTable, cpu_fraction: f64, alpha: Alpha) -> f64 {
         let Some(entry) = pmt.entries().first() else {
             return 0.0;

@@ -158,14 +158,14 @@ pub fn enforce(
 }
 
 /// Compare the dynamic loop's converged operating point against the
-/// analytic steady state; returns `(analytic_freq, dynamic_freq)` in GHz
+/// analytic steady state; returns `(analytic_freq, dynamic_freq)`
 /// (effective, duty-weighted).
 pub fn validate_against_steady_state(
     module: &mut SimModule,
     limit: RaplLimit,
     dt: Seconds,
     steps: usize,
-) -> Result<(f64, f64), DynamicsError> {
+) -> Result<(GigaHertz, GigaHertz), DynamicsError> {
     let analytic = rapl::steady_state(
         limit.cap,
         &module.power_model().cpu,
@@ -174,9 +174,8 @@ pub fn validate_against_steady_state(
         module.thermal().factor(),
         module.pstates(),
     )
-    .effective_frequency(module.pstates())
-    .value();
-    let dynamic = enforce(module, limit, dt, steps)?.converged_frequency().value();
+    .effective_frequency(module.pstates());
+    let dynamic = enforce(module, limit, dt, steps)?.converged_frequency();
     Ok((analytic, dynamic))
 }
 
@@ -224,7 +223,7 @@ mod tests {
                 validate_against_steady_state(&mut m, limit, Seconds::from_millis(1.0), 400)
                     .unwrap();
             assert!(
-                (analytic - dynamic).abs() <= 0.11,
+                (analytic.value() - dynamic.value()).abs() <= 0.11,
                 "cap {cap_w} W: analytic {analytic:.3} GHz vs dynamic {dynamic:.3} GHz"
             );
         }

@@ -112,6 +112,7 @@ impl PowerTrace {
 
     /// Fraction of samples whose rolling average exceeds `cap` — the
     /// constraint-violation check used by the Fig. 9 power accounting.
+    // vap:allow(unit-flow): a fraction of samples is dimensionless
     pub fn violation_fraction(&self, cap: Watts, window: Seconds) -> f64 {
         if self.samples.is_empty() {
             return 0.0;

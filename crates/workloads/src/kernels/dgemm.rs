@@ -100,7 +100,8 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
             rest = tail;
         }
     }
-    crossbeam::scope(|s| {
+    // re-raise a worker panic instead of wrapping it in a new expect
+    if let Err(payload) = crossbeam::scope(|s| {
         for (range, band) in row_ranges.iter().zip(bands) {
             let a = &a.data;
             let b = &b.data;
@@ -124,8 +125,9 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
                 }
             });
         }
-    })
-    .expect("dgemm worker panicked");
+    }) {
+        std::panic::resume_unwind(payload);
+    }
     c
 }
 

@@ -90,7 +90,7 @@ pub fn generate(attempts: u64, seed: u64) -> EpResult {
 /// streams, tallies merged — the same reduction structure as the MPI code.
 pub fn generate_parallel(attempts: u64, seed: u64, threads: usize) -> EpResult {
     let ranges = chunks(attempts as usize, threads.max(1));
-    let partials: Vec<EpResult> = crossbeam::scope(|s| {
+    let joined = crossbeam::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .enumerate()
@@ -101,9 +101,13 @@ pub fn generate_parallel(attempts: u64, seed: u64, threads: usize) -> EpResult {
                 s.spawn(move |_| generate(n, worker_seed))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("ep worker panicked")).collect()
-    })
-    .expect("ep scope failed");
+        handles.into_iter().map(|h| h.join()).collect::<Result<Vec<EpResult>, _>>()
+    });
+    // re-raise a worker (or scope) panic instead of wrapping it
+    let partials: Vec<EpResult> = match joined {
+        Ok(Ok(p)) => p,
+        Ok(Err(payload)) | Err(payload) => std::panic::resume_unwind(payload),
+    };
     let mut total = EpResult::zero();
     for p in &partials {
         total.merge(p);

@@ -77,12 +77,12 @@ impl Tridiag {
         let mut cp = vec![0.0; n];
         let mut dp = vec![0.0; n];
         let mut denom = self.b[0];
-        assert!(denom != 0.0, "zero pivot at row 0");
+        assert!(denom.abs() > 0.0, "zero pivot at row 0");
         cp[0] = self.c[0] / denom;
         dp[0] = d[0] / denom;
         for i in 1..n {
             denom = self.b[i] - self.a[i] * cp[i - 1];
-            assert!(denom != 0.0, "zero pivot at row {i}");
+            assert!(denom.abs() > 0.0, "zero pivot at row {i}");
             cp[i] = self.c[i] / denom;
             dp[i] = (d[i] - self.a[i] * dp[i - 1]) / denom;
         }
@@ -177,7 +177,7 @@ impl Pentadiag {
         let mut d = d.to_vec();
 
         for i in 0..n {
-            assert!(b[i] != 0.0, "zero pivot at row {i}");
+            assert!(b[i].abs() > 0.0, "zero pivot at row {i}");
             if i + 1 < n {
                 let m = a[i + 1] / b[i];
                 a[i + 1] = 0.0;
@@ -366,10 +366,11 @@ fn binv(m: &Block) -> Block {
         row[i] = 1.0;
     }
     for col in 0..5 {
-        // partial pivot
+        // partial pivot; `col..5` is never empty, and total_cmp needs no
+        // finiteness side condition
         let pivot_row = (col..5)
-            .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).expect("finite"))
-            .expect("non-empty");
+            .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+            .unwrap_or(col);
         assert!(a[pivot_row][col].abs() > 1e-12, "singular 5x5 block");
         a.swap(col, pivot_row);
         inv.swap(col, pivot_row);

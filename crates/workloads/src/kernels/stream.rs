@@ -88,14 +88,16 @@ where
         slices.push(head);
         rest = tail;
     }
-    crossbeam::scope(|s| {
+    // re-raise a worker panic instead of wrapping it in a new expect
+    if let Err(payload) = crossbeam::scope(|s| {
         for (range, chunk) in ranges.iter().zip(slices) {
             let body = &body;
             let range = range.clone();
             s.spawn(move |_| body(range, chunk));
         }
-    })
-    .expect("stream worker panicked");
+    }) {
+        std::panic::resume_unwind(payload);
+    }
 }
 
 /// Run the full STREAM sequence once over freshly initialized arrays of

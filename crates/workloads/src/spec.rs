@@ -230,7 +230,11 @@ impl WorkloadSpec {
             seed ^ (self.id.index().wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 ^ (base.module_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
-        let normal = Normal::new(0.0, 1.0).expect("valid std normal");
+        // Normal::new(0.0, 1.0) cannot fail (positive finite std dev);
+        // fall back to the base fingerprint rather than carrying a panic
+        let Ok(normal) = Normal::new(0.0, 1.0) else {
+            return base.clone();
+        };
         let mut v = base.clone();
         let z_dyn: f64 = normal.sample(&mut rng);
         v.dynamic = (1.0 + r.dynamic_rho * (base.dynamic - 1.0) + r.dynamic_idio * z_dyn)

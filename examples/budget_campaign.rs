@@ -33,7 +33,7 @@ fn main() {
 
     for cm in [110.0, 100.0, 90.0, 80.0, 70.0, 60.0, 50.0] {
         let budget = Watts(cm * MODULES as f64);
-        let feas = budgeter.feasibility(&mut cluster, &bt, budget, &ids).unwrap();
+        let feas = budgeter.feasibility(&mut cluster, &bt, budget, &ids).expect("fleet is calibrated");
         let mut line = format!("{cm:>6.0} {:>6}  ", feas.mark());
         if !feas.runnable() {
             println!("{line}   (skipped — {})", match feas {

@@ -41,16 +41,16 @@ fn main() {
     let cool = catalog::get(WorkloadId::Mvmc);
     let budget = Watts(80.0 * MODULES as f64);
 
-    let pvt = multi.table(WorkloadId::Stream).unwrap().clone();
+    let pvt = multi.table(WorkloadId::Stream).expect("stream is in the catalog").clone();
     let t_hot = single_module_test_run(&mut cluster, 0, &hot, SEED);
     let t_cool = single_module_test_run(&mut cluster, 0, &cool, SEED);
-    let pmt_hot = PowerModelTable::calibrate(&pvt, &t_hot, &ids).unwrap();
-    let pmt_cool = PowerModelTable::calibrate(&pvt, &t_cool, &ids).unwrap();
+    let pmt_hot = PowerModelTable::calibrate(&pvt, &t_hot, &ids).expect("hot calibration");
+    let pmt_cool = PowerModelTable::calibrate(&pvt, &t_cool, &ids).expect("cool calibration");
 
     // Static plan: one α for the whole run, sized by the hot phase.
-    let static_alpha = vap::core::alpha::max_alpha(budget, &pmt_hot).unwrap();
+    let static_alpha = vap::core::alpha::max_alpha(budget, &pmt_hot).expect("budget is feasible");
     // Dynamic: re-solve per phase.
-    let plans = per_phase_plans(budget, &[pmt_hot, pmt_cool]).unwrap();
+    let plans = per_phase_plans(budget, &[pmt_hot, pmt_cool]).expect("budget is feasible");
 
     println!("budget: {:.1} kW over {MODULES} modules", budget.kilowatts());
     println!(

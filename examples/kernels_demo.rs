@@ -91,7 +91,7 @@ fn main() {
     let t = Instant::now();
     let blocks = sampler.run(20, 200_000);
     let dt = t.elapsed().as_secs_f64();
-    let total = montecarlo::reduce(&blocks).unwrap();
+    let total = montecarlo::reduce(&blocks).expect("blocks are non-empty");
     println!(
         "mVMC     {:.1}M MC steps/s (E = {:.6}, exact 0.5)",
         total.samples as f64 / dt / 1e6,

@@ -26,7 +26,7 @@ fn main() {
         let spec = catalog::get(w);
         let ids: Vec<usize> = (lo..lo + 64).collect();
         let test = single_module_test_run(&mut cluster, ids[0], &spec, SEED);
-        let pmt = PowerModelTable::calibrate(budgeter.pvt(), &test, &ids).unwrap();
+        let pmt = PowerModelTable::calibrate(budgeter.pvt(), &test, &ids).expect("calibration");
         jobs.push(JobRequest {
             workload: w,
             module_ids: ids,

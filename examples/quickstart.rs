@@ -33,7 +33,7 @@ fn main() {
     let program = mhd.program(0.1);
     let comm = CommParams::infiniband_fdr();
 
-    let feas = budgeter.feasibility(&mut cluster, &mhd, budget, &ids).unwrap();
+    let feas = budgeter.feasibility(&mut cluster, &mhd, budget, &ids).expect("fleet is calibrated");
     println!("Feasibility at this budget: {feas} (X = constrained)\n");
 
     // 4. Compare schemes.
@@ -53,7 +53,7 @@ fn main() {
         apply_plan(&plan, &mut cluster);
         let freqs: Vec<f64> =
             cluster.effective_frequencies().iter().map(|f| f.value()).collect();
-        let vf = vap::stats::worst_case_variation(&freqs).unwrap();
+        let vf = vap::stats::worst_case_variation(&freqs).expect("non-empty fleet");
         cluster.uncap_all();
 
         let makespan = report.makespan().value();
@@ -68,7 +68,7 @@ fn main() {
             scheme.name(),
             plan.alpha.value(),
             makespan,
-            report.run.vt().unwrap(),
+            report.run.vt().expect("timed run"),
             vf,
             report.total_power.value(),
         );

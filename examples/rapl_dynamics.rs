@@ -20,8 +20,12 @@ fn main() {
 
     // pick the most and least power-hungry modules of the fleet
     let powers = cluster.cpu_powers();
-    let hungry = (0..cluster.len()).max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap()).unwrap();
-    let frugal = (0..cluster.len()).min_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap()).unwrap();
+    let hungry = (0..cluster.len())
+        .max_by(|&a, &b| powers[a].value().total_cmp(&powers[b].value()))
+        .expect("fleet is non-empty");
+    let frugal = (0..cluster.len())
+        .min_by(|&a, &b| powers[a].value().total_cmp(&powers[b].value()))
+        .expect("fleet is non-empty");
 
     let cap = Watts(70.0);
     println!("== RAPL dynamics under a {cap:.0} cap (1 ms control intervals) ==\n");

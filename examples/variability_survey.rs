@@ -29,7 +29,7 @@ fn survey_system(id: SystemId) {
     ep.apply_to(&mut cluster, 1);
 
     let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
-    let s = Summary::of(&powers).unwrap();
+    let s = Summary::of(&powers).expect("non-empty fleet");
     println!(
         "{:<12} {:>4} sockets | CPU power {:6.1} W ± {:4.2} | Vp = {:.2} ({:.0}% spread)",
         spec.name,
@@ -60,9 +60,9 @@ fn cap_demo() {
         let freqs: Vec<f64> =
             cluster.effective_frequencies().iter().map(|f| f.value()).collect();
         let powers: Vec<f64> = cluster.cpu_powers().iter().map(|p| p.value()).collect();
-        let vf = vap::stats::worst_case_variation(&freqs).unwrap();
-        let vp = vap::stats::worst_case_variation(&powers).unwrap();
-        let fs = Summary::of(&freqs).unwrap();
+        let vf = vap::stats::worst_case_variation(&freqs).expect("non-empty fleet");
+        let vp = vap::stats::worst_case_variation(&powers).expect("non-empty fleet");
+        let fs = Summary::of(&freqs).expect("non-empty fleet");
         println!(
             "cap {:>9} | mean freq {:4.2} GHz (min {:4.2}) | Vf = {:4.2} | Vp = {:4.2}",
             if cap_w.is_finite() { format!("{cap_w:.0} W") } else { "none".into() },

@@ -12,7 +12,7 @@ fn campaign(seed: u64) -> (Vec<f64>, Vec<f64>, f64) {
     let ids: Vec<usize> = (0..n).collect();
     let plan = budgeter
         .plan(&mut cluster, SchemeId::VaPc, &bt, Watts(75.0 * n as f64), &ids)
-        .unwrap();
+        .expect("75 W/module is feasible");
     let caps: Vec<f64> = plan.allocations.iter().map(|a| a.p_cpu.value()).collect();
     let report = run_region(
         &mut cluster,
