@@ -1,0 +1,26 @@
+//! The `vap-daemon` binary: serve live telemetry from a simulated fleet.
+//!
+//! ```text
+//! vap-daemon --mode sweep --modules 96 --accel 50 --stdout-every 30
+//! curl -s http://127.0.0.1:9500/metrics | head
+//! nc 127.0.0.1 9501 | head -3
+//! ```
+//!
+//! Shared flags (`--modules/--seed/--scale/--metrics/--trace-out/...`)
+//! come from `vap_report`'s standard CLI; daemon flags are layered on
+//! top via the partial parser. SIGTERM/SIGINT shut the daemon down
+//! cleanly — exporters drain, the summary prints, observability
+//! artifacts export.
+
+use vap_daemon::{DaemonConfig, Service};
+
+fn main() -> ! {
+    vap_report::cli::run_main_with(DaemonConfig::parse, |opts, cfg| {
+        let service = Service::bind(opts, &cfg)?;
+        println!("vap-daemon: prometheus on http://{}/metrics", service.prom_addr()?);
+        println!("vap-daemon: json stream on {}", service.json_addr()?);
+        let summary = service.run()?;
+        println!("{summary}");
+        Ok(())
+    })
+}

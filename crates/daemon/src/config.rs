@@ -1,0 +1,178 @@
+//! Daemon-specific configuration, layered on top of the shared
+//! [`vap_report::options::RunOptions`] via
+//! [`RunOptions::parse_partial`](vap_report::options::RunOptions::parse_partial):
+//! the shared parser keeps `--modules/--seed/--scale/...` and hands the
+//! tokens it does not recognize to [`DaemonConfig::parse`].
+
+/// What the sensor side of the daemon simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// A capped fleet running a fixed workload while the daemon walks the
+    /// paper's cap ladder (95 W → 80 W → 68 W → uncapped, repeating).
+    /// One tick = one simulated second.
+    #[default]
+    Sweep,
+    /// A full scheduling campaign (the `sched_study` recipe): trace
+    /// replay under a cluster-level power cap with variation-aware
+    /// allocation. One tick = one scheduler event.
+    Sched,
+}
+
+impl Mode {
+    /// Parse `sweep` / `sched`.
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sweep" => Ok(Mode::Sweep),
+            "sched" => Ok(Mode::Sched),
+            other => Err(format!("--mode must be `sweep` or `sched`, got `{other}`")),
+        }
+    }
+}
+
+/// Command-line configuration for the daemon's serving and pacing plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonConfig {
+    /// What to simulate.
+    pub mode: Mode,
+    /// TCP port for the Prometheus HTTP exporter; 0 picks an ephemeral
+    /// port (reported on startup).
+    pub prom_port: u16,
+    /// TCP port for the line-delimited JSON streaming exporter; 0 picks
+    /// an ephemeral port.
+    pub json_port: u16,
+    /// Print every Nth snapshot to stdout; 0 disables the stdout
+    /// exporter.
+    pub stdout_every: u64,
+    /// Virtual seconds advanced per wall-clock second; 0 free-runs as
+    /// fast as the simulation can tick.
+    pub accel: f64,
+    /// Stop after this much wall-clock time (seconds); 0 runs until the
+    /// tick budget, the sensor, or a signal stops the daemon.
+    pub duration_s: f64,
+    /// Stop after this many sensor ticks; 0 is unbounded (sweep mode
+    /// never finishes on its own; sched mode stops when the trace ends).
+    pub ticks: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            mode: Mode::Sweep,
+            prom_port: 9500,
+            json_port: 9501,
+            stdout_every: 0,
+            accel: 0.0,
+            duration_s: 0.0,
+            ticks: 0,
+        }
+    }
+}
+
+/// The daemon's flag reference, appended to the shared usage line.
+pub const USAGE: &str = "vap-daemon flags: [--mode sweep|sched] [--prom-port N] [--json-port N] \
+                         [--stdout-every N] [--accel X] [--duration-s X] [--ticks N]";
+
+impl DaemonConfig {
+    /// Parse the daemon's own flags from the tokens the shared parser
+    /// left over. Unknown tokens are an error here — this is the last
+    /// parser in the chain.
+    pub fn parse(extras: Vec<String>) -> Result<Self, String> {
+        let mut cfg = DaemonConfig::default();
+        let mut it = extras.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--mode" => cfg.mode = Mode::parse(&take("--mode")?)?,
+                "--prom-port" => {
+                    cfg.prom_port =
+                        take("--prom-port")?.parse().map_err(|e| format!("--prom-port: {e}"))?;
+                }
+                "--json-port" => {
+                    cfg.json_port =
+                        take("--json-port")?.parse().map_err(|e| format!("--json-port: {e}"))?;
+                }
+                "--stdout-every" => {
+                    cfg.stdout_every = take("--stdout-every")?
+                        .parse()
+                        .map_err(|e| format!("--stdout-every: {e}"))?;
+                }
+                "--accel" => {
+                    cfg.accel = take("--accel")?.parse().map_err(|e| format!("--accel: {e}"))?;
+                    if cfg.accel < 0.0 {
+                        return Err("--accel must be non-negative".into());
+                    }
+                }
+                "--duration-s" => {
+                    cfg.duration_s =
+                        take("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?;
+                    if cfg.duration_s < 0.0 {
+                        return Err("--duration-s must be non-negative".into());
+                    }
+                }
+                "--ticks" => {
+                    cfg.ticks = take("--ticks")?.parse().map_err(|e| format!("--ticks: {e}"))?;
+                }
+                _ => return Err(format!("unknown flag {flag} ({USAGE})")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<DaemonConfig, String> {
+        DaemonConfig::parse(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg, DaemonConfig::default());
+        assert_eq!(cfg.mode, Mode::Sweep);
+        assert_eq!(cfg.prom_port, 9500);
+        assert_eq!(cfg.json_port, 9501);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cfg = parse(&[
+            "--mode",
+            "sched",
+            "--prom-port",
+            "0",
+            "--json-port",
+            "0",
+            "--stdout-every",
+            "10",
+            "--accel",
+            "50",
+            "--duration-s",
+            "2.5",
+            "--ticks",
+            "400",
+        ])
+        .unwrap();
+        assert_eq!(cfg.mode, Mode::Sched);
+        assert_eq!(cfg.prom_port, 0);
+        assert_eq!(cfg.json_port, 0);
+        assert_eq!(cfg.stdout_every, 10);
+        assert_eq!(cfg.accel, 50.0);
+        assert_eq!(cfg.duration_s, 2.5);
+        assert_eq!(cfg.ticks, 400);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--mode", "chaos"]).is_err());
+        assert!(parse(&["--prom-port", "99999"]).is_err());
+        assert!(parse(&["--accel", "-1"]).is_err());
+        assert!(parse(&["--duration-s", "-0.5"]).is_err());
+        assert!(parse(&["--ticks"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

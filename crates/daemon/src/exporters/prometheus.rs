@@ -1,0 +1,198 @@
+//! Prometheus text-format exporter: `GET /metrics` over the hand-rolled
+//! HTTP server, rendering the latest snapshot in the
+//! [exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! (text version 0.0.4 — `# HELP` / `# TYPE` lines plus labelled
+//! samples). Every metric is a gauge: the snapshot is a point-in-time
+//! view, not a counter stream.
+
+use crate::http::{self, Request, Response};
+use crate::signal::ShutdownFlag;
+use crate::{DaemonError, Exporter};
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use vap_obs::{SnapshotRegistry, TelemetrySnapshot};
+
+/// Serves `GET /metrics` (and a small index page on `/`) over HTTP.
+#[derive(Debug)]
+pub struct PrometheusExporter {
+    listener: TcpListener,
+}
+
+impl PrometheusExporter {
+    /// Bind to `port` on localhost (0 picks an ephemeral port).
+    pub fn bind(port: u16) -> Result<Self, DaemonError> {
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| DaemonError::io(format!("bind prometheus exporter :{port}"), e))?;
+        Ok(PrometheusExporter { listener })
+    }
+
+    /// The bound address (useful when an ephemeral port was requested).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, DaemonError> {
+        self.listener.local_addr().map_err(|e| DaemonError::io("prometheus local_addr", e))
+    }
+}
+
+impl Exporter for PrometheusExporter {
+    fn name(&self) -> &'static str {
+        "prometheus"
+    }
+
+    fn serve(
+        &mut self,
+        registry: &SnapshotRegistry,
+        stop: &ShutdownFlag,
+    ) -> Result<(), DaemonError> {
+        http::serve(&self.listener, stop, |req: &Request| match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/metrics") => {
+                Response::ok("text/plain; version=0.0.4", render_prometheus(&registry.read()))
+            }
+            ("GET", "/") => Response::ok(
+                "text/plain",
+                "vap-daemon: live telemetry for the simulated fleet\n\
+                 GET /metrics — Prometheus text format\n"
+                    .to_string(),
+            ),
+            (_, path) => Response::not_found(path),
+        })
+    }
+}
+
+fn gauge_header(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+}
+
+/// Render one snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
+    // ~200 bytes of header lines per family plus ~40 per sample.
+    let mut out = String::with_capacity(2048 + 256 * snap.modules.len());
+
+    gauge_header(&mut out, "vap_snapshot_epoch", "Publish sequence number of this snapshot.");
+    let _ = writeln!(out, "vap_snapshot_epoch {}", snap.epoch);
+
+    gauge_header(&mut out, "vap_sim_time_seconds", "Simulated time of this snapshot.");
+    let _ = writeln!(out, "vap_sim_time_seconds {}", snap.sim_time_s);
+
+    gauge_header(&mut out, "vap_cluster_power_watts", "Fleet-level power draw.");
+    let _ = writeln!(out, "vap_cluster_power_watts {}", snap.total_power_w);
+
+    gauge_header(
+        &mut out,
+        "vap_cluster_cap_watts",
+        "Cluster-level power cap in effect (0 when uncapped).",
+    );
+    let _ = writeln!(out, "vap_cluster_cap_watts {}", snap.cap_w);
+
+    gauge_header(&mut out, "vap_jobs_running", "Jobs currently running.");
+    let _ = writeln!(out, "vap_jobs_running {}", snap.running_jobs);
+
+    gauge_header(&mut out, "vap_jobs_queued", "Jobs currently queued.");
+    let _ = writeln!(out, "vap_jobs_queued {}", snap.queued_jobs);
+
+    gauge_header(&mut out, "vap_module_power_watts", "Per-module power draw.");
+    for m in &snap.modules {
+        let _ = writeln!(out, "vap_module_power_watts{{module=\"{}\"}} {}", m.id, m.power_w);
+    }
+
+    gauge_header(&mut out, "vap_module_freq_ghz", "Per-module effective frequency.");
+    for m in &snap.modules {
+        let _ = writeln!(out, "vap_module_freq_ghz{{module=\"{}\"}} {}", m.id, m.freq_ghz);
+    }
+
+    gauge_header(
+        &mut out,
+        "vap_module_cap_watts",
+        "Per-module RAPL cap; absent when the module is uncapped.",
+    );
+    for m in &snap.modules {
+        if let Some(cap) = m.cap_w {
+            let _ = writeln!(out, "vap_module_cap_watts{{module=\"{}\"}} {}", m.id, cap);
+        }
+    }
+
+    gauge_header(&mut out, "vap_module_duty", "Per-module clock-modulation run fraction.");
+    for m in &snap.modules {
+        let _ = writeln!(out, "vap_module_duty{{module=\"{}\"}} {}", m.id, m.duty);
+    }
+
+    gauge_header(
+        &mut out,
+        "vap_module_throttled",
+        "1 when RAPL is actively limiting the module, else 0.",
+    );
+    for m in &snap.modules {
+        let _ = writeln!(
+            out,
+            "vap_module_throttled{{module=\"{}\"}} {}",
+            m.id,
+            u8::from(m.throttled)
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_obs::ModuleSample;
+
+    fn snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            sim_time_s: 30.0,
+            total_power_w: 150.5,
+            cap_w: 160.0,
+            running_jobs: 2,
+            queued_jobs: 5,
+            modules: vec![
+                ModuleSample {
+                    id: 0,
+                    power_w: 80.25,
+                    freq_ghz: 2.4,
+                    cap_w: Some(80.0),
+                    duty: 0.75,
+                    throttled: true,
+                },
+                ModuleSample {
+                    id: 1,
+                    power_w: 70.25,
+                    freq_ghz: 3.1,
+                    cap_w: None,
+                    duty: 1.0,
+                    throttled: false,
+                },
+            ],
+            ..TelemetrySnapshot::default()
+        }
+        .seal(9)
+    }
+
+    #[test]
+    fn renders_cluster_and_module_gauges() {
+        let text = render_prometheus(&snapshot());
+        assert!(text.contains("# TYPE vap_cluster_power_watts gauge"));
+        assert!(text.contains("vap_snapshot_epoch 9\n"));
+        assert!(text.contains("vap_sim_time_seconds 30\n"));
+        assert!(text.contains("vap_cluster_power_watts 150.5\n"));
+        assert!(text.contains("vap_jobs_running 2\n"));
+        assert!(text.contains("vap_jobs_queued 5\n"));
+        assert!(text.contains("vap_module_power_watts{module=\"0\"} 80.25\n"));
+        assert!(text.contains("vap_module_freq_ghz{module=\"1\"} 3.1\n"));
+        assert!(text.contains("vap_module_duty{module=\"0\"} 0.75\n"));
+        assert!(text.contains("vap_module_throttled{module=\"0\"} 1\n"));
+        assert!(text.contains("vap_module_throttled{module=\"1\"} 0\n"));
+        // uncapped module 1 must have no cap sample; capped module 0 must
+        assert!(text.contains("vap_module_cap_watts{module=\"0\"} 80\n"));
+        assert!(!text.contains("vap_module_cap_watts{module=\"1\"}"));
+    }
+
+    #[test]
+    fn every_sample_line_has_help_and_type() {
+        let text = render_prometheus(&snapshot());
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(text.contains(&format!("# HELP {name} ")), "missing HELP for {name}");
+            assert!(text.contains(&format!("# TYPE {name} gauge")), "missing TYPE for {name}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Stdout exporter: prints every Nth snapshot as a one-line summary —
+//! the "just show me it's alive" exporter, scaphandre-style.
+
+use crate::signal::ShutdownFlag;
+use crate::{DaemonError, Exporter};
+use std::io::Write;
+use std::time::Duration;
+use vap_obs::{SnapshotRegistry, TelemetrySnapshot};
+
+/// How often the exporter checks for a newer epoch.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Prints a compact summary of every `every`-th snapshot to stdout.
+#[derive(Debug)]
+pub struct StdoutExporter {
+    every: u64,
+}
+
+impl StdoutExporter {
+    /// Print every `every`-th epoch (0 is coerced to 1: constructing a
+    /// disabled exporter is the caller's decision, not this type's).
+    pub fn new(every: u64) -> Self {
+        StdoutExporter { every: every.max(1) }
+    }
+}
+
+/// One human-scannable line per printed snapshot.
+fn summary_line(snap: &TelemetrySnapshot) -> String {
+    let throttled = snap.modules.iter().filter(|m| m.throttled).count();
+    format!(
+        "epoch {:>6}  t={:>10.1}s  power {:>9.1} W  cap {:>8.1} W  jobs {}/{} run/queue  \
+         throttled {}/{}",
+        snap.epoch,
+        snap.sim_time_s,
+        snap.total_power_w,
+        snap.cap_w,
+        snap.running_jobs,
+        snap.queued_jobs,
+        throttled,
+        snap.modules.len()
+    )
+}
+
+impl Exporter for StdoutExporter {
+    fn name(&self) -> &'static str {
+        "stdout"
+    }
+
+    fn serve(
+        &mut self,
+        registry: &SnapshotRegistry,
+        stop: &ShutdownFlag,
+    ) -> Result<(), DaemonError> {
+        let mut last_epoch = 0u64;
+        let stdout = std::io::stdout();
+        while !stop.raised() {
+            let epoch = registry.epoch();
+            if epoch > last_epoch && epoch % self.every == 0 {
+                let snap = registry.read();
+                last_epoch = snap.epoch;
+                let mut out = stdout.lock();
+                let _ = writeln!(out, "{}", summary_line(&snap));
+            }
+            std::thread::sleep(POLL);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_obs::ModuleSample;
+
+    #[test]
+    fn zero_interval_is_coerced_to_one() {
+        assert_eq!(StdoutExporter::new(0).every, 1);
+        assert_eq!(StdoutExporter::new(25).every, 25);
+    }
+
+    #[test]
+    fn summary_counts_throttled_modules() {
+        let snap = TelemetrySnapshot {
+            sim_time_s: 42.0,
+            total_power_w: 240.0,
+            cap_w: 320.0,
+            running_jobs: 4,
+            queued_jobs: 2,
+            modules: vec![
+                ModuleSample {
+                    id: 0,
+                    power_w: 80.0,
+                    freq_ghz: 2.4,
+                    cap_w: Some(80.0),
+                    duty: 0.5,
+                    throttled: true,
+                },
+                ModuleSample {
+                    id: 1,
+                    power_w: 60.0,
+                    freq_ghz: 2.8,
+                    cap_w: None,
+                    duty: 1.0,
+                    throttled: false,
+                },
+            ],
+            ..TelemetrySnapshot::default()
+        }
+        .seal(12);
+        let line = summary_line(&snap);
+        assert!(line.contains("epoch     12"), "{line}");
+        assert!(line.contains("throttled 1/2"), "{line}");
+        assert!(line.contains("jobs 4/2"), "{line}");
+    }
+
+    #[test]
+    fn serve_exits_when_raised() {
+        let registry = SnapshotRegistry::new();
+        let stop = ShutdownFlag::new();
+        stop.raise();
+        StdoutExporter::new(1).serve(&registry, &stop).unwrap();
+    }
+}

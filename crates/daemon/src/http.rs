@@ -1,0 +1,200 @@
+//! A deliberately small HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! Just enough protocol for a metrics endpoint: parse the request line,
+//! drain headers, call a handler, write one `Connection: close`
+//! response. The accept loop is non-blocking so it can poll the
+//! [`ShutdownFlag`] between connections, and each connection is handled
+//! on a scoped thread so the handler can borrow the snapshot registry
+//! without `Arc` plumbing.
+
+use crate::signal::ShutdownFlag;
+use crate::DaemonError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection read timeout: a scraper that stalls mid-request gets
+/// cut off rather than pinning a thread.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A parsed request line (headers are drained and ignored — a metrics
+/// endpoint needs none of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `HEAD`, …
+    pub method: String,
+    /// Path component, e.g. `/metrics`.
+    pub path: String,
+}
+
+/// A response the handler wants on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` plain-text response.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Response { status: 200, content_type, body }
+    }
+
+    /// A `404 Not Found` response naming the path.
+    pub fn not_found(path: &str) -> Self {
+        Response { status: 404, content_type: "text/plain", body: format!("no route: {path}\n") }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Read the request line and drain headers until the blank line.
+fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad request line"));
+    }
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header.trim_end().is_empty() {
+            return Ok(Request { method, path });
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    )?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &(impl Fn(&Request) -> Response + Sync)) {
+    let response = match read_request(&stream) {
+        Ok(request) => handler(&request),
+        Err(_) => Response {
+            status: 400,
+            content_type: "text/plain",
+            body: "bad request\n".to_string(),
+        },
+    };
+    // A scraper that hung up early is its problem, not ours.
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Serve `handler` on `listener` until `stop` is raised. Each accepted
+/// connection runs on its own scoped thread; the function returns only
+/// after all in-flight connections finish.
+pub fn serve(
+    listener: &TcpListener,
+    stop: &ShutdownFlag,
+    handler: impl Fn(&Request) -> Response + Sync,
+) -> Result<(), DaemonError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DaemonError::io("set_nonblocking on http listener", e))?;
+    std::thread::scope(|scope| {
+        while !stop.raised() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    // Blocking I/O per connection; the listener alone stays
+                    // non-blocking so the stop flag is honoured promptly.
+                    let _ = stream.set_nonblocking(false);
+                    let handler = &handler;
+                    scope.spawn(move || handle_connection(stream, handler));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_and_stops() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = ShutdownFlag::new();
+        let stop_serving = stop.clone();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                serve(&listener, &stop_serving, |req| match req.path.as_str() {
+                    "/hello" => Response::ok("text/plain", format!("{} says hi\n", req.method)),
+                    other => Response::not_found(other),
+                })
+            });
+            let ok = get(addr, "/hello");
+            assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+            assert!(ok.contains("Connection: close"));
+            assert!(ok.ends_with("GET says hi\n"));
+            let missing = get(addr, "/nope");
+            assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"), "{missing}");
+            stop.raise();
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = ShutdownFlag::new();
+        let stop_serving = stop.clone();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                serve(&listener, &stop_serving, |_| Response::ok("text/plain", "ok".into()))
+            });
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"\r\n\r\n").unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+            stop.raise();
+            server.join().unwrap().unwrap();
+        });
+    }
+}

@@ -1,0 +1,260 @@
+//! The service loop: wire a sensor, the snapshot registry, and the
+//! exporters together and run until the sensor finishes, a budget
+//! expires, or a signal arrives.
+//!
+//! Thread layout: the **sensor runs on the caller's thread** (the main
+//! thread in the binary, where the `vap_obs::Session` is installed, so
+//! the journal sees the campaign), while each exporter gets one scoped
+//! thread borrowing the registry. The registry is the only shared state,
+//! and its read path is lock-free — which is why the journal written by
+//! a daemon run is byte-identical whether 0 or 200 scrapers are attached
+//! (`tests/determinism.rs` holds this to `cmp`-level equality).
+
+use crate::clock::{Deadline, Pacer, Stopwatch};
+use crate::config::{DaemonConfig, Mode};
+use crate::exporters::{JsonExporter, PrometheusExporter, StdoutExporter};
+use crate::sensors::{CapSweepSensor, SchedCampaign, Sensor};
+use crate::signal::{self, ShutdownFlag};
+use crate::{DaemonError, Exporter};
+use std::ops::ControlFlow;
+use vap_obs::SnapshotRegistry;
+use vap_report::options::RunOptions;
+
+/// Default fleet size when `--modules` is not given: big enough to show
+/// fleet-level variation spread, small enough to tick fast.
+const DEFAULT_MODULES: usize = 96;
+
+/// A bound-but-not-yet-running daemon: listeners are open (so ephemeral
+/// ports can be reported before the first tick) and the shutdown flag
+/// exists (so tests and supervisors can stop a run they started).
+pub struct Service {
+    opts: RunOptions,
+    cfg: DaemonConfig,
+    registry: SnapshotRegistry,
+    stop: ShutdownFlag,
+    prometheus: PrometheusExporter,
+    json: JsonExporter,
+}
+
+/// What a finished daemon run did, for the exit banner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonSummary {
+    /// The sensor mode that ran.
+    pub mode: Mode,
+    /// Snapshots published into the registry.
+    pub published: u64,
+    /// Simulated time reached (seconds).
+    pub sim_time_s: f64,
+    /// Lock-free registry reads served to exporters and scrapers.
+    pub registry_reads: u64,
+    /// Wall-clock run time (seconds).
+    pub wall_s: f64,
+    /// Jobs completed, when the sensor was a scheduling campaign.
+    pub completed_jobs: Option<usize>,
+}
+
+impl std::fmt::Display for DaemonSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match self.mode {
+            Mode::Sweep => "sweep",
+            Mode::Sched => "sched",
+        };
+        write!(
+            f,
+            "vap-daemon ({mode}): published {} snapshots to {:.1} simulated s \
+             in {:.2} wall s; served {} registry reads",
+            self.published, self.sim_time_s, self.wall_s, self.registry_reads
+        )?;
+        if let Some(jobs) = self.completed_jobs {
+            write!(f, "; {jobs} jobs completed")?;
+        }
+        Ok(())
+    }
+}
+
+impl Service {
+    /// Open the exporters' listeners. Nothing is simulated yet.
+    pub fn bind(opts: &RunOptions, cfg: &DaemonConfig) -> Result<Self, DaemonError> {
+        Ok(Service {
+            opts: opts.clone(),
+            cfg: cfg.clone(),
+            registry: SnapshotRegistry::new(),
+            stop: ShutdownFlag::new(),
+            prometheus: PrometheusExporter::bind(cfg.prom_port)?,
+            json: JsonExporter::bind(cfg.json_port)?,
+        })
+    }
+
+    /// Address of the Prometheus HTTP endpoint.
+    pub fn prom_addr(&self) -> Result<std::net::SocketAddr, DaemonError> {
+        self.prometheus.local_addr()
+    }
+
+    /// Address of the streaming JSON endpoint.
+    pub fn json_addr(&self) -> Result<std::net::SocketAddr, DaemonError> {
+        self.json.local_addr()
+    }
+
+    /// A handle that stops this service when raised (tests, embedders).
+    pub fn stop_flag(&self) -> ShutdownFlag {
+        self.stop.clone()
+    }
+
+    /// Run to completion: installs SIGTERM/SIGINT handlers, serves until
+    /// the sensor finishes or a budget/signal stops the run, then joins
+    /// every exporter before returning the summary.
+    pub fn run(self) -> Result<DaemonSummary, DaemonError> {
+        let Service { opts, cfg, registry, stop, prometheus, json } = self;
+        signal::install_handlers();
+        let watch = Stopwatch::start();
+
+        let mut exporters: Vec<Box<dyn Exporter>> = vec![Box::new(prometheus), Box::new(json)];
+        if cfg.stdout_every > 0 {
+            exporters.push(Box::new(StdoutExporter::new(cfg.stdout_every)));
+        }
+
+        let outcome = std::thread::scope(|scope| {
+            let handles: Vec<_> = exporters
+                .iter_mut()
+                .map(|exporter| {
+                    let registry = &registry;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let name = exporter.name();
+                        exporter
+                            .serve(registry, stop)
+                            .map_err(|e| DaemonError::msg(format!("{name} exporter: {e}")))
+                    })
+                })
+                .collect();
+
+            let outcome = drive_sensor(&opts, &cfg, &registry, &stop);
+            // Sensor is done (or failed): release the exporters and wait
+            // for their in-flight clients to drain.
+            stop.raise();
+            for handle in handles {
+                handle
+                    .join()
+                    .map_err(|_| DaemonError::msg("exporter thread panicked"))??;
+            }
+            outcome
+        })?;
+
+        Ok(DaemonSummary {
+            mode: cfg.mode,
+            published: outcome.published,
+            sim_time_s: outcome.sim_time_s,
+            registry_reads: registry.read_count(),
+            wall_s: watch.elapsed_s(),
+            completed_jobs: outcome.completed_jobs,
+        })
+    }
+}
+
+/// What the sensor side reports back to the summary.
+struct SensorOutcome {
+    published: u64,
+    sim_time_s: f64,
+    completed_jobs: Option<usize>,
+}
+
+/// Step the configured sensor on the current thread, publishing every
+/// snapshot, until it finishes or a stop condition fires.
+fn drive_sensor(
+    opts: &RunOptions,
+    cfg: &DaemonConfig,
+    registry: &SnapshotRegistry,
+    stop: &ShutdownFlag,
+) -> Result<SensorOutcome, DaemonError> {
+    let mut pacer = Pacer::new(cfg.accel);
+    let deadline = Deadline::start(cfg.duration_s);
+    let mut published = 0u64;
+    let mut sim_time_s = 0.0f64;
+
+    let completed_jobs = match cfg.mode {
+        Mode::Sweep => {
+            let mut sensor =
+                CapSweepSensor::new(opts.modules_or(DEFAULT_MODULES), opts.seed, cfg.ticks);
+            while !stop.raised() && !deadline.expired() {
+                let Some(snap) = sensor.tick() else { break };
+                sim_time_s = snap.sim_time_s;
+                registry.publish(snap);
+                published += 1;
+                pacer.pace(sim_time_s);
+            }
+            None
+        }
+        Mode::Sched => {
+            let campaign = SchedCampaign::from_options(opts);
+            let report = campaign.run(|snap| {
+                let budget_spent = cfg.ticks > 0 && published >= cfg.ticks;
+                if stop.raised() || deadline.expired() || budget_spent {
+                    return ControlFlow::Break(());
+                }
+                sim_time_s = snap.sim_time_s;
+                registry.publish(snap);
+                published += 1;
+                pacer.pace(sim_time_s);
+                ControlFlow::Continue(())
+            });
+            Some(report.completed_count())
+        }
+    };
+
+    Ok(SensorOutcome { published, sim_time_s, completed_jobs })
+}
+
+/// [`Service::bind`] + [`Service::run`] in one call, for embedders that
+/// do not need the addresses up front.
+pub fn run(opts: &RunOptions, cfg: &DaemonConfig) -> Result<DaemonSummary, DaemonError> {
+    Service::bind(opts, cfg)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(modules: usize) -> RunOptions {
+        RunOptions { modules: Some(modules), threads: Some(1), ..RunOptions::default() }
+    }
+
+    fn cfg(mode: Mode, ticks: u64) -> DaemonConfig {
+        DaemonConfig { mode, prom_port: 0, json_port: 0, ticks, ..DaemonConfig::default() }
+    }
+
+    #[test]
+    fn sweep_run_honours_the_tick_budget() {
+        let summary = run(&opts(4), &cfg(Mode::Sweep, 25)).unwrap();
+        assert_eq!(summary.mode, Mode::Sweep);
+        assert_eq!(summary.published, 25);
+        assert_eq!(summary.sim_time_s, 25.0);
+        assert_eq!(summary.completed_jobs, None);
+        assert!(summary.to_string().contains("published 25 snapshots"));
+    }
+
+    #[test]
+    fn sched_run_finishes_the_trace() {
+        let options =
+            RunOptions { scale: 0.05, ..opts(16) };
+        let summary = run(&options, &cfg(Mode::Sched, 0)).unwrap();
+        assert_eq!(summary.mode, Mode::Sched);
+        assert!(summary.published > 0);
+        assert!(summary.completed_jobs.unwrap() > 0);
+        assert!(summary.to_string().contains("jobs completed"));
+    }
+
+    #[test]
+    fn stop_flag_ends_an_unbounded_run() {
+        let service = Service::bind(&opts(2), &cfg(Mode::Sweep, 0)).unwrap();
+        assert!(service.prom_addr().unwrap().port() > 0);
+        assert!(service.json_addr().unwrap().port() > 0);
+        let stop = service.stop_flag();
+        let stopper = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            stop.raise();
+        });
+        let summary = service.run().unwrap();
+        stopper.join().unwrap();
+        assert!(summary.published > 0, "an unbounded free-run publishes until stopped");
+    }
+}

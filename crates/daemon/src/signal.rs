@@ -1,0 +1,114 @@
+//! Cooperative shutdown: one process-wide flag raised by SIGTERM/SIGINT
+//! (or programmatically), polled by the sensor loop and every exporter.
+//!
+//! The handler is registered through `libc`'s `signal(2)` via a
+//! one-line `extern` declaration — the workspace takes no external
+//! crates, and the handler body is a single atomic store, which is
+//! async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Set from the signal handler; merged into every [`ShutdownFlag`].
+// vap:allow(shared-state-in-par): write-once shutdown latch set only by a signal handler; it gates when the run stops, never what it computes
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// A shared stop flag: raised locally (tests, tick budgets) or by a
+/// delivered SIGTERM/SIGINT. Clones observe the same local flag.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    local: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request shutdown.
+    pub fn raise(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested, locally or by signal.
+    pub fn raised(&self) -> bool {
+        self.local.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)] // the crate's one FFI call; SAFETY argued at the call site
+mod unix {
+    use super::{AtomicBool, Ordering, SIGNALLED};
+
+    // Re-assert the default handler disposition contract ourselves: the
+    // handler is a plain `extern "C"` function whose body is one atomic
+    // store (async-signal-safe per POSIX).
+    type SigHandler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Guard so repeated installs (tests, multiple service runs in one
+    /// process) register the handler once.
+    // vap:allow(shared-state-in-par): write-once install latch for the process-wide signal handler; no simulation state
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: registering an async-signal-safe `extern "C"` handler
+        // for SIGINT/SIGTERM; `signal` itself has no memory-safety
+        // preconditions beyond a valid function pointer.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that raise the process-wide shutdown
+/// flag. Idempotent; a no-op on non-unix targets.
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_raise_is_shared_by_clones() {
+        let flag = ShutdownFlag::new();
+        let clone = flag.clone();
+        assert!(!flag.raised());
+        assert!(!clone.raised());
+        clone.raise();
+        assert!(flag.raised());
+    }
+
+    #[test]
+    fn distinct_flags_are_independent() {
+        let a = ShutdownFlag::new();
+        let b = ShutdownFlag::new();
+        a.raise();
+        assert!(a.raised());
+        assert!(!b.raised());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install_handlers();
+        install_handlers();
+    }
+}

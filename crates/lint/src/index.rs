@@ -22,6 +22,10 @@ pub const CANONICAL_UNITS: [&str; 4] = ["Watts", "GigaHertz", "Seconds", "Joules
 /// threads.
 pub const PAR_ENTRY_POINTS: [&str; 3] = ["par_map", "par_grid", "par_map_modules"];
 
+/// Crates that are always shared-state-scoped even without a vap-exec
+/// call site: their own threads share their module state.
+const ALWAYS_PAR_SCOPED: [&str; 1] = ["vap-daemon"];
+
 /// One indexed function or method.
 #[derive(Debug, Clone)]
 pub struct FnInfo {
@@ -119,6 +123,14 @@ impl SymbolIndex {
             if let Some(ds) = index.deps.get(&c) {
                 stack.extend(ds.iter().cloned());
             }
+        }
+        // The daemon never fans out through vap-exec, but its exporter
+        // threads run concurrently with the sensor loop, so its own
+        // module state is held to the same shared-state rules. Inserted
+        // after the closure walk on purpose: only the daemon's statics
+        // are in scope, not its (non-par) dependency tree.
+        for c in ALWAYS_PAR_SCOPED {
+            index.par_crates.insert(c.to_string());
         }
         index
     }
@@ -304,7 +316,20 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t() {\n        vap_exec::par_map(&xs, 2, |i, x| x);\n    }\n}\n",
         )];
         let index = SymbolIndex::build(&files, BTreeMap::new());
-        assert!(index.par_crates.is_empty());
+        // only the always-scoped daemon remains: no crate earned scope
+        // through a call site
+        assert_eq!(index.par_crates.iter().collect::<Vec<_>>(), ["vap-daemon"]);
+    }
+
+    #[test]
+    fn the_daemon_is_always_shared_state_scoped() {
+        // no files, no deps, no par call sites — the daemon is in scope
+        // anyway, and scope does not leak into its dependency tree
+        let d = deps(&[("vap-daemon", &["vap-report", "vap-sched"])]);
+        let index = SymbolIndex::build(&[], d);
+        assert!(index.par_crates.contains("vap-daemon"));
+        assert!(!index.par_crates.contains("vap-report"));
+        assert!(!index.par_crates.contains("vap-sched"));
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! moment simulation state iterates a `HashMap` (randomized iteration
 //! order since Rust 1.36) or consults OS entropy / wall clocks. In
 //! `vap-sim`, `vap-mpi`, `vap-core`, `vap-exec` (the deterministic
-//! parallel execution layer lives or dies by this property) and
-//! `vap-sched` (the discrete-event runtime replays traces byte-for-byte),
-//! non-test code must not use:
+//! parallel execution layer lives or dies by this property), `vap-sched`
+//! (the discrete-event runtime replays traces byte-for-byte) and
+//! `vap-daemon` (the service plane promises a journal that is invariant
+//! under scraper load; its wall-clock pacing side channel carries
+//! explicit `vap:allow` markers), non-test code must not use:
 //!
 //! * `std::collections::HashMap` / `HashSet` — use `BTreeMap` /
 //!   `BTreeSet` / `Vec` (deterministic iteration, stable snapshots);
@@ -19,7 +21,8 @@ use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
 /// Crates whose state must replay deterministically.
-const SCOPE: [&str; 5] = ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched"];
+const SCOPE: [&str; 6] =
+    ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched", "vap-daemon"];
 
 /// `(token, message, help)` per forbidden construct.
 const FORBIDDEN: [(&str, &str, &str); 6] = [
@@ -64,7 +67,7 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched"
+        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched/vap-daemon"
     }
 
     fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
@@ -134,6 +137,15 @@ mod tests {
     #[test]
     fn the_sched_runtime_is_in_scope() {
         assert_eq!(findings("vap-sched", "let q = HashMap::new();\n").len(), 1);
+    }
+
+    #[test]
+    fn the_daemon_is_in_scope() {
+        assert_eq!(findings("vap-daemon", "let t = Instant::now();\n").len(), 1);
+        // the pacing side channel must carry an explicit allow marker
+        let src = "// vap:allow(determinism): wall-clock pacing side channel\n\
+                   let start = Instant::now();\n";
+        assert!(findings("vap-daemon", src).is_empty());
     }
 
     #[test]

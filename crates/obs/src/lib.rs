@@ -24,6 +24,11 @@
 //! instrumented crates (`vap-exec`, `vap-core`, `vap-sim`, `vap-mpi`)
 //! stay free of wall-clock tokens.
 //!
+//! A third piece serves the **live service plane** (`vap-daemon`): the
+//! [`registry::SnapshotRegistry`] publishes epoch-stamped, checksummed
+//! [`snapshot::TelemetrySnapshot`]s to concurrent scrapers without ever
+//! blocking the deterministic sim loop.
+//!
 //! ## Usage
 //!
 //! ```
@@ -37,12 +42,18 @@
 //! assert!(report.journal_jsonl.contains("alpha.solves"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the snapshot registry opts back in with a
+// module-level allow for its pointer-swap publication scheme — the one
+// place in the crate where safe Rust would force a lock onto the
+// scraper read path.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod export;
 pub mod metrics;
 pub mod recorder;
+pub mod registry;
+pub mod snapshot;
 pub mod span;
 
 pub use export::{ObsReport, validate_journal, validate_metrics_csv, validate_trace};
@@ -50,4 +61,6 @@ pub use metrics::{Histogram, Metrics};
 pub use recorder::{
     enabled, grid_session, incr, incr_by, label_item, observe, Session, SessionRef,
 };
+pub use registry::SnapshotRegistry;
+pub use snapshot::{ModuleSample, TelemetrySnapshot};
 pub use span::{span, Span};

@@ -1,0 +1,269 @@
+//! Telemetry snapshots: the data model the live service plane publishes.
+//!
+//! A [`TelemetrySnapshot`] is one epoch-stamped, immutable view of the
+//! fleet — per-module power / frequency / cap / duty / throttle plus the
+//! cluster-level aggregates a scheduler dashboard needs. Snapshots are
+//! produced by the simulation tick (the *sensor* side) and consumed by
+//! arbitrarily many concurrent exporters and scrapers (the *exporter*
+//! side) through a [`crate::registry::SnapshotRegistry`].
+//!
+//! Because readers never take a lock, every snapshot carries a
+//! [`checksum`](TelemetrySnapshot::checksum) sealed at publish time:
+//! [`TelemetrySnapshot::verify`] proves a read was not torn (see
+//! `tests/registry_props.rs` for the property test that hammers this).
+
+use serde::{Deserialize, Serialize};
+
+/// One module's telemetry at a snapshot instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSample {
+    /// Fleet-wide module index.
+    pub id: u64,
+    /// Average module (CPU + DRAM) power draw in watts.
+    pub power_w: f64,
+    /// Effective frequency in GHz (clock × duty under modulation).
+    pub freq_ghz: f64,
+    /// Programmed RAPL cap in watts, if any.
+    pub cap_w: Option<f64>,
+    /// Run fraction in `[0, 1]` (1.0 except under clock modulation).
+    pub duty: f64,
+    /// Whether RAPL's dynamic control is actively limiting the module.
+    pub throttled: bool,
+}
+
+/// One epoch-stamped view of the whole simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TelemetrySnapshot {
+    /// Publish sequence number, assigned by the registry (1, 2, 3, …;
+    /// 0 is the registry's empty initial snapshot).
+    pub epoch: u64,
+    /// Simulated time of the snapshot (seconds).
+    pub sim_time_s: f64,
+    /// Fleet-level power draw (W).
+    pub total_power_w: f64,
+    /// Cluster-level power cap in effect (W); 0 when uncapped.
+    pub cap_w: f64,
+    /// Jobs currently running (0 outside a scheduling campaign).
+    pub running_jobs: u64,
+    /// Jobs currently queued (0 outside a scheduling campaign).
+    pub queued_jobs: u64,
+    /// Per-module samples, in module-id order.
+    pub modules: Vec<ModuleSample>,
+    /// FNV-1a fingerprint over every other field, written by
+    /// [`TelemetrySnapshot::seal`]. A reader that observes
+    /// `verify() == true` holds an untorn snapshot.
+    pub checksum: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl TelemetrySnapshot {
+    /// The checksum of the current contents (excluding the stored
+    /// `checksum` field itself). Floats hash by bit pattern, so the
+    /// fingerprint is exact, not tolerance-based.
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv(&mut h, &self.epoch.to_le_bytes());
+        fnv(&mut h, &self.sim_time_s.to_bits().to_le_bytes());
+        fnv(&mut h, &self.total_power_w.to_bits().to_le_bytes());
+        fnv(&mut h, &self.cap_w.to_bits().to_le_bytes());
+        fnv(&mut h, &self.running_jobs.to_le_bytes());
+        fnv(&mut h, &self.queued_jobs.to_le_bytes());
+        fnv(&mut h, &(self.modules.len() as u64).to_le_bytes());
+        for m in &self.modules {
+            fnv(&mut h, &m.id.to_le_bytes());
+            fnv(&mut h, &m.power_w.to_bits().to_le_bytes());
+            fnv(&mut h, &m.freq_ghz.to_bits().to_le_bytes());
+            match m.cap_w {
+                Some(c) => fnv(&mut h, &c.to_bits().to_le_bytes()),
+                None => fnv(&mut h, &[0xFF]),
+            }
+            fnv(&mut h, &m.duty.to_bits().to_le_bytes());
+            fnv(&mut h, &[u8::from(m.throttled)]);
+        }
+        h
+    }
+
+    /// Stamp `epoch` and write the checksum; done by the registry at
+    /// publish time.
+    pub fn seal(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self.checksum = self.compute_checksum();
+        self
+    }
+
+    /// Whether the stored checksum matches the contents — i.e. the
+    /// snapshot is internally consistent (not torn, not tampered).
+    pub fn verify(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+
+    /// One line of newline-delimited JSON (the streaming exporter's wire
+    /// format). Hand-rolled rather than routed through `serde_json` so
+    /// the serving plane's hot path allocates exactly one string and the
+    /// wire format is visibly stable; the serde derives remain for
+    /// consumers that want to parse the stream back (the roundtrip test
+    /// below proves both agree).
+    pub fn to_json_line(&self) -> String {
+        // ~96 bytes per module sample plus a fixed-size header.
+        let mut out = String::with_capacity(128 + 96 * self.modules.len());
+        out.push_str("{\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"sim_time_s\":");
+        push_f64(&mut out, self.sim_time_s);
+        out.push_str(",\"total_power_w\":");
+        push_f64(&mut out, self.total_power_w);
+        out.push_str(",\"cap_w\":");
+        push_f64(&mut out, self.cap_w);
+        out.push_str(",\"running_jobs\":");
+        out.push_str(&self.running_jobs.to_string());
+        out.push_str(",\"queued_jobs\":");
+        out.push_str(&self.queued_jobs.to_string());
+        out.push_str(",\"modules\":[");
+        for (i, m) in self.modules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            out.push_str(&m.id.to_string());
+            out.push_str(",\"power_w\":");
+            push_f64(&mut out, m.power_w);
+            out.push_str(",\"freq_ghz\":");
+            push_f64(&mut out, m.freq_ghz);
+            out.push_str(",\"cap_w\":");
+            match m.cap_w {
+                Some(c) => push_f64(&mut out, c),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"duty\":");
+            push_f64(&mut out, m.duty);
+            out.push_str(",\"throttled\":");
+            out.push_str(if m.throttled { "true" } else { "false" });
+            out.push('}');
+        }
+        out.push_str("],\"checksum\":");
+        out.push_str(&self.checksum.to_string());
+        out.push('}');
+        out
+    }
+}
+
+/// Append `v` as a JSON number. Rust's `Display` for finite `f64` is the
+/// shortest representation that roundtrips, which is valid JSON (`12.5`,
+/// `640`, `1e300`). Non-finite values have no JSON number form, so they
+/// are mapped to `null` — telemetry fields are physical quantities and
+/// never legitimately NaN/infinite.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            epoch: 0,
+            sim_time_s: 12.5,
+            total_power_w: 640.0,
+            cap_w: 768.0,
+            running_jobs: 3,
+            queued_jobs: 1,
+            modules: vec![
+                ModuleSample {
+                    id: 0,
+                    power_w: 80.0,
+                    freq_ghz: 2.4,
+                    cap_w: Some(90.0),
+                    duty: 1.0,
+                    throttled: true,
+                },
+                ModuleSample {
+                    id: 1,
+                    power_w: 20.0,
+                    freq_ghz: 2.7,
+                    cap_w: None,
+                    duty: 1.0,
+                    throttled: false,
+                },
+            ],
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn seal_then_verify_roundtrips() {
+        let s = sample().seal(7);
+        assert_eq!(s.epoch, 7);
+        assert!(s.verify());
+    }
+
+    #[test]
+    fn any_field_change_breaks_verification() {
+        let sealed = sample().seal(7);
+        let mut torn = sealed.clone();
+        torn.total_power_w += 1.0;
+        assert!(!torn.verify());
+        let mut torn = sealed.clone();
+        torn.modules[1].duty = 0.5;
+        assert!(!torn.verify());
+        let mut torn = sealed.clone();
+        torn.modules[0].cap_w = None;
+        assert!(!torn.verify());
+        let mut torn = sealed;
+        torn.epoch += 1;
+        assert!(!torn.verify());
+    }
+
+    #[test]
+    fn json_line_shape_is_stable() {
+        let s = sample().seal(3);
+        let line = s.to_json_line();
+        let expected = format!(
+            "{{\"epoch\":3,\"sim_time_s\":12.5,\"total_power_w\":640,\"cap_w\":768,\
+             \"running_jobs\":3,\"queued_jobs\":1,\"modules\":[\
+             {{\"id\":0,\"power_w\":80,\"freq_ghz\":2.4,\"cap_w\":90,\"duty\":1,\"throttled\":true}},\
+             {{\"id\":1,\"power_w\":20,\"freq_ghz\":2.7,\"cap_w\":null,\"duty\":1,\"throttled\":false}}\
+             ],\"checksum\":{}}}",
+            s.checksum
+        );
+        assert_eq!(line, expected);
+        // non-finite floats cannot appear in a JSON number position
+        let mut weird = sample();
+        weird.total_power_w = f64::NAN;
+        weird.sim_time_s = f64::INFINITY;
+        let line = weird.seal(1).to_json_line();
+        assert!(line.contains("\"total_power_w\":null"));
+        assert!(line.contains("\"sim_time_s\":null"));
+        assert!(!line.contains("NaN") && !line.contains("inf"));
+    }
+
+    #[test]
+    fn json_line_roundtrips() {
+        let s = sample().seal(3);
+        let line = s.to_json_line();
+        assert!(!line.contains('\n'));
+        let back: TelemetrySnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, s);
+        assert!(back.verify());
+    }
+
+    #[test]
+    fn default_snapshot_is_sealable() {
+        let s = TelemetrySnapshot::default().seal(0);
+        assert!(s.verify());
+        assert!(s.modules.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the lock-free snapshot registry: under arbitrary
+//! interleavings of publishes and concurrent reads, every observed
+//! snapshot is fully consistent — its sealed checksum verifies, its
+//! epoch is one the writer actually published, and epochs never run
+//! backwards from any single reader's point of view.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use vap_obs::{ModuleSample, SnapshotRegistry, TelemetrySnapshot};
+
+fn module_sample(id: u64, seed: u64) -> ModuleSample {
+    // cheap deterministic value spread so consecutive snapshots differ
+    // in every field the checksum covers
+    let x = (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) as f64;
+    ModuleSample {
+        id,
+        power_w: 60.0 + (x % 55.0),
+        freq_ghz: 1.2 + (x % 1.5),
+        cap_w: if seed % 3 == 0 { None } else { Some(50.0 + (x % 65.0)) },
+        duty: ((seed % 16) as f64 + 1.0) / 16.0,
+        throttled: seed % 2 == 0,
+    }
+}
+
+fn snapshot(seed: u64, modules: usize) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        sim_time_s: seed as f64 * 0.25,
+        total_power_w: 90.0 * modules as f64,
+        cap_w: 80.0 * modules as f64,
+        running_jobs: seed % 7,
+        queued_jobs: seed % 5,
+        modules: (0..modules as u64)
+            .map(|id| module_sample(id, seed.wrapping_add(id)))
+            .collect(),
+        ..TelemetrySnapshot::default()
+    }
+}
+
+proptest! {
+    // Thread spawn/join per case is the dominant cost; a few dozen cases
+    // with hundreds of publishes each gives plenty of interleavings.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// No reader ever observes a torn snapshot, an epoch the writer
+    /// never published, or a backwards-running epoch sequence.
+    #[test]
+    fn concurrent_reads_never_tear(
+        publishes in 1usize..400,
+        readers in 1usize..5,
+        modules in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let published = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let stop = Arc::clone(&stop);
+                let published = Arc::clone(&published);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut seen = 0u64;
+                    loop {
+                        let before = registry.epoch();
+                        let snap = registry.read();
+                        let after = registry.epoch();
+                        assert!(snap.verify(), "torn snapshot at epoch {}", snap.epoch);
+                        // seqlock check: a stable epoch window pins the
+                        // snapshot to exactly that publish
+                        if before == after {
+                            assert_eq!(snap.epoch, before, "stale pointer inside stable epoch window");
+                        }
+                        assert!(
+                            snap.epoch <= published.load(Ordering::SeqCst),
+                            "epoch {} never published", snap.epoch
+                        );
+                        assert!(snap.epoch >= last, "epoch ran backwards");
+                        last = snap.epoch;
+                        seen += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            return seen;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..publishes {
+            let epoch = registry.publish(snapshot(seed.wrapping_add(i as u64), modules));
+            published.store(epoch, Ordering::SeqCst);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let seen = h.join().expect("reader panicked");
+            prop_assert!(seen >= 1);
+        }
+        prop_assert_eq!(registry.epoch(), publishes as u64);
+
+        // after the barrier (all readers joined) one quiescent publish
+        // reclaims the whole retired backlog
+        registry.publish(snapshot(seed, modules));
+        prop_assert!(registry.retired_len() <= 1);
+    }
+
+    /// Serialized publish/read (no concurrency) round-trips every field
+    /// exactly — the registry adds the epoch and checksum, nothing else.
+    #[test]
+    fn publish_then_read_roundtrips_exactly(
+        seed in any::<u64>(),
+        modules in 0usize..17,
+    ) {
+        let registry = SnapshotRegistry::new();
+        let original = snapshot(seed, modules);
+        let epoch = registry.publish(original.clone());
+        let back = registry.read();
+        prop_assert_eq!(back.epoch, epoch);
+        prop_assert!(back.verify());
+        prop_assert_eq!(&back.modules, &original.modules);
+        prop_assert_eq!(back.sim_time_s.to_bits(), original.sim_time_s.to_bits());
+        prop_assert_eq!(back.total_power_w.to_bits(), original.total_power_w.to_bits());
+        prop_assert_eq!(back.running_jobs, original.running_jobs);
+        prop_assert_eq!(back.queued_jobs, original.queued_jobs);
+    }
+}

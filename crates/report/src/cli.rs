@@ -35,8 +35,28 @@ fn report_error(err: &(dyn Error + 'static)) {
 /// Parse the standard options, run `body`, export observability
 /// artifacts, and exit with a class-distinct code. Never returns.
 pub fn run_main(body: impl FnOnce(&RunOptions) -> Result<(), MainError>) -> ! {
-    let opts = match RunOptions::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
+    run_main_with(
+        |extras| match extras.first() {
+            Some(flag) => Err(format!("unknown flag {flag} (try --help)")),
+            None => Ok(()),
+        },
+        |opts, ()| body(opts),
+    )
+}
+
+/// [`run_main`] for binaries with flags beyond the shared set: tokens
+/// `RunOptions` does not recognize are handed to `parse_extras`, whose
+/// result is passed to `body` alongside the standard options. Session
+/// install, artifact export and exit-code discipline are identical to
+/// [`run_main`]. Never returns.
+pub fn run_main_with<X>(
+    parse_extras: impl FnOnce(Vec<String>) -> Result<X, String>,
+    body: impl FnOnce(&RunOptions, X) -> Result<(), MainError>,
+) -> ! {
+    let (opts, extra) = match RunOptions::parse_partial(std::env::args().skip(1))
+        .and_then(|(opts, extras)| Ok((opts, parse_extras(extras)?)))
+    {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(EXIT_USAGE);
@@ -44,7 +64,7 @@ pub fn run_main(body: impl FnOnce(&RunOptions) -> Result<(), MainError>) -> ! {
     };
 
     let session = (opts.metrics || opts.trace_out.is_some()).then(vap_obs::Session::install);
-    let outcome = body(&opts);
+    let outcome = body(&opts, extra);
     let export = session.map(vap_obs::Session::finish).map(|report| -> Result<(), MainError> {
         if let Some(dir) = &opts.trace_out {
             let written = report.write_to(dir).map_err(|e| -> MainError {

@@ -45,7 +45,22 @@ impl RunOptions {
     /// (no external CLI dependency needed for three flags). Unknown flags
     /// abort with a usage message.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let (opts, extras) = Self::parse_partial(args)?;
+        if let Some(flag) = extras.first() {
+            return Err(format!("unknown flag {flag} (try --help)"));
+        }
+        Ok(opts)
+    }
+
+    /// Like [`parse`](Self::parse), but tokens this parser does not
+    /// recognize are collected (in order) instead of rejected, so a
+    /// binary with extra flags — `vap-daemon` and its ports, modes and
+    /// pacing — can layer its own parser on top of the shared one.
+    pub fn parse_partial(
+        args: impl Iterator<Item = String>,
+    ) -> Result<(Self, Vec<String>), String> {
         let mut opts = RunOptions::default();
+        let mut extras = Vec::new();
         let mut it = args.peekable();
         while let Some(flag) = it.next() {
             let mut take = |name: &str| -> Result<String, String> {
@@ -89,10 +104,10 @@ impl RunOptions {
                             .into(),
                     );
                 }
-                other => return Err(format!("unknown flag {other} (try --help)")),
+                _ => extras.push(flag),
             }
         }
-        Ok(opts)
+        Ok((opts, extras))
     }
 
     /// Fleet size to use given the experiment's paper-scale default.
@@ -172,6 +187,20 @@ mod tests {
     #[test]
     fn csv_writing_is_silent_without_the_flag() {
         RunOptions::default().maybe_write_csv("x.csv", "a,b\n");
+    }
+
+    #[test]
+    fn partial_parse_collects_unknown_tokens_in_order() {
+        let (o, extras) = RunOptions::parse_partial(
+            ["--mode", "sweep", "--seed", "7", "--prom-port", "9500"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(o.seed, 7);
+        assert_eq!(extras, vec!["--mode", "sweep", "--prom-port", "9500"]);
+        // shared-flag errors still abort even in partial mode
+        assert!(RunOptions::parse_partial(["--seed".to_string()].into_iter()).is_err());
     }
 
     #[test]

@@ -167,7 +167,22 @@ impl SchedRuntime {
     }
 
     /// Replay `trace` to completion and report.
-    pub fn run(mut self, trace: &Trace) -> SchedReport {
+    pub fn run(self, trace: &Trace) -> SchedReport {
+        self.run_with(trace, |_| std::ops::ControlFlow::Continue(()))
+    }
+
+    /// Replay `trace`, calling `tick` with the post-event runtime state
+    /// after every processed event. `tick` observing the runtime must not
+    /// influence the replay — it gets `&SchedRuntime`, so the journal
+    /// stays a pure function of `(cluster seed, trace, config)` whether
+    /// or not anyone is watching. Returning `ControlFlow::Break` stops
+    /// the replay early (the daemon's shutdown path); the report then
+    /// covers the events processed so far.
+    pub fn run_with(
+        mut self,
+        trace: &Trace,
+        mut tick: impl FnMut(&SchedRuntime) -> std::ops::ControlFlow<()>,
+    ) -> SchedReport {
         self.jobs = trace
             .jobs
             .iter()
@@ -212,6 +227,9 @@ impl SchedRuntime {
                 }
             }
             self.sample();
+            if tick(&self).is_break() {
+                break;
+            }
         }
 
         let fleet = self.cluster.len();
@@ -436,6 +454,13 @@ impl SchedRuntime {
             AllocationPolicy::Strided { stride } => {
                 let stride = stride.max(1);
                 let total = self.free.len();
+                // An empty free list must yield an empty allocation like
+                // the other policies — entering the walk below with
+                // `total == 0` would index `seen[0]` and divide by zero
+                // in `% total`.
+                if total == 0 {
+                    return Vec::new();
+                }
                 let mut picked = Vec::with_capacity(n);
                 let mut seen = vec![false; total];
                 let mut i = 0usize;
@@ -573,6 +598,40 @@ impl SchedRuntime {
         }
     }
 
+    /// Current simulated time (seconds since replay start).
+    pub fn now_s(&self) -> f64 {
+        self.now
+    }
+
+    /// The cluster-level power cap currently in effect.
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+
+    /// Jobs currently running.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Jobs currently queued.
+    pub fn queued_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The runtime's live telemetry as an unsealed snapshot (the daemon's
+    /// sensor view; the registry stamps epoch + checksum at publish).
+    pub fn telemetry(&self) -> vap_obs::TelemetrySnapshot {
+        vap_obs::TelemetrySnapshot {
+            sim_time_s: self.now,
+            total_power_w: self.cluster.total_power().value(),
+            cap_w: self.cap.value(),
+            running_jobs: self.running.len() as u64,
+            queued_jobs: self.pending.len() as u64,
+            modules: self.cluster.telemetry(),
+            ..vap_obs::TelemetrySnapshot::default()
+        }
+    }
+
     /// Record the power/queue snapshot after an event.
     fn sample(&mut self) {
         let allocated: Watts = self.running.iter().map(|&id| self.jobs[id].budget).sum();
@@ -583,5 +642,77 @@ impl SchedRuntime {
             running: self.running.len(),
             queued: self.pending.len(),
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_model::systems::SystemSpec;
+
+    const SEED: u64 = 2015;
+
+    fn runtime(n: usize, allocation: AllocationPolicy) -> SchedRuntime {
+        let mut cluster = Cluster::with_size(SystemSpec::ha8k(), n, SEED);
+        let stream = catalog::get(WorkloadId::Stream);
+        let pvt = PowerVariationTable::generate(&mut cluster, &stream, SEED);
+        let config = SchedConfig {
+            allocation,
+            realloc: ReallocPolicy::Frozen,
+            queue: QueueDiscipline::Fifo,
+            cap: Watts(95.0 * n as f64),
+        };
+        SchedRuntime::new(cluster, pvt, SEED, config)
+    }
+
+    const POLICIES: [AllocationPolicy; 4] = [
+        AllocationPolicy::Contiguous,
+        AllocationPolicy::Strided { stride: 3 },
+        AllocationPolicy::Random,
+        AllocationPolicy::LowestPowerFirst,
+    ];
+
+    #[test]
+    fn oversized_requests_short_allocate_under_every_policy() {
+        let spec = catalog::get(WorkloadId::Stream);
+        for allocation in POLICIES {
+            let rt = runtime(6, allocation);
+            let picked = rt.pick_modules(64, &spec, 0);
+            assert_eq!(picked.len(), 6, "{allocation:?}: short allocation expected");
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6, "{allocation:?}: duplicate module ids");
+            assert!(sorted.iter().all(|m| rt.free.contains(m)), "{allocation:?}: picked a busy module");
+        }
+    }
+
+    #[test]
+    fn empty_free_list_yields_empty_allocation_under_every_policy() {
+        // Regression guard: the strided walk used to be one `n > 0` away
+        // from `seen[0]` / `% 0` panics on an empty free list.
+        let spec = catalog::get(WorkloadId::Stream);
+        for allocation in POLICIES {
+            let mut rt = runtime(4, allocation);
+            rt.free.clear();
+            for n in [0, 1, 7] {
+                assert!(
+                    rt.pick_modules(n, &spec, 0).is_empty(),
+                    "{allocation:?}: n={n} on empty free list"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_allocation_spreads_and_covers() {
+        let spec = catalog::get(WorkloadId::Stream);
+        let rt = runtime(8, AllocationPolicy::Strided { stride: 3 });
+        // a partial request strides across the free list...
+        assert_eq!(rt.pick_modules(3, &spec, 0), vec![0, 3, 6]);
+        // ...and a full-width request still covers every module exactly once
+        let mut all = rt.pick_modules(8, &spec, 0);
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
     }
 }

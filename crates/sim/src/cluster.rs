@@ -210,6 +210,12 @@ impl Cluster {
         self.modules.iter().map(|m| m.module_power()).sum()
     }
 
+    /// Per-module telemetry in module-id order — the sensor view the
+    /// live service plane (`vap-daemon`) publishes each tick.
+    pub fn telemetry(&self) -> Vec<vap_obs::ModuleSample> {
+        self.modules.iter().map(SimModule::telemetry).collect()
+    }
+
     /// Advance every module by `dt` (energy accounting).
     pub fn step_all(&mut self, dt: Seconds) {
         for m in &mut self.modules {

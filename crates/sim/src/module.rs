@@ -190,6 +190,25 @@ impl SimModule {
         self.cap
     }
 
+    /// Whether RAPL's dynamic control is actively limiting the module.
+    pub fn rapl_throttled(&self) -> bool {
+        self.rapl_throttled
+    }
+
+    /// The module's live telemetry sample (the daemon's sensor view):
+    /// current power draw, effective frequency, programmed cap, duty
+    /// cycle and throttle state.
+    pub fn telemetry(&self) -> vap_obs::ModuleSample {
+        vap_obs::ModuleSample {
+            id: self.id as u64,
+            power_w: self.module_power().value(),
+            freq_ghz: self.op.effective_frequency().value(),
+            cap_w: self.cap.map(|l| l.cap.value()),
+            duty: self.op.duty,
+            throttled: self.rapl_throttled,
+        }
+    }
+
     /// Recompute the operating point from governor + cap + activity.
     ///
     /// The governor proposes a clock; if a cap is installed, RAPL's steady

@@ -114,7 +114,12 @@ pub const DVFS_DITHER_EFFICIENCY: f64 = 0.95;
 /// overhead fraction.
 pub fn modulation_efficiency(duty: f64) -> f64 {
     const OVERHEAD: f64 = 0.10;
-    if duty >= 1.0 || duty <= 0.0 {
+    // A fully gated clock delivers nothing — it must not score as
+    // lossless. Only an unmodulated clock (duty >= 1) is overhead-free.
+    if duty <= 0.0 {
+        return 0.0;
+    }
+    if duty >= 1.0 {
         return 1.0;
     }
     1.0 / (1.0 + OVERHEAD * (1.0 / duty - 1.0))
@@ -357,6 +362,30 @@ mod tests {
             assert!(e >= last);
             last = e;
         }
+    }
+
+    #[test]
+    fn modulation_efficiency_zero_for_gated_clock() {
+        // Regression: a non-positive duty used to short-circuit to 1.0,
+        // modeling a fully gated clock as lossless.
+        assert_eq!(modulation_efficiency(0.0), 0.0);
+        assert_eq!(modulation_efficiency(-0.25), 0.0);
+        assert_eq!(modulation_efficiency(1.0), 1.0);
+        assert_eq!(modulation_efficiency(1.5), 1.0);
+        // strictly monotone over (0, 1]: more run time, more throughput
+        let mut last = 0.0;
+        let steps = 64;
+        for i in 1..=steps {
+            let duty = f64::from(i) / f64::from(steps);
+            let e = modulation_efficiency(duty);
+            assert!(
+                e > last,
+                "efficiency not strictly increasing at duty {duty}: {e} <= {last}"
+            );
+            assert!(e > 0.0 && e <= 1.0);
+            last = e;
+        }
+        assert_eq!(last, 1.0);
     }
 
     #[test]

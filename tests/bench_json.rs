@@ -1,0 +1,60 @@
+//! Guard the committed bench records against placeholder rot.
+//!
+//! `BENCH_campaign.json` once carried prose ("measure on a >=4-core
+//! host") where the `threads_4` medians belonged, which let the scaling
+//! story go unmeasured for several PRs. These tests fail the build if
+//! any recorded median or speedup field is not a finite number, and hold
+//! the daemon soak record (`BENCH_daemon.json`) to non-trivial, error-free
+//! throughput. Field extraction is a deliberate string scan, not a JSON
+//! parser: the files are committed artifacts with a fixed shape, and the
+//! scan keeps this test dependency-free.
+
+fn read(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extract `"key": <number>` from `doc` starting at `from`, failing the
+/// test with a pointed message if the value is not a finite number.
+fn numeric_field(doc: &str, from: usize, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let section = &doc[from..];
+    let at = section
+        .find(&needle)
+        .unwrap_or_else(|| panic!("field \"{key}\" missing after offset {from}"));
+    let rest = section[at + needle.len()..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    let raw = rest[..end].trim();
+    let value: f64 = raw.parse().unwrap_or_else(|_| {
+        panic!("field \"{key}\" holds {raw:?} — a placeholder string, not a measured number")
+    });
+    assert!(value.is_finite(), "field \"{key}\" is not finite: {value}");
+    value
+}
+
+#[test]
+fn campaign_medians_and_speedups_are_measured_numbers() {
+    let doc = read("BENCH_campaign.json");
+    for case in ["campaign_fig7_48", "campaign_table4_96"] {
+        let from = doc
+            .find(&format!("\"{case}\""))
+            .unwrap_or_else(|| panic!("case {case} missing from BENCH_campaign.json"));
+        for key in ["threads_1_median_s", "threads_2_median_s", "threads_4_median_s"] {
+            let median = numeric_field(&doc, from, key);
+            assert!(median > 0.0, "{case}/{key} must be a positive duration, got {median}");
+        }
+        let speedup = numeric_field(&doc, from, "speedup_threads_4");
+        assert!(speedup > 0.0, "{case}/speedup_threads_4 must be positive, got {speedup}");
+    }
+}
+
+#[test]
+fn daemon_soak_recorded_nontrivial_errorfree_throughput() {
+    let doc = read("BENCH_daemon.json");
+    let results = doc.find("\"results\"").expect("results section in BENCH_daemon.json");
+    assert!(numeric_field(&doc, results, "wall_s") > 1.0, "soak must run for wall-clock seconds");
+    assert!(numeric_field(&doc, results, "prom_scrapes") > 0.0);
+    assert!(numeric_field(&doc, results, "prom_scrapes_per_s") > 0.0);
+    assert!(numeric_field(&doc, results, "json_lines") > 0.0);
+    assert_eq!(numeric_field(&doc, results, "errors"), 0.0, "soak recorded protocol errors");
+}
