@@ -1,0 +1,52 @@
+//! Fleet-scale benchmarks for the struct-of-arrays layout.
+//!
+//! Measures `FleetState` construction and the fleet-native PVT sweep at
+//! 10k / 100k / 1M modules. The SoA columns turn both into flat batch
+//! loops, so the expectation — enforced by `tests/bench_json.rs` against
+//! the committed `BENCH_fleet.json` record — is near-linear scaling:
+//! 10x the modules costs about 10x the time, not 100x. The committed
+//! numbers themselves come from the `fleet_timing` binary (plain
+//! `Instant` medians), which runs anywhere `cargo run --release` does;
+//! this bench exists for interactive before/after comparisons during
+//! optimization work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vap_core::pvt::PowerVariationTable;
+use vap_model::systems::SystemSpec;
+use vap_sim::fleet::FleetState;
+use vap_workloads::{catalog, spec::WorkloadId};
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+fn bench_construct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_construct");
+    g.sample_size(10);
+    for n in SIZES {
+        g.bench_function(format!("modules_{n}"), |b| {
+            b.iter(|| black_box(FleetState::new(SystemSpec::ha8k(), n, 2015)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pvt_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_pvt_sweep");
+    g.sample_size(10);
+    let micro = catalog::get(WorkloadId::Stream);
+    let threads = vap_exec::available_parallelism();
+    for n in SIZES {
+        g.bench_function(format!("modules_{n}"), |b| {
+            let mut fleet = FleetState::new(SystemSpec::ha8k(), n, 2015);
+            b.iter(|| {
+                black_box(PowerVariationTable::generate_from_fleet(
+                    &mut fleet, &micro, 2015, threads,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(fleet, bench_construct, bench_pvt_sweep);
+criterion_main!(fleet);

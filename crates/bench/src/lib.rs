@@ -1,1 +1,100 @@
-//! Shared configuration for the vap benchmark suite (see benches/).
+//! Shared configuration for the vap benchmark suite (see benches/), plus
+//! the counting allocator behind the zero-realloc capacity regression
+//! test (`tests/alloc_regression.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Allocation counts observed between [`CountingAllocator::start`] and
+/// [`CountingAllocator::stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocCounts {
+    /// Fresh allocations (`alloc` + `alloc_zeroed`).
+    pub allocs: u64,
+    /// Grow/shrink-in-place-or-move calls — the thing a correctly
+    /// preallocated construction path must never trigger.
+    pub reallocs: u64,
+    /// Frees.
+    pub deallocs: u64,
+}
+
+/// A `System`-backed global allocator that counts calls while a window is
+/// open.
+///
+/// Install it with `#[global_allocator]` in a `harness = false` test
+/// binary, bracket the code under scrutiny with `start()`/`stop()`, and
+/// assert on the returned [`AllocCounts`]. Counting uses relaxed atomics:
+/// the regression tests are single-threaded and only ever compare against
+/// zero, so no ordering subtleties apply.
+pub struct CountingAllocator {
+    enabled: AtomicBool,
+    allocs: AtomicU64,
+    reallocs: AtomicU64,
+    deallocs: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh allocator with counting disabled.
+    pub const fn new() -> Self {
+        CountingAllocator {
+            enabled: AtomicBool::new(false),
+            allocs: AtomicU64::new(0),
+            reallocs: AtomicU64::new(0),
+            deallocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Zero the counters and open a counting window.
+    pub fn start(&self) {
+        self.allocs.store(0, Ordering::Relaxed);
+        self.reallocs.store(0, Ordering::Relaxed);
+        self.deallocs.store(0, Ordering::Relaxed);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Close the counting window and return what it saw.
+    pub fn stop(&self) -> AllocCounts {
+        self.enabled.store(false, Ordering::Relaxed);
+        AllocCounts {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            reallocs: self.reallocs.load(Ordering::Relaxed),
+            deallocs: self.deallocs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, counter: &AtomicU64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: pure pass-through to `System`; the only added behavior is
+// relaxed counter bumps, which allocate nothing and cannot reenter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.count(&self.allocs);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.count(&self.allocs);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.count(&self.deallocs);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.count(&self.reallocs);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -23,6 +23,11 @@
 //! * [`PartitionPolicy::ThroughputGreedy`] — spend each spare watt where
 //!   it buys the most system throughput (marginal-utility greedy over
 //!   jobs' α-per-watt and frequency sensitivity).
+//!
+//! Long-lived resource managers should hold a [`Budgeter`]: it keys jobs
+//! by id, caches each job's PMT extrema at admission, and re-partitions
+//! from the cached columns — bit-identical to [`partition`] without the
+//! per-event PMT rescans.
 
 use crate::alpha::{allocations, raw_alpha};
 use crate::error::BudgetError;
@@ -102,10 +107,34 @@ pub fn partition(
     jobs: &[JobRequest],
     policy: PartitionPolicy,
 ) -> Result<Vec<JobBudget>, BudgetError> {
+    let mins: Vec<Watts> = jobs.iter().map(|j| j.fleet_minimum()).collect();
+    let maxs: Vec<Watts> = jobs.iter().map(|j| j.fleet_maximum()).collect();
+    partition_with_extrema(system_budget, jobs, &mins, &maxs, policy)
+}
+
+/// [`partition`] with the per-job PMT extrema (`fleet_minimum` /
+/// `fleet_maximum`) supplied by the caller instead of recomputed.
+///
+/// This is the hot path behind [`Budgeter`]: the extrema are per-module
+/// reductions over each job's PMT, so a resource manager re-partitioning
+/// on every event would otherwise rescan every PMT every time. The result
+/// is bit-identical to [`partition`] — the extrema are pure functions of
+/// the PMTs, and every fold here visits the same values in the same order.
+///
+/// `mins`/`maxs` must be index-aligned with `jobs`.
+pub fn partition_with_extrema(
+    system_budget: Watts,
+    jobs: &[JobRequest],
+    mins: &[Watts],
+    maxs: &[Watts],
+    policy: PartitionPolicy,
+) -> Result<Vec<JobBudget>, BudgetError> {
+    assert_eq!(jobs.len(), mins.len(), "mins must be index-aligned with jobs");
+    assert_eq!(jobs.len(), maxs.len(), "maxs must be index-aligned with jobs");
     if jobs.is_empty() {
         return Err(BudgetError::NoModules);
     }
-    let floor: Watts = jobs.iter().map(|j| j.fleet_minimum()).sum();
+    let floor: Watts = mins.iter().copied().sum();
     if system_budget < floor {
         return Err(BudgetError::InfeasibleBudget { budget: system_budget, fleet_minimum: floor });
     }
@@ -119,23 +148,21 @@ pub fn partition(
         }
         PartitionPolicy::FairFloorPlusUniformAlpha => {
             // Common α across jobs: Σ_j (min_j + α·span_j) = budget.
-            let span: f64 = jobs.iter().map(|j| (j.fleet_maximum() - j.fleet_minimum()).value()).sum();
+            let span: f64 = mins.iter().zip(maxs).map(|(mn, mx)| (*mx - *mn).value()).sum();
             let alpha = if span <= 0.0 {
                 1.0
             } else {
                 ((system_budget - floor).value() / span).clamp(0.0, 1.0)
             };
-            jobs.iter()
-                .map(|j| j.fleet_minimum() + (j.fleet_maximum() - j.fleet_minimum()) * alpha)
-                .collect()
+            mins.iter().zip(maxs).map(|(mn, mx)| *mn + (*mx - *mn) * alpha).collect()
         }
-        PartitionPolicy::ThroughputGreedy => greedy_budgets(system_budget, jobs),
+        PartitionPolicy::ThroughputGreedy => greedy_budgets(system_budget, jobs, mins, maxs),
     };
 
     // A job's proportional share can fall below its own floor; clamp up and
     // renormalize the excess out of the slack-holders so the system budget
     // is respected.
-    let budgets = clamp_to_floors(&budgets, jobs, system_budget);
+    let budgets = clamp_to_floors(&budgets, mins, system_budget);
 
     budgets
         .into_iter()
@@ -163,10 +190,14 @@ pub fn partition(
 /// Greedy marginal-throughput allocation: start every job at its floor,
 /// then hand out the remaining watts in small quanta to whichever job's
 /// progress improves most per watt.
-fn greedy_budgets(system_budget: Watts, jobs: &[JobRequest]) -> Vec<Watts> {
-    let mut budgets: Vec<f64> = jobs.iter().map(|j| j.fleet_minimum().value()).collect();
-    let spans: Vec<f64> =
-        jobs.iter().map(|j| (j.fleet_maximum() - j.fleet_minimum()).value()).collect();
+fn greedy_budgets(
+    system_budget: Watts,
+    jobs: &[JobRequest],
+    mins: &[Watts],
+    maxs: &[Watts],
+) -> Vec<Watts> {
+    let mut budgets: Vec<f64> = mins.iter().map(|mn| mn.value()).collect();
+    let spans: Vec<f64> = mins.iter().zip(maxs).map(|(mn, mx)| (*mx - *mn).value()).collect();
     let mut spare = system_budget.value() - budgets.iter().sum::<f64>();
     // quantum: 1/500 of the spare pool, bounded below for termination
     let quantum = (spare / 500.0).max(1e-3);
@@ -177,11 +208,11 @@ fn greedy_budgets(system_budget: Watts, jobs: &[JobRequest]) -> Vec<Watts> {
             if spans[i] <= 0.0 {
                 continue;
             }
-            let a0 = ((budgets[i] - job.fleet_minimum().value()) / spans[i]).clamp(0.0, 1.0);
+            let a0 = ((budgets[i] - mins[i].value()) / spans[i]).clamp(0.0, 1.0);
             if a0 >= 1.0 {
                 continue; // already unconstrained
             }
-            let a1 = ((budgets[i] + step - job.fleet_minimum().value()) / spans[i]).clamp(0.0, 1.0);
+            let a1 = ((budgets[i] + step - mins[i].value()) / spans[i]).clamp(0.0, 1.0);
             let gain = (job.progress(Alpha::saturating(a1))
                 - job.progress(Alpha::saturating(a0)))
                 * job.module_ids.len() as f64;
@@ -200,9 +231,9 @@ fn greedy_budgets(system_budget: Watts, jobs: &[JobRequest]) -> Vec<Watts> {
     budgets.into_iter().map(Watts).collect()
 }
 
-fn clamp_to_floors(budgets: &[Watts], jobs: &[JobRequest], system_budget: Watts) -> Vec<Watts> {
+fn clamp_to_floors(budgets: &[Watts], mins: &[Watts], system_budget: Watts) -> Vec<Watts> {
     let mut out: Vec<f64> = budgets.iter().map(|b| b.value()).collect();
-    let floors: Vec<f64> = jobs.iter().map(|j| j.fleet_minimum().value()).collect();
+    let floors: Vec<f64> = mins.iter().map(|mn| mn.value()).collect();
     // raise the starved to their floors
     let mut deficit = 0.0;
     for (b, f) in out.iter_mut().zip(&floors) {
@@ -230,6 +261,105 @@ fn clamp_to_floors(budgets: &[Watts], jobs: &[JobRequest], system_budget: Watts)
         }
     }
     out.into_iter().map(Watts).collect()
+}
+
+/// An incremental, keyed front-end to [`partition`] for long-lived
+/// resource managers.
+///
+/// A scheduler that re-partitions the system budget on every event (job
+/// start, job completion, a power shock) would otherwise rebuild its job
+/// slice and rescan every job's PMT for the `fleet_minimum` /
+/// `fleet_maximum` extrema each time. The `Budgeter` keeps the admitted
+/// jobs in insertion order alongside their cached extrema, so each event
+/// touches only the admitted or removed entry, and
+/// [`Budgeter::partition`] is a delegation to [`partition_with_extrema`]
+/// over the cached columns — bit-identical to calling [`partition`] on
+/// the same jobs in the same order, because the extrema are pure
+/// functions of each PMT and every fold visits the same values in the
+/// same order.
+#[derive(Debug, Clone, Default)]
+pub struct Budgeter {
+    keys: Vec<u64>,
+    jobs: Vec<JobRequest>,
+    mins: Vec<Watts>,
+    maxs: Vec<Watts>,
+}
+
+impl Budgeter {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of admitted jobs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no jobs are admitted.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether `key` is currently admitted.
+    pub fn contains(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// The admitted keys, in insertion order (aligned with
+    /// [`Budgeter::partition`]'s result).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The admitted jobs, in insertion order.
+    pub fn jobs(&self) -> &[JobRequest] {
+        &self.jobs
+    }
+
+    /// Admit a job under `key`, caching its PMT extrema once.
+    ///
+    /// Re-admitting an existing key replaces the previous request (the
+    /// job moves to the back of the insertion order).
+    pub fn admit(&mut self, key: u64, request: JobRequest) {
+        self.remove(key);
+        self.mins.push(request.fleet_minimum());
+        self.maxs.push(request.fleet_maximum());
+        self.keys.push(key);
+        self.jobs.push(request);
+    }
+
+    /// Remove the job under `key`, preserving the order of the rest.
+    /// Returns whether the key was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.keys.iter().position(|k| *k == key) {
+            Some(i) => {
+                self.keys.remove(i);
+                self.jobs.remove(i);
+                self.mins.remove(i);
+                self.maxs.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Combined feasibility floor of the admitted jobs: the least system
+    /// budget under which [`Budgeter::partition`] succeeds.
+    pub fn floor_total(&self) -> Watts {
+        self.mins.iter().copied().sum()
+    }
+
+    /// Partition `system_budget` across the admitted jobs (insertion
+    /// order), using the cached extrema. Bit-identical to
+    /// [`partition`]`(system_budget, self.jobs(), policy)`.
+    pub fn partition(
+        &self,
+        system_budget: Watts,
+        policy: PartitionPolicy,
+    ) -> Result<Vec<JobBudget>, BudgetError> {
+        partition_with_extrema(system_budget, &self.jobs, &self.mins, &self.maxs, policy)
+    }
 }
 
 /// System throughput of a partition: module-weighted mean progress (each
@@ -361,6 +491,89 @@ mod tests {
                 assert!((p.progress - 1.0).abs() < 1e-9);
             }
         }
+    }
+
+    /// Field-by-field bitwise equality of two partitions (floats compared
+    /// via `to_bits`, so `-0.0 != 0.0` and NaNs would fail loudly).
+    fn assert_parts_bitwise_eq(a: &[JobBudget], b: &[JobBudget]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.budget.value().to_bits(), y.budget.value().to_bits());
+            assert_eq!(x.alpha.value().to_bits(), y.alpha.value().to_bits());
+            assert_eq!(x.progress.to_bits(), y.progress.to_bits());
+            assert_eq!(x.plan.scheme, y.plan.scheme);
+            assert_eq!(x.plan.control, y.plan.control);
+            assert_eq!(x.plan.budget.value().to_bits(), y.plan.budget.value().to_bits());
+            assert_eq!(x.plan.allocations.len(), y.plan.allocations.len());
+            for (am, bm) in x.plan.allocations.iter().zip(&y.plan.allocations) {
+                assert_eq!(am.module_id, bm.module_id);
+                assert_eq!(am.p_module.value().to_bits(), bm.p_module.value().to_bits());
+                assert_eq!(am.p_cpu.value().to_bits(), bm.p_cpu.value().to_bits());
+                assert_eq!(am.p_dram.value().to_bits(), bm.p_dram.value().to_bits());
+                assert_eq!(am.frequency.value().to_bits(), bm.frequency.value().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_budgeter_matches_batch_partition_bitwise() {
+        let (jobs, budget) = setup();
+        let mut ledger = Budgeter::new();
+        for (k, j) in jobs.iter().enumerate() {
+            ledger.admit(k as u64, j.clone());
+        }
+        assert_eq!(ledger.len(), jobs.len());
+        assert_eq!(ledger.keys(), &[0, 1]);
+        for policy in [
+            PartitionPolicy::ProportionalToModules,
+            PartitionPolicy::FairFloorPlusUniformAlpha,
+            PartitionPolicy::ThroughputGreedy,
+        ] {
+            let batch = partition(budget, &jobs, policy).unwrap();
+            let incremental = ledger.partition(budget, policy).unwrap();
+            assert_parts_bitwise_eq(&batch, &incremental);
+        }
+    }
+
+    #[test]
+    fn budgeter_floor_total_matches_summed_minimums() {
+        let (jobs, _) = setup();
+        let mut ledger = Budgeter::new();
+        assert_eq!(ledger.floor_total(), Watts(0.0));
+        for (k, j) in jobs.iter().enumerate() {
+            ledger.admit(k as u64, j.clone());
+        }
+        let expected: Watts = jobs.iter().map(|j| j.pmt.fleet_minimum()).sum();
+        assert_eq!(ledger.floor_total().value().to_bits(), expected.value().to_bits());
+    }
+
+    #[test]
+    fn budgeter_removal_preserves_order_and_replacement_moves_to_back() {
+        let (jobs, budget) = setup();
+        let mut ledger = Budgeter::new();
+        // admit A, B, A-clone: re-admitting key 0 moves it behind key 1
+        ledger.admit(0, jobs[0].clone());
+        ledger.admit(1, jobs[1].clone());
+        ledger.admit(0, jobs[0].clone());
+        assert_eq!(ledger.keys(), &[1, 0]);
+        assert_eq!(ledger.len(), 2);
+        let reordered = [jobs[1].clone(), jobs[0].clone()];
+        let batch = partition(budget, &reordered, PartitionPolicy::ThroughputGreedy).unwrap();
+        let incremental = ledger.partition(budget, PartitionPolicy::ThroughputGreedy).unwrap();
+        assert_parts_bitwise_eq(&batch, &incremental);
+        // removal
+        assert!(ledger.remove(1));
+        assert!(!ledger.remove(1));
+        assert!(!ledger.contains(1));
+        assert_eq!(ledger.keys(), &[0]);
+        let solo = partition(budget, &jobs[..1], PartitionPolicy::ThroughputGreedy).unwrap();
+        let incremental = ledger.partition(budget, PartitionPolicy::ThroughputGreedy).unwrap();
+        assert_parts_bitwise_eq(&solo, &incremental);
+        // draining the ledger brings back the empty-jobs error
+        assert!(ledger.remove(0));
+        assert!(ledger.is_empty());
+        assert!(ledger.partition(budget, PartitionPolicy::ThroughputGreedy).is_err());
     }
 
     #[test]

@@ -15,7 +15,45 @@ use crate::testrun::measure_module_snapshot;
 use serde::{Deserialize, Serialize};
 use vap_model::units::GigaHertz;
 use vap_sim::cluster::Cluster;
+use vap_sim::fleet::FleetState;
 use vap_workloads::spec::WorkloadSpec;
+
+/// Which fleet layout executes the per-module PVT sweep.
+///
+/// Both engines call the same scalar measurement kernels on the same
+/// values in the same order, so they produce bit-identical tables and
+/// byte-identical observability journals — `tests/fleet_equiv.rs` holds
+/// the differential proof. The struct-of-arrays engine is the production
+/// default: it avoids cloning a `SimModule` (MSR file included) per
+/// measurement, which is what makes 10⁵–10⁶-module sweeps tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PvtEngine {
+    /// Flat-column sweep over [`FleetState`] (the default).
+    #[default]
+    Soa,
+    /// The original clone-per-module sweep over [`Cluster`] records, kept
+    /// as the differential-testing reference layout.
+    Reference,
+}
+
+impl PvtEngine {
+    /// Stable CLI/debug name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PvtEngine::Soa => "soa",
+            PvtEngine::Reference => "reference",
+        }
+    }
+
+    /// Parse a CLI name (`soa` / `reference`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "soa" => Some(PvtEngine::Soa),
+            "reference" => Some(PvtEngine::Reference),
+            _ => None,
+        }
+    }
+}
 
 /// Variation scales for one module: its power at each anchor divided by
 /// the fleet average at that anchor (Fig. 6's left table).
@@ -66,6 +104,30 @@ impl PowerVariationTable {
         seed: u64,
         threads: usize,
     ) -> Self {
+        Self::generate_with_engine(cluster, micro, seed, threads, PvtEngine::default())
+    }
+
+    /// [`PowerVariationTable::generate_with_threads`] on the reference
+    /// (clone-per-module) layout — the differential-testing baseline the
+    /// struct-of-arrays engine is checked against.
+    pub fn generate_reference_with_threads(
+        cluster: &mut Cluster,
+        micro: &WorkloadSpec,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        Self::generate_with_engine(cluster, micro, seed, threads, PvtEngine::Reference)
+    }
+
+    /// [`PowerVariationTable::generate_with_threads`] with an explicit
+    /// sweep engine (see [`PvtEngine`] for the equivalence contract).
+    pub fn generate_with_engine(
+        cluster: &mut Cluster,
+        micro: &WorkloadSpec,
+        seed: u64,
+        threads: usize,
+        engine: PvtEngine,
+    ) -> Self {
         let f_max = cluster.spec().pstates.f_max();
         let f_min = cluster.spec().pstates.f_min();
         let n = cluster.len();
@@ -74,15 +136,30 @@ impl PowerVariationTable {
         // Put the microbenchmark on the whole fleet.
         micro.apply_to(cluster, seed);
 
-        // Measure every module at both anchors. Each measurement steps a
-        // clone, so modules can be visited in any order by any thread.
-        let raw: Vec<(f64, f64, f64, f64)> =
-            vap_exec::par_map_modules(cluster, seed, threads, |m, _module_seed| {
-                vap_obs::incr("pvt.modules_swept");
-                let (cpu_max, dram_max) = measure_module_snapshot(m, f_max);
-                let (cpu_min, dram_min) = measure_module_snapshot(m, f_min);
-                (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())
-            });
+        let raw: Vec<(f64, f64, f64, f64)> = match engine {
+            // Measure every module at both anchors on a private snapshot
+            // clone, so modules can be visited in any order by any thread.
+            PvtEngine::Reference => {
+                vap_exec::par_map_modules(cluster, seed, threads, |m, _module_seed| {
+                    vap_obs::incr("pvt.modules_swept");
+                    let (cpu_max, dram_max) = measure_module_snapshot(m, f_max);
+                    let (cpu_min, dram_min) = measure_module_snapshot(m, f_min);
+                    (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())
+                })
+            }
+            // Same sweep over the columnar transpose: no snapshot clones,
+            // no per-module MSR files — `FleetState::measure_anchors`
+            // runs the identical meter protocol on two local counters.
+            PvtEngine::Soa => {
+                let fleet = FleetState::from_cluster(cluster);
+                vap_exec::par_map_fleet(n, seed, threads, |i, _module_seed| {
+                    vap_obs::incr("pvt.modules_swept");
+                    let (cpu_max, dram_max) = fleet.measure_anchors(i, f_max);
+                    let (cpu_min, dram_min) = fleet.measure_anchors(i, f_min);
+                    (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())
+                })
+            }
+        };
 
         // Restore the fleet to idle.
         for m in cluster.modules_mut() {
@@ -90,7 +167,55 @@ impl PowerVariationTable {
             m.set_activity(vap_model::power::PowerActivity::IDLE);
         }
 
-        let nf = n as f64;
+        Self::assemble(micro, f_max, f_min, raw)
+    }
+
+    /// Generate the PVT directly from a struct-of-arrays fleet — the
+    /// 10⁵–10⁶-module path, where materializing a [`Cluster`] (one
+    /// `SimModule` record per module) just to sweep it is the dominant
+    /// cost. The fleet is left idle afterwards, exactly as
+    /// [`PowerVariationTable::generate`] leaves a cluster.
+    pub fn generate_from_fleet(
+        fleet: &mut FleetState,
+        micro: &WorkloadSpec,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let f_max = fleet.pstates().f_max();
+        let f_min = fleet.pstates().f_min();
+        let n = fleet.len();
+        assert!(n > 0, "cannot generate a PVT for an empty fleet");
+
+        micro.apply_to_fleet(fleet, seed);
+
+        let raw: Vec<(f64, f64, f64, f64)> = {
+            let fleet = &*fleet;
+            vap_exec::par_map_fleet(n, seed, threads, |i, _module_seed| {
+                vap_obs::incr("pvt.modules_swept");
+                let (cpu_max, dram_max) = fleet.measure_anchors(i, f_max);
+                let (cpu_min, dram_min) = fleet.measure_anchors(i, f_min);
+                (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value())
+            })
+        };
+
+        for i in 0..n {
+            fleet.set_workload_variation(i, None);
+            fleet.set_activity(i, vap_model::power::PowerActivity::IDLE);
+        }
+
+        Self::assemble(micro, f_max, f_min, raw)
+    }
+
+    /// Fold raw per-module anchor powers into variation scales (each
+    /// module's power divided by the fleet average at that anchor) — the
+    /// engine-independent tail of every generation path.
+    fn assemble(
+        micro: &WorkloadSpec,
+        f_max: GigaHertz,
+        f_min: GigaHertz,
+        raw: Vec<(f64, f64, f64, f64)>,
+    ) -> Self {
+        let nf = raw.len() as f64;
         let avg = raw.iter().fold([0.0f64; 4], |mut acc, r| {
             acc[0] += r.0 / nf;
             acc[1] += r.1 / nf;
@@ -231,6 +356,43 @@ mod tests {
         let (_, a) = pvt_for(16, 42);
         let (_, b) = pvt_for(16, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn soa_and_reference_engines_agree_bitwise() {
+        let stream = catalog::get(WorkloadId::Stream);
+        for seed in [1u64, 42] {
+            let mut a = Cluster::with_size(SystemSpec::ha8k(), 32, seed);
+            let soa = PowerVariationTable::generate_with_threads(&mut a, &stream, seed, 2);
+            let mut b = Cluster::with_size(SystemSpec::ha8k(), 32, seed);
+            let reference =
+                PowerVariationTable::generate_reference_with_threads(&mut b, &stream, seed, 2);
+            assert_eq!(soa, reference, "seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn fleet_native_generation_matches_cluster_generation() {
+        let stream = catalog::get(WorkloadId::Stream);
+        let mut c = Cluster::with_size(SystemSpec::ha8k(), 24, 17);
+        let from_cluster = PowerVariationTable::generate(&mut c, &stream, 17);
+        let mut fleet = FleetState::new(SystemSpec::ha8k(), 24, 17);
+        let from_fleet = PowerVariationTable::generate_from_fleet(&mut fleet, &stream, 17, 1);
+        assert_eq!(from_cluster, from_fleet);
+        // both entry points leave their fleet idle
+        for i in 0..fleet.len() {
+            assert_eq!(fleet.activity(i), vap_model::power::PowerActivity::IDLE);
+            assert!(fleet.cap(i).is_none());
+        }
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [PvtEngine::Soa, PvtEngine::Reference] {
+            assert_eq!(PvtEngine::parse(e.name()), Some(e));
+        }
+        assert_eq!(PvtEngine::parse("alien"), None);
+        assert_eq!(PvtEngine::default(), PvtEngine::Soa);
     }
 
     #[test]

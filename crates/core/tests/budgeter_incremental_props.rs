@@ -1,0 +1,219 @@
+//! Property-based differential tests for the incremental [`Budgeter`]:
+//! after any stream of admit / finish / replace events, the cached-extrema
+//! ledger must agree **bit for bit** with a from-scratch [`partition`]
+//! over the same jobs in the same order, and its cached floor must equal
+//! the recomputed one.
+//!
+//! This is the lockdown for the incremental path: `partition` rescans
+//! every PMT on every call, the `Budgeter` never rescans after admission —
+//! any drift between the two (stale extrema after a removal, wrong
+//! insertion order after a replacement) shows up here as a bitwise
+//! mismatch long before it would show up as a subtly unfair schedule.
+
+use proptest::prelude::*;
+use vap_core::multijob::{partition, Budgeter, JobBudget, JobRequest, PartitionPolicy};
+use vap_core::pmt::PowerModelTable;
+use vap_model::units::{GigaHertz, Watts};
+use vap_workloads::spec::WorkloadId;
+
+const POLICIES: [PartitionPolicy; 3] = [
+    PartitionPolicy::ProportionalToModules,
+    PartitionPolicy::FairFloorPlusUniformAlpha,
+    PartitionPolicy::ThroughputGreedy,
+];
+
+/// One synthetic job: module count, CPU/DRAM anchors (W), and χ.
+#[derive(Debug, Clone)]
+struct JobShape {
+    modules: usize,
+    cpu_tdp: f64,
+    cpu_floor: f64,
+    dram_tdp: f64,
+    dram_floor: f64,
+    chi: f64,
+}
+
+fn job_shape() -> impl Strategy<Value = JobShape> {
+    (1usize..12, 80.0f64..140.0, 20.0f64..50.0, 20.0f64..70.0, 5.0f64..15.0, 0.0f64..1.0)
+        .prop_map(|(modules, cpu_tdp, cpu_floor, dram_tdp, dram_floor, chi)| JobShape {
+            modules,
+            cpu_tdp,
+            cpu_floor,
+            dram_tdp,
+            dram_floor,
+            chi,
+        })
+}
+
+/// One scheduler event against the ledger.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A job arrives and is admitted under a fresh key.
+    Admit(JobShape),
+    /// A running job (picked by index modulo the running count) finishes.
+    Finish(usize),
+    /// A running job is re-admitted with a new shape under its old key —
+    /// the scheduler's shrink/regrow path (replace semantics).
+    Readmit(usize, JobShape),
+    /// A system-budget shock: re-partition and compare the ledger against
+    /// the from-scratch baseline at this headroom.
+    Shock(f64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => job_shape().prop_map(Op::Admit),
+        2 => (0usize..64).prop_map(Op::Finish),
+        1 => ((0usize..64), job_shape()).prop_map(|(i, s)| Op::Readmit(i, s)),
+        2 => (0.0f64..1.2).prop_map(Op::Shock),
+    ]
+}
+
+/// Materialize a shape into a request. Module ids are keyed off the job
+/// key so concurrent jobs always occupy disjoint id ranges.
+fn request(key: u64, s: &JobShape) -> JobRequest {
+    let base = key as usize * 16;
+    let ids: Vec<usize> = (base..base + s.modules).collect();
+    JobRequest {
+        workload: WorkloadId::Dgemm,
+        pmt: PowerModelTable::naive(
+            &ids,
+            GigaHertz(2.7),
+            GigaHertz(1.2),
+            Watts(s.cpu_tdp),
+            Watts(s.dram_tdp),
+            Watts(s.cpu_floor),
+            Watts(s.dram_floor),
+        ),
+        module_ids: ids,
+        cpu_fraction: s.chi,
+    }
+}
+
+/// Field-by-field bitwise equality of two partitions. Panics on drift —
+/// proptest catches the panic and shrinks the offending event stream.
+fn assert_parts_bitwise_eq(a: &[JobBudget], b: &[JobBudget]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.budget.value().to_bits(), y.budget.value().to_bits());
+        assert_eq!(x.alpha.value().to_bits(), y.alpha.value().to_bits());
+        assert_eq!(x.progress.to_bits(), y.progress.to_bits());
+        assert_eq!(x.plan.allocations.len(), y.plan.allocations.len());
+        for (am, bm) in x.plan.allocations.iter().zip(&y.plan.allocations) {
+            assert_eq!(am.module_id, bm.module_id);
+            assert_eq!(am.p_module.value().to_bits(), bm.p_module.value().to_bits());
+            assert_eq!(am.p_cpu.value().to_bits(), bm.p_cpu.value().to_bits());
+            assert_eq!(am.p_dram.value().to_bits(), bm.p_dram.value().to_bits());
+            assert_eq!(am.frequency.value().to_bits(), bm.frequency.value().to_bits());
+        }
+    }
+}
+
+/// Partition both ways at `headroom` and compare bitwise under every
+/// policy. The mirror is the plain keyed job list the ledger claims to
+/// equal.
+fn check_against_mirror(ledger: &Budgeter, mirror: &[(u64, JobRequest)], headroom: f64) {
+    let jobs: Vec<JobRequest> = mirror.iter().map(|(_, j)| j.clone()).collect();
+    let keys: Vec<u64> = mirror.iter().map(|(k, _)| *k).collect();
+    assert_eq!(ledger.keys(), &keys[..]);
+    assert_eq!(ledger.len(), mirror.len());
+
+    let floor: Watts = jobs.iter().map(|j| j.pmt.fleet_minimum()).sum();
+    assert_eq!(ledger.floor_total().value().to_bits(), floor.value().to_bits());
+    if jobs.is_empty() {
+        assert!(ledger.partition(Watts(1e6), PartitionPolicy::ProportionalToModules).is_err());
+        return;
+    }
+
+    let ceiling: Watts = jobs.iter().map(|j| j.pmt.fleet_maximum()).sum();
+    let budget = floor + (ceiling - floor) * headroom;
+    for policy in POLICIES {
+        let batch = partition(budget, &jobs, policy);
+        let incremental = ledger.partition(budget, policy);
+        match (batch, incremental) {
+            (Ok(b), Ok(i)) => {
+                assert_parts_bitwise_eq(&b, &i);
+                let total: Watts = i.iter().map(|p| p.budget).sum();
+                assert!(total <= budget + Watts(1e-6));
+                for (p, j) in i.iter().zip(&jobs) {
+                    assert!(p.budget >= j.pmt.fleet_minimum() - Watts(1e-6));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (b, i) => panic!("{policy:?}: batch {b:?} vs incremental {i:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core differential property: whatever the event stream, the
+    /// incremental ledger and the from-scratch partition agree bitwise.
+    #[test]
+    fn incremental_budgeter_tracks_batch_partition_through_any_event_stream(
+        ops in proptest::collection::vec(op(), 1..24),
+        final_headroom in 0.0f64..1.2,
+    ) {
+        let mut ledger = Budgeter::new();
+        let mut mirror: Vec<(u64, JobRequest)> = Vec::new();
+        let mut next_key = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Admit(shape) => {
+                    let key = next_key;
+                    next_key += 1;
+                    let req = request(key, &shape);
+                    ledger.admit(key, req.clone());
+                    mirror.push((key, req));
+                }
+                Op::Finish(pick) => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let (key, _) = mirror.remove(pick % mirror.len());
+                    prop_assert!(ledger.remove(key));
+                    prop_assert!(!ledger.contains(key));
+                }
+                Op::Readmit(pick, shape) => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let i = pick % mirror.len();
+                    let (key, _) = mirror.remove(i);
+                    let req = request(key, &shape);
+                    // replace semantics: the job moves to the back
+                    ledger.admit(key, req.clone());
+                    mirror.push((key, req));
+                }
+                Op::Shock(headroom) => {
+                    check_against_mirror(&ledger, &mirror, headroom);
+                }
+            }
+            // the cached floor must track every event, not just shocks
+            let floor: Watts = mirror.iter().map(|(_, j)| j.pmt.fleet_minimum()).sum();
+            prop_assert_eq!(ledger.floor_total().value().to_bits(), floor.value().to_bits());
+        }
+        check_against_mirror(&ledger, &mirror, final_headroom);
+    }
+
+    /// Removing everything always drains cleanly back to the empty state.
+    #[test]
+    fn draining_the_ledger_restores_the_empty_state(
+        shapes in proptest::collection::vec(job_shape(), 1..8),
+    ) {
+        let mut ledger = Budgeter::new();
+        for (k, s) in shapes.iter().enumerate() {
+            ledger.admit(k as u64, request(k as u64, s));
+        }
+        prop_assert_eq!(ledger.len(), shapes.len());
+        for k in 0..shapes.len() {
+            prop_assert!(ledger.remove(k as u64));
+        }
+        prop_assert!(ledger.is_empty());
+        prop_assert_eq!(ledger.floor_total().value().to_bits(), 0f64.to_bits());
+        prop_assert!(ledger.partition(Watts(1e6), PartitionPolicy::ThroughputGreedy).is_err());
+    }
+}

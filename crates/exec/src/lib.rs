@@ -186,6 +186,26 @@ where
     par_map_kind(cluster.modules(), threads, "module", |i, m| f(m, module_seed(seed, i)))
 }
 
+/// [`par_map_modules`] for a struct-of-arrays fleet: fan a read-only
+/// closure over `n` module indices with per-module seeds, reducing in
+/// module-index order.
+///
+/// The closure receives `(module_index, module_seed)` and typically reads
+/// a captured `&FleetState` column set. The fan-out registers the same
+/// `"module"` grid of length `n` as [`par_map_modules`], so a journal
+/// recorded over the columnar path is byte-identical to one recorded over
+/// the array-of-structs path for the same sweep. The work items are
+/// zero-sized (`n` is the only input), so the fan-out itself allocates
+/// nothing per module beyond the result slots.
+pub fn par_map_fleet<T, F>(n: usize, seed: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let units = vec![(); n];
+    par_map_kind(&units, threads, "module", |i, ()| f(i, module_seed(seed, i)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +274,31 @@ mod tests {
         let parallel = par_map_modules(&cluster, 5, 4, measure);
         assert_eq!(serial, parallel);
         assert_eq!(serial.len(), 32);
+    }
+
+    #[test]
+    fn fleet_fanout_matches_module_fanout_results_and_journal() {
+        let cluster = Cluster::with_size(SystemSpec::ha8k(), 16, 3);
+        let sweep_modules = || {
+            let session = vap_obs::Session::install();
+            let out = par_map_modules(&cluster, 7, 3, |m, seed| {
+                vap_obs::incr("test.sweep");
+                (m.id, seed)
+            });
+            (out, session.finish().journal_jsonl)
+        };
+        let sweep_fleet = || {
+            let session = vap_obs::Session::install();
+            let out = par_map_fleet(cluster.len(), 7, 3, |i, seed| {
+                vap_obs::incr("test.sweep");
+                (i, seed)
+            });
+            (out, session.finish().journal_jsonl)
+        };
+        let (a, ja) = sweep_modules();
+        let (b, jb) = sweep_fleet();
+        assert_eq!(a, b, "same indices, same per-module seeds");
+        assert_eq!(ja, jb, "same grid kind, length and cells — byte-identical journal");
     }
 
     #[test]

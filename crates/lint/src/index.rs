@@ -20,7 +20,8 @@ pub const CANONICAL_UNITS: [&str; 4] = ["Watts", "GigaHertz", "Seconds", "Joules
 
 /// The `vap-exec` fan-out entry points whose closures run on worker
 /// threads.
-pub const PAR_ENTRY_POINTS: [&str; 3] = ["par_map", "par_grid", "par_map_modules"];
+pub const PAR_ENTRY_POINTS: [&str; 4] =
+    ["par_map", "par_grid", "par_map_modules", "par_map_fleet"];
 
 /// Crates that are always shared-state-scoped even without a vap-exec
 /// call site: their own threads share their module state.

@@ -149,6 +149,21 @@ mod tests {
     }
 
     #[test]
+    fn the_soa_fleet_module_is_in_scope() {
+        // the fleet-scale SoA columns live in vap-sim: a stray wall clock
+        // or hash-ordered column there would break the byte-identity that
+        // tests/fleet_equiv.rs proves against the reference layout
+        let f = SourceFile::from_source(
+            "crates/sim/src/fleet.rs",
+            "vap-sim",
+            "let order = HashMap::new();\nlet t0 = Instant::now();\n",
+        );
+        let mut out = Vec::new();
+        Determinism.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
         assert!(findings("vap-sim", src).is_empty());

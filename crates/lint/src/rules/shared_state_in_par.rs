@@ -2,7 +2,8 @@
 //! reductions reachable from `vap-exec` worker closures.
 //!
 //! The deterministic fan-out in `vap-exec` (`par_map`, `par_grid`,
-//! `par_map_modules`) guarantees bit-identical campaign replays only as
+//! `par_map_modules`, `par_map_fleet`) guarantees bit-identical campaign
+//! replays only as
 //! long as worker closures are pure over their per-item inputs. Two
 //! things break that silently:
 //!
@@ -230,6 +231,34 @@ mod tests {
         let hits = findings_with_deps("crates/sim/src/run.rs", "vap-sim", src, &[], &[]);
         assert_eq!(hits.len(), 1);
         assert!(hits[0].message.contains("fold"));
+    }
+
+    #[test]
+    fn float_sum_inside_par_map_fleet_fires() {
+        // the SoA fleet sweep fans out through par_map_fleet; a float
+        // reduction inside its closure would break the byte-identity the
+        // fleet_equiv suite proves against the reference layout
+        let src = "pub fn sweep(fleet: &mut FleetState) {\n    vap_exec::par_map_fleet(fleet, 8, |i, m| {\n        m.samples.iter().sum::<f64>()\n    });\n}\n";
+        let hits = findings_with_deps("crates/sim/src/fleet.rs", "vap-sim", src, &[], &[]);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("sum"));
+    }
+
+    #[test]
+    fn par_map_fleet_call_site_puts_crate_in_scope() {
+        let fleet_par: (&str, &str, &str) = (
+            "crates/sim/src/fleet.rs",
+            "vap-sim",
+            "pub fn sweep() {\n    vap_exec::par_map_fleet(fleet, 8, |i, m| f(m));\n}\n",
+        );
+        let hits = findings_with_deps(
+            "crates/sim/src/state.rs",
+            "vap-sim",
+            "static mut SCRATCH: u64 = 0;\n",
+            &[fleet_par],
+            &[],
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
     }
 
     #[test]

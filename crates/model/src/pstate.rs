@@ -44,7 +44,10 @@ impl PStateTable {
     pub fn evenly_spaced(min: GigaHertz, max: GigaHertz, step: GigaHertz) -> Self {
         let (min, max, step) = (min.value(), max.value(), step.value());
         assert!(min > 0.0 && max >= min && step > 0.0);
-        let mut freqs = Vec::new();
+        // The loop below pushes at most ceil((max-min)/step) grid points
+        // plus the closing max; reserving that bound up front keeps table
+        // construction realloc-free (tests/alloc_regression in vap-bench).
+        let mut freqs = Vec::with_capacity(((max - min) / step).ceil() as usize + 2);
         let mut i = 0usize;
         loop {
             // Round each grid point to 1 µHz so accumulated floating-point

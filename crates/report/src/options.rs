@@ -1,5 +1,7 @@
 //! Shared command-line options for the experiment binaries.
 
+use vap_core::pvt::PvtEngine;
+
 /// Options every experiment binary understands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
@@ -24,6 +26,10 @@ pub struct RunOptions {
     /// `trace_out` turns the recorder on; with both off, instrumentation is
     /// a single relaxed atomic load per site.
     pub metrics: bool,
+    /// PVT sweep engine (`--pvt-engine soa|reference`). Both produce
+    /// bit-identical tables; `reference` keeps the original per-module
+    /// clone path around as the differential baseline.
+    pub pvt_engine: PvtEngine,
 }
 
 impl Default for RunOptions {
@@ -36,6 +42,7 @@ impl Default for RunOptions {
             threads: None,
             trace_out: None,
             metrics: false,
+            pvt_engine: PvtEngine::default(),
         }
     }
 }
@@ -97,10 +104,15 @@ impl RunOptions {
                 "--metrics" => {
                     opts.metrics = true;
                 }
+                "--pvt-engine" => {
+                    let v = take("--pvt-engine")?;
+                    opts.pvt_engine = PvtEngine::parse(&v)
+                        .ok_or_else(|| format!("--pvt-engine: unknown engine {v} (soa|reference)"))?;
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--modules N] [--seed S] [--scale X] [--csv DIR] [--threads N] \
-                         [--trace-out DIR] [--metrics]"
+                         [--trace-out DIR] [--metrics] [--pvt-engine soa|reference]"
                             .into(),
                     );
                 }
@@ -182,6 +194,18 @@ mod tests {
         assert!(o.trace_out.is_none());
         assert!(!o.metrics);
         assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn pvt_engine_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().pvt_engine, PvtEngine::Soa);
+        assert_eq!(parse(&["--pvt-engine", "soa"]).unwrap().pvt_engine, PvtEngine::Soa);
+        assert_eq!(
+            parse(&["--pvt-engine", "reference"]).unwrap().pvt_engine,
+            PvtEngine::Reference
+        );
+        assert!(parse(&["--pvt-engine", "banana"]).is_err());
+        assert!(parse(&["--pvt-engine"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use vap_core::alpha::{allocations, raw_alpha};
-use vap_core::multijob::{partition, JobRequest, PartitionPolicy};
+use vap_core::multijob::{Budgeter, JobRequest, PartitionPolicy};
 use vap_core::pmt::PowerModelTable;
 use vap_core::pvt::PowerVariationTable;
 use vap_core::schemes::{apply_plan, ControlKind, PowerPlan, SchemeId};
@@ -125,6 +125,10 @@ pub struct SchedRuntime {
     pending: Vec<usize>,
     /// Running job ids in admission order.
     running: Vec<usize>,
+    /// The running jobs' partition ledger, keyed by job id in admission
+    /// order (mirrors `running`): cached [`JobRequest`]s plus their PMT
+    /// extrema, so re-partitions touch no PMT.
+    budgeter: Budgeter,
     /// Free module ids, sorted.
     free: Vec<usize>,
     /// Single-module test runs, cached per (workload, probe module).
@@ -159,6 +163,7 @@ impl SchedRuntime {
             jobs: Vec::new(),
             pending: Vec::new(),
             running: Vec::new(),
+            budgeter: Budgeter::new(),
             free,
             test_cache: BTreeMap::new(),
             samples: Vec::new(),
@@ -265,6 +270,7 @@ impl SchedRuntime {
         }
         self.release_modules(&placement);
         self.running.retain(|&r| r != id);
+        self.budgeter.remove(id as u64);
         vap_obs::incr("sched.completions");
         if let Some(jct) = self.jobs[id].jct_s() {
             vap_obs::observe("sched.jct_s", jct);
@@ -307,6 +313,7 @@ impl SchedRuntime {
         }
         self.release_modules(&placement);
         self.running.retain(|&r| r != id);
+        self.budgeter.remove(id as u64);
         self.pending.insert(0, id);
         vap_obs::incr("sched.preemptions");
     }
@@ -327,11 +334,12 @@ impl SchedRuntime {
     }
 
     /// Σ PMT floors of the running jobs (the rebalance policies' ledger).
+    ///
+    /// Served from the [`Budgeter`]'s cached extrema: the sum visits the
+    /// same floors in the same (admission) order the old per-call PMT
+    /// rescan did, so the value is bit-identical.
     fn running_floors(&self) -> Watts {
-        self.running
-            .iter()
-            .map(|&id| self.jobs[id].pmt.as_ref().map_or(Watts::ZERO, PowerModelTable::fleet_minimum))
-            .sum()
+        self.budgeter.floor_total()
     }
 
     /// Walk the queue admitting whatever fits under the discipline.
@@ -424,6 +432,15 @@ impl SchedRuntime {
         };
         self.free.retain(|m| !ids.contains(m));
         spec.apply_to_modules(&mut self.cluster, &ids, self.seed);
+        self.budgeter.admit(
+            id as u64,
+            JobRequest {
+                workload: arrival.workload,
+                module_ids: ids.clone(),
+                pmt: pmt.clone(),
+                cpu_fraction: self.jobs[id].cpu_fraction,
+            },
+        );
         let j = &mut self.jobs[id];
         j.placement = ids;
         j.last_width = width;
@@ -543,27 +560,15 @@ impl SchedRuntime {
                     ReallocPolicy::ThroughputGreedy => PartitionPolicy::ThroughputGreedy,
                     _ => PartitionPolicy::FairFloorPlusUniformAlpha,
                 };
-                let mut ids = Vec::with_capacity(self.running.len());
-                let mut requests = Vec::with_capacity(self.running.len());
-                for &id in &self.running {
-                    let j = &self.jobs[id];
-                    let Some(pmt) = j.pmt.clone() else {
-                        continue;
-                    };
-                    ids.push(id);
-                    requests.push(JobRequest {
-                        workload: j.workload(),
-                        module_ids: j.placement.clone(),
-                        pmt,
-                        cpu_fraction: j.cpu_fraction,
-                    });
-                }
+                // The budgeter mirrors `running` (admit in try_place,
+                // remove in complete/preempt), so partitioning its cached
+                // requests is bit-identical to rebuilding them here.
                 // Admission control keeps Σ floors ≤ cap, so the partition
                 // is feasible; if it ever is not (float dust on the
                 // boundary), keep the previous budgets rather than abort.
-                if let Ok(parts) = partition(self.cap, &requests, policy) {
-                    for (&id, part) in ids.iter().zip(&parts) {
-                        self.jobs[id].budget = part.budget;
+                if let Ok(parts) = self.budgeter.partition(self.cap, policy) {
+                    for (&key, part) in self.budgeter.keys().iter().zip(&parts) {
+                        self.jobs[key as usize].budget = part.budget;
                     }
                 }
             }

@@ -10,6 +10,7 @@ use crate::cpufreq::Governor;
 use crate::module::SimModule;
 use crate::rapl::RaplLimit;
 use std::fmt;
+use std::sync::Arc;
 use vap_model::power::PowerActivity;
 use vap_model::systems::SystemSpec;
 use vap_model::thermal::{RackGradient, ThermalEnv};
@@ -64,6 +65,11 @@ impl Cluster {
     /// the paper's study).
     pub fn with_thermal(spec: SystemSpec, n: usize, seed: u64, gradient: Option<RackGradient>) -> Self {
         let fleet = spec.variability.sample_fleet(n, spec.cores_per_proc, seed);
+        // One P-state table for the whole fleet: hoisted out of the
+        // per-module loop so construction does n small clones fewer and
+        // every module shares one allocation (see tests/alloc_regression
+        // in vap-bench for the zero-realloc guarantee).
+        let pstates = Arc::new(spec.pstates.clone());
         let modules = fleet
             .into_iter()
             .enumerate()
@@ -72,7 +78,7 @@ impl Cluster {
                     Some(g) => g.env_for(i, n),
                     None => ThermalEnv::reference(),
                 };
-                SimModule::new(i, v, spec.power_model, spec.pstates.clone(), thermal)
+                SimModule::with_shared_pstates(i, v, spec.power_model, Arc::clone(&pstates), thermal)
             })
             .collect();
         Cluster { spec, modules }

@@ -1,0 +1,679 @@
+//! Struct-of-arrays fleet state: the cache-friendly layout for
+//! 10⁴–10⁶-module campaigns.
+//!
+//! [`crate::cluster::Cluster`] stores one [`SimModule`] per module — an
+//! array-of-structs layout where a batch operation (program every cap,
+//! resolve every operating point, advance every energy counter) strides
+//! over ~400-byte records and drags the MSR register file, the serde
+//! plumbing and the P-state table pointer of every module through cache.
+//! [`FleetState`] transposes that: one flat column per field, shared
+//! model/P-state tables, and batch loops that touch only the columns they
+//! need.
+//!
+//! # Equivalence contract
+//!
+//! `FleetState` is **not** a reimplementation of the physics. Every
+//! per-module computation calls the *same* scalar kernels the
+//! array-of-structs path calls — [`rapl::steady_state`] for the RAPL
+//! feedback step, [`vap_model::power::CpuPowerModel::power`] /
+//! [`vap_model::power::CpuPowerModel::gated_power`] /
+//! [`vap_model::power::DramPowerModel::power`] for the power oracles,
+//! [`Governor::resolve`] for the cpufreq proposal, and
+//! [`EnergyCounter::accumulate`] for the MSR counter quantization — in the
+//! same order on the same values. The result is *bit-identical*, not
+//! approximately equal, to driving a [`crate::cluster::Cluster`] through
+//! the mirrored operation sequence; `tests/fleet_equiv.rs` in the
+//! workspace root holds the differential suite that locks this down.
+//!
+//! The RAPL cap quantization (1/8 W power units, Y·2^Z time windows) is
+//! preserved by round-tripping caps through
+//! [`PowerLimitRegister::encode`]/[`PowerLimitRegister::decode`] — the
+//! same pair of functions the per-module MSR file applies — without
+//! materializing a register file per module.
+
+use crate::cpufreq::Governor;
+#[cfg(doc)]
+use crate::module::SimModule;
+use crate::module::OperatingPoint;
+use crate::msr::{EnergyCounter, PowerLimitRegister};
+use crate::rapl::{self, RaplLimit, RaplSteadyState};
+use crate::cluster::{Cluster, ClusterError};
+use std::sync::Arc;
+use vap_model::power::{ModulePowerModel, PowerActivity};
+use vap_model::pstate::PStateTable;
+use vap_model::systems::SystemSpec;
+use vap_model::thermal::{RackGradient, ThermalEnv};
+use vap_model::units::{GigaHertz, Joules, Seconds, Watts};
+use vap_model::variability::ModuleVariation;
+
+/// A fleet of simulated modules in struct-of-arrays layout.
+///
+/// Columns are indexed by module id (`0..len()`); the shared system
+/// tables (power model, P-state table) are stored once. See the module
+/// docs for the equivalence contract with [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct FleetState {
+    spec: SystemSpec,
+    /// One P-state table for the whole fleet (same hoist as
+    /// [`Cluster::with_thermal`]).
+    pstates: Arc<PStateTable>,
+    power_model: ModulePowerModel,
+    /// Base manufacturing fingerprints, sampled at "fabrication" time.
+    variation: Vec<ModuleVariation>,
+    /// Workload-specific fingerprint overrides (`None` = base applies).
+    workload_variation: Vec<Option<ModuleVariation>>,
+    /// Precomputed [`ThermalEnv::factor`] per module. The factor is a pure
+    /// function of the (immutable) thermal environment, so caching it is
+    /// exact.
+    thermal_factor: Vec<f64>,
+    governor: Vec<Governor>,
+    rapl_limit: Vec<Option<RaplLimit>>,
+    activity: Vec<PowerActivity>,
+    /// Resolved operating clock while ungated (column of
+    /// [`OperatingPoint::clock`]).
+    clock: Vec<GigaHertz>,
+    /// Resolved run fraction (column of [`OperatingPoint::duty`]).
+    duty: Vec<f64>,
+    throttled: Vec<bool>,
+    pkg_counter: Vec<EnergyCounter>,
+    dram_counter: Vec<EnergyCounter>,
+    pkg_energy: Vec<Joules>,
+    dram_energy: Vec<Joules>,
+}
+
+impl FleetState {
+    /// Build a fleet of `n` modules directly in columnar form,
+    /// deterministically in `seed`.
+    ///
+    /// State-equivalent to `FleetState::from_cluster(&Cluster::with_size(
+    /// spec, n, seed))` — same fingerprints, same initial operating
+    /// points — without constructing `n` `SimModule` records.
+    pub fn new(spec: SystemSpec, n: usize, seed: u64) -> Self {
+        Self::with_thermal(spec, n, seed, None)
+    }
+
+    /// [`FleetState::new`] with an optional rack thermal gradient,
+    /// mirroring [`Cluster::with_thermal`].
+    pub fn with_thermal(
+        spec: SystemSpec,
+        n: usize,
+        seed: u64,
+        gradient: Option<RackGradient>,
+    ) -> Self {
+        let variation = spec.variability.sample_fleet(n, spec.cores_per_proc, seed);
+        let thermal_factor: Vec<f64> = (0..n)
+            .map(|i| {
+                match gradient {
+                    Some(g) => g.env_for(i, n),
+                    None => ThermalEnv::reference(),
+                }
+                .factor()
+            })
+            .collect();
+        let pstates = Arc::new(spec.pstates.clone());
+        let power_model = spec.power_model;
+        let mut fleet = FleetState {
+            spec,
+            pstates,
+            power_model,
+            variation,
+            workload_variation: vec![None; n],
+            thermal_factor,
+            governor: vec![Governor::Performance; n],
+            rapl_limit: vec![None; n],
+            activity: vec![PowerActivity::IDLE; n],
+            clock: vec![GigaHertz::ZERO; n],
+            duty: vec![1.0; n],
+            throttled: vec![false; n],
+            pkg_counter: vec![EnergyCounter::default(); n],
+            dram_counter: vec![EnergyCounter::default(); n],
+            pkg_energy: vec![Joules::ZERO; n],
+            dram_energy: vec![Joules::ZERO; n],
+        };
+        fleet.resolve_all();
+        fleet
+    }
+
+    /// Transpose an existing [`Cluster`] into columnar form, preserving
+    /// every module's full state (fingerprints, caps, governors, resolved
+    /// operating points, energy counters) exactly.
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        let n = cluster.len();
+        let spec = cluster.spec().clone();
+        let pstates = Arc::new(spec.pstates.clone());
+        let power_model = spec.power_model;
+        let mut fleet = FleetState {
+            spec,
+            pstates,
+            power_model,
+            variation: Vec::with_capacity(n),
+            workload_variation: Vec::with_capacity(n),
+            thermal_factor: Vec::with_capacity(n),
+            governor: Vec::with_capacity(n),
+            rapl_limit: Vec::with_capacity(n),
+            activity: Vec::with_capacity(n),
+            clock: Vec::with_capacity(n),
+            duty: Vec::with_capacity(n),
+            throttled: Vec::with_capacity(n),
+            pkg_counter: Vec::with_capacity(n),
+            dram_counter: Vec::with_capacity(n),
+            pkg_energy: Vec::with_capacity(n),
+            dram_energy: Vec::with_capacity(n),
+        };
+        for m in cluster.modules() {
+            fleet.variation.push(m.base_variation().clone());
+            fleet.workload_variation.push(m.workload_variation().cloned());
+            fleet.thermal_factor.push(m.thermal().factor());
+            fleet.governor.push(m.governor());
+            fleet.rapl_limit.push(m.cap());
+            fleet.activity.push(m.activity());
+            fleet.clock.push(m.operating_point().clock);
+            fleet.duty.push(m.operating_point().duty);
+            fleet.throttled.push(m.rapl_throttled());
+            fleet.pkg_counter.push(m.pkg_counter());
+            fleet.dram_counter.push(m.dram_counter());
+            fleet.pkg_energy.push(m.pkg_energy());
+            fleet.dram_energy.push(m.dram_energy());
+        }
+        fleet
+    }
+
+    /// The system this fleet instantiates.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The shared P-state table.
+    pub fn pstates(&self) -> &PStateTable {
+        &self.pstates
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.variation.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.variation.is_empty()
+    }
+
+    /// The fingerprint in effect on module `i` (workload override if
+    /// installed, else base) — column analogue of [`SimModule::variation`].
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn variation(&self, i: usize) -> &ModuleVariation {
+        self.workload_variation[i].as_ref().unwrap_or(&self.variation[i])
+    }
+
+    /// The base (PVT-microbenchmark) fingerprint of module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn base_variation(&self, i: usize) -> &ModuleVariation {
+        &self.variation[i]
+    }
+
+    /// Install (or clear) a workload-specific fingerprint override on
+    /// module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_workload_variation(&mut self, i: usize, v: Option<ModuleVariation>) {
+        self.workload_variation[i] = v;
+        self.resolve(i);
+    }
+
+    /// Current workload activity on module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn activity(&self, i: usize) -> PowerActivity {
+        self.activity[i]
+    }
+
+    /// Set the workload activity factors on module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_activity(&mut self, i: usize, activity: PowerActivity) {
+        self.activity[i] = activity;
+        self.resolve(i);
+    }
+
+    /// The cpufreq governor installed on module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn governor(&self, i: usize) -> Governor {
+        self.governor[i]
+    }
+
+    /// Install a cpufreq governor on module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_governor(&mut self, i: usize, governor: Governor) {
+        self.governor[i] = governor;
+        self.resolve(i);
+    }
+
+    /// Program a RAPL cap on module `i`, with the same 1/8-W MSR
+    /// quantization as [`SimModule::set_cap`] (the cap round-trips through
+    /// the register encoding; no register file is materialized).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_cap(&mut self, i: usize, limit: RaplLimit) {
+        let reg = PowerLimitRegister {
+            limit: limit.cap,
+            enabled: true,
+            clamp: true,
+            window: limit.window,
+        };
+        let quantized = PowerLimitRegister::decode(reg.encode());
+        self.rapl_limit[i] = Some(RaplLimit { cap: quantized.limit, window: quantized.window });
+        self.resolve(i);
+    }
+
+    /// Remove any RAPL cap from module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn clear_cap(&mut self, i: usize) {
+        self.rapl_limit[i] = None;
+        self.resolve(i);
+    }
+
+    /// The programmed cap on module `i`, if any.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn cap(&self, i: usize) -> Option<RaplLimit> {
+        self.rapl_limit[i]
+    }
+
+    /// The resolved operating point of module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn operating_point(&self, i: usize) -> OperatingPoint {
+        OperatingPoint { clock: self.clock[i], duty: self.duty[i] }
+    }
+
+    /// Whether RAPL is actively limiting module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn rapl_throttled(&self, i: usize) -> bool {
+        self.throttled[i]
+    }
+
+    /// Lifetime package energy of module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn pkg_energy(&self, i: usize) -> Joules {
+        self.pkg_energy[i]
+    }
+
+    /// Lifetime DRAM energy of module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn dram_energy(&self, i: usize) -> Joules {
+        self.dram_energy[i]
+    }
+
+    /// Put the same workload activity on every module (an SPMD job).
+    pub fn set_activity_all(&mut self, activity: PowerActivity) {
+        for i in 0..self.len() {
+            self.activity[i] = activity;
+            self.resolve(i);
+        }
+    }
+
+    /// Program the same RAPL cap on every module (the Naive / Pc schemes).
+    pub fn set_uniform_cap(&mut self, limit: RaplLimit) {
+        for i in 0..self.len() {
+            self.set_cap(i, limit);
+        }
+    }
+
+    /// Program per-module RAPL caps (the VaPc scheme); mirrors
+    /// [`Cluster::set_caps`].
+    pub fn set_caps(&mut self, caps: &[Watts]) -> Result<(), ClusterError> {
+        if caps.len() != self.len() {
+            return Err(ClusterError::LengthMismatch { expected: self.len(), got: caps.len() });
+        }
+        for (i, &c) in caps.iter().enumerate() {
+            self.set_cap(i, RaplLimit::with_default_window(c));
+        }
+        Ok(())
+    }
+
+    /// Pin per-module frequencies through the userspace governor (the VaFs
+    /// scheme); mirrors [`Cluster::set_frequencies`].
+    pub fn set_frequencies(&mut self, freqs: &[GigaHertz]) -> Result<(), ClusterError> {
+        if freqs.len() != self.len() {
+            return Err(ClusterError::LengthMismatch { expected: self.len(), got: freqs.len() });
+        }
+        for (i, &f) in freqs.iter().enumerate() {
+            self.set_governor(i, Governor::Userspace(f));
+        }
+        Ok(())
+    }
+
+    /// Remove all caps and restore the performance governor.
+    pub fn uncap_all(&mut self) {
+        for i in 0..self.len() {
+            self.rapl_limit[i] = None;
+            self.governor[i] = Governor::Performance;
+            self.resolve(i);
+        }
+    }
+
+    /// Ground-truth CPU (package) power of module `i` — the same
+    /// duty-weighted run/gated blend as [`SimModule::cpu_power`].
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn cpu_power(&self, i: usize) -> Watts {
+        let v = self.variation(i);
+        let run =
+            self.power_model.cpu.power(self.clock[i], self.activity[i].cpu, v, self.thermal_factor[i]);
+        if self.duty[i] >= 1.0 {
+            run
+        } else {
+            let gated = self.power_model.cpu.gated_power(v, self.thermal_factor[i]);
+            run * self.duty[i] + gated * (1.0 - self.duty[i])
+        }
+    }
+
+    /// Ground-truth DRAM power of module `i` (duty-weighted traffic,
+    /// always-on standby), as in [`SimModule::dram_power`].
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn dram_power(&self, i: usize) -> Watts {
+        self.power_model.dram.power(self.clock[i], self.activity[i].dram * self.duty[i], self.variation(i))
+    }
+
+    /// Ground-truth module (CPU + DRAM) power of module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn module_power(&self, i: usize) -> Watts {
+        self.cpu_power(i) + self.dram_power(i)
+    }
+
+    /// Per-module CPU powers (batch analogue of [`Cluster::cpu_powers`]).
+    pub fn cpu_powers(&self) -> Vec<Watts> {
+        (0..self.len()).map(|i| self.cpu_power(i)).collect()
+    }
+
+    /// Per-module DRAM powers.
+    pub fn dram_powers(&self) -> Vec<Watts> {
+        (0..self.len()).map(|i| self.dram_power(i)).collect()
+    }
+
+    /// Per-module module (CPU+DRAM) powers.
+    pub fn module_powers(&self) -> Vec<Watts> {
+        (0..self.len()).map(|i| self.module_power(i)).collect()
+    }
+
+    /// Current duty-weighted effective frequencies.
+    pub fn effective_frequencies(&self) -> Vec<GigaHertz> {
+        (0..self.len()).map(|i| self.operating_point(i).effective_frequency()).collect()
+    }
+
+    /// Total fleet power right now.
+    pub fn total_power(&self) -> Watts {
+        (0..self.len()).map(|i| self.module_power(i)).sum()
+    }
+
+    /// Per-module telemetry in module-id order, field-identical to
+    /// [`Cluster::telemetry`].
+    pub fn telemetry(&self) -> Vec<vap_obs::ModuleSample> {
+        (0..self.len())
+            .map(|i| vap_obs::ModuleSample {
+                id: i as u64,
+                power_w: self.module_power(i).value(),
+                freq_ghz: self.operating_point(i).effective_frequency().value(),
+                cap_w: self.rapl_limit[i].map(|l| l.cap.value()),
+                duty: self.duty[i],
+                throttled: self.throttled[i],
+            })
+            .collect()
+    }
+
+    /// Advance every module by `dt`: the flat batch loop over the energy
+    /// columns, with the same counter quantization as [`SimModule::step`].
+    pub fn step_all(&mut self, dt: Seconds) {
+        for i in 0..self.len() {
+            let pkg = self.cpu_power(i) * dt;
+            let dram = self.dram_power(i) * dt;
+            self.pkg_energy[i] += pkg;
+            self.dram_energy[i] += dram;
+            self.pkg_counter[i].accumulate(pkg);
+            self.dram_counter[i].accumulate(dram);
+        }
+    }
+
+    /// Measure module `i`'s `(pkg, dram)` average power pinned at `f`
+    /// through the RAPL energy-counter protocol — the columnar analogue of
+    /// `vap-core`'s `measure_module_snapshot`, which clones the module,
+    /// uncaps it, pins the userspace governor and averages ten 10 ms
+    /// steps through [`crate::measurement::RaplEnergyMeter`].
+    ///
+    /// Here the transient state lives in two local [`EnergyCounter`]
+    /// copies instead of a cloned module, so the sweep allocates nothing
+    /// per module; the arithmetic (counter quantization included) is
+    /// identical, and `&self` guarantees the fleet is untouched.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn measure_anchors(&self, i: usize, f: GigaHertz) -> (Watts, Watts) {
+        // Uncapped + userspace governor resolve to: clock = floor(f),
+        // duty 1.0, no throttle (the governor proposes, no cap contests).
+        let clock = self.pstates.floor(f);
+        let v = self.variation(i);
+        let act = self.activity[i];
+        let cpu = self.power_model.cpu.power(clock, act.cpu, v, self.thermal_factor[i]);
+        let dram = self.power_model.dram.power(clock, act.dram, v);
+        let mut pkg_counter = self.pkg_counter[i];
+        let mut dram_counter = self.dram_counter[i];
+        let pkg_before = pkg_counter.raw();
+        let dram_before = dram_counter.raw();
+        let dt = Seconds::from_millis(10.0);
+        for _ in 0..10 {
+            pkg_counter.accumulate(cpu * dt);
+            dram_counter.accumulate(dram * dt);
+        }
+        let elapsed = Seconds(0.1);
+        (
+            EnergyCounter::delta(pkg_before, pkg_counter.raw()) / elapsed,
+            EnergyCounter::delta(dram_before, dram_counter.raw()) / elapsed,
+        )
+    }
+
+    /// Recompute the operating point of module `i` from governor + cap +
+    /// activity: the same min-wise composition as the private
+    /// `SimModule::resolve`, over the columns.
+    fn resolve(&mut self, i: usize) {
+        let gov_clock = self.governor[i].resolve(&self.pstates);
+        let (clock, duty, throttled) = match self.rapl_limit[i] {
+            None => (gov_clock, 1.0, false),
+            Some(limit) => {
+                let v = self.workload_variation[i].as_ref().unwrap_or(&self.variation[i]);
+                let s = rapl::steady_state(
+                    limit.cap,
+                    &self.power_model.cpu,
+                    self.activity[i].cpu,
+                    v,
+                    self.thermal_factor[i],
+                    &self.pstates,
+                );
+                match s {
+                    RaplSteadyState::Unconstrained { .. } => (gov_clock, 1.0, false),
+                    RaplSteadyState::Dvfs { freq } => {
+                        let binding = freq < gov_clock;
+                        (freq.min(gov_clock), 1.0, binding)
+                    }
+                    RaplSteadyState::ClockModulated { duty, .. } => {
+                        (self.pstates.f_min().min(gov_clock), duty, true)
+                    }
+                }
+            }
+        };
+        self.clock[i] = clock;
+        self.duty[i] = duty;
+        self.throttled[i] = throttled;
+    }
+
+    fn resolve_all(&mut self) {
+        for i in 0..self.len() {
+            self.resolve(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vap_model::systems::SystemSpec;
+
+    fn busy() -> PowerActivity {
+        PowerActivity { cpu: 1.0, dram: 0.25 }
+    }
+
+    /// Drive a Cluster and a FleetState through the same op sequence and
+    /// assert bit-identical observable state. The heavyweight differential
+    /// suite lives in `tests/fleet_equiv.rs`; this is the in-crate smoke.
+    fn assert_mirrors(cluster: &Cluster, fleet: &FleetState) {
+        assert_eq!(cluster.len(), fleet.len());
+        for (i, m) in cluster.modules().iter().enumerate() {
+            assert_eq!(m.operating_point(), fleet.operating_point(i), "module {i} op");
+            assert_eq!(m.cap(), fleet.cap(i), "module {i} cap");
+            assert_eq!(m.rapl_throttled(), fleet.rapl_throttled(i), "module {i} throttle");
+            assert_eq!(m.cpu_power(), fleet.cpu_power(i), "module {i} cpu power");
+            assert_eq!(m.dram_power(), fleet.dram_power(i), "module {i} dram power");
+            assert_eq!(m.pkg_energy(), fleet.pkg_energy(i), "module {i} pkg energy");
+            assert_eq!(m.dram_energy(), fleet.dram_energy(i), "module {i} dram energy");
+        }
+    }
+
+    #[test]
+    fn fresh_fleet_matches_fresh_cluster_bitwise() {
+        let spec = SystemSpec::ha8k();
+        let cluster = Cluster::with_size(spec.clone(), 24, 42);
+        let fleet = FleetState::new(spec, 24, 42);
+        for (i, m) in cluster.modules().iter().enumerate() {
+            assert_eq!(m.base_variation(), fleet.base_variation(i));
+        }
+        assert_mirrors(&cluster, &fleet);
+    }
+
+    #[test]
+    fn from_cluster_preserves_mid_campaign_state() {
+        let spec = SystemSpec::ha8k();
+        let mut cluster = Cluster::with_size(spec, 16, 7);
+        cluster.set_activity_all(busy());
+        cluster.set_uniform_cap(RaplLimit::with_default_window(Watts(68.25)));
+        cluster.step_all(Seconds::from_millis(3.0));
+        let fleet = FleetState::from_cluster(&cluster);
+        assert_mirrors(&cluster, &fleet);
+    }
+
+    #[test]
+    fn mirrored_op_sequence_stays_bit_identical() {
+        let spec = SystemSpec::ha8k();
+        let mut cluster = Cluster::with_size(spec.clone(), 12, 3);
+        let mut fleet = FleetState::new(spec, 12, 3);
+        cluster.set_activity_all(busy());
+        fleet.set_activity_all(busy());
+        cluster.set_uniform_cap(RaplLimit::with_default_window(Watts(77.3)));
+        fleet.set_uniform_cap(RaplLimit::with_default_window(Watts(77.3)));
+        cluster.step_all(Seconds::from_millis(10.0));
+        fleet.step_all(Seconds::from_millis(10.0));
+        assert_mirrors(&cluster, &fleet);
+
+        let caps: Vec<Watts> = (0..12).map(|i| Watts(50.0 + 2.5 * i as f64)).collect();
+        cluster.set_caps(&caps).unwrap();
+        fleet.set_caps(&caps).unwrap();
+        cluster.step_all(Seconds::from_millis(1.0));
+        fleet.step_all(Seconds::from_millis(1.0));
+        assert_mirrors(&cluster, &fleet);
+
+        cluster.uncap_all();
+        fleet.uncap_all();
+        let freqs: Vec<GigaHertz> = (0..12).map(|i| GigaHertz(1.2 + 0.1 * i as f64)).collect();
+        cluster.set_frequencies(&freqs).unwrap();
+        fleet.set_frequencies(&freqs).unwrap();
+        assert_mirrors(&cluster, &fleet);
+        assert_eq!(cluster.total_power(), fleet.total_power());
+        assert_eq!(cluster.effective_frequencies(), fleet.effective_frequencies());
+    }
+
+    #[test]
+    fn telemetry_matches_cluster_field_for_field() {
+        let spec = SystemSpec::ha8k();
+        let mut cluster = Cluster::with_size(spec, 8, 11);
+        cluster.set_activity_all(busy());
+        cluster.set_uniform_cap(RaplLimit::with_default_window(Watts(60.0)));
+        let fleet = FleetState::from_cluster(&cluster);
+        let a = cluster.telemetry();
+        let b = fleet.telemetry();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.power_w, y.power_w);
+            assert_eq!(x.freq_ghz, y.freq_ghz);
+            assert_eq!(x.cap_w, y.cap_w);
+            assert_eq!(x.duty, y.duty);
+            assert_eq!(x.throttled, y.throttled);
+        }
+    }
+
+    #[test]
+    fn measure_anchors_matches_the_meter_protocol_and_leaves_state_alone() {
+        let spec = SystemSpec::ha8k();
+        let mut cluster = Cluster::with_size(spec, 6, 9);
+        cluster.set_activity_all(busy());
+        // pre-age the counters so the residual paths are exercised
+        cluster.step_all(Seconds::from_millis(7.0));
+        let fleet = FleetState::from_cluster(&cluster);
+        let f = cluster.spec().pstates.f_max();
+        for i in 0..cluster.len() {
+            // reference protocol: clone, uncap, pin, meter over 10×10 ms
+            let mut probe = cluster.module(i).clone();
+            probe.clear_cap();
+            probe.set_governor(Governor::Userspace(f));
+            let meter = crate::measurement::RaplEnergyMeter::begin(&probe);
+            for _ in 0..10 {
+                probe.step(Seconds::from_millis(10.0));
+            }
+            let (pkg, dram) = meter.end(&probe, Seconds(0.1));
+            let (pkg2, dram2) = fleet.measure_anchors(i, f);
+            assert_eq!(pkg, pkg2, "module {i} pkg");
+            assert_eq!(dram, dram2, "module {i} dram");
+        }
+        // &self measurement left the fleet untouched
+        assert_mirrors(&cluster, &fleet);
+    }
+
+    #[test]
+    fn mismatched_vectors_are_rejected() {
+        let mut fleet = FleetState::new(SystemSpec::ha8k(), 4, 1);
+        assert_eq!(
+            fleet.set_caps(&[Watts(50.0); 3]),
+            Err(ClusterError::LengthMismatch { expected: 4, got: 3 })
+        );
+        assert_eq!(
+            fleet.set_frequencies(&[GigaHertz(1.5); 5]),
+            Err(ClusterError::LengthMismatch { expected: 4, got: 5 })
+        );
+        assert!(!fleet.is_empty());
+    }
+}

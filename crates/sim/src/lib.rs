@@ -20,6 +20,10 @@
 //!   PowerInsight, BG/Q EMON) with their granularities and noise.
 //! * [`cluster`] — a fleet of modules built from a
 //!   [`vap_model::SystemSpec`], plus fleet-wide power operations.
+//! * [`fleet`] — the same fleet in struct-of-arrays layout
+//!   ([`fleet::FleetState`]): flat per-field columns and shared model
+//!   tables for 10⁴–10⁶-module campaigns, bit-identical to [`cluster`]
+//!   by construction (both call the same scalar kernels).
 //! * [`scheduler`] — job-scheduler module-allocation policies (the paper
 //!   notes performance "will depend significantly on the physical
 //!   processors allocated").
@@ -31,6 +35,7 @@
 pub mod cluster;
 pub mod cpufreq;
 pub mod dynamics;
+pub mod fleet;
 pub mod measurement;
 pub mod module;
 pub mod msr;
@@ -40,6 +45,7 @@ pub mod trace;
 
 pub use cluster::Cluster;
 pub use cpufreq::Governor;
+pub use fleet::FleetState;
 pub use measurement::PowerSensor;
 pub use module::{OperatingPoint, SimModule};
 pub use rapl::{RaplLimit, RaplSteadyState};

@@ -11,6 +11,7 @@ use crate::cpufreq::Governor;
 use crate::msr::{EnergyCounter, MsrFile, PowerLimitRegister, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS};
 use crate::rapl::{self, RaplLimit, RaplSteadyState};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vap_model::boundedness::Boundedness;
 use vap_model::power::{ModulePowerModel, PowerActivity};
 use vap_model::pstate::PStateTable;
@@ -50,7 +51,11 @@ pub struct SimModule {
     workload_variation: Option<ModuleVariation>,
     thermal: ThermalEnv,
     power_model: ModulePowerModel,
-    pstates: PStateTable,
+    /// Shared across the fleet: every module of a cluster runs the same
+    /// P-state table, so construction hoists one allocation instead of
+    /// cloning the table per module (serde's `rc` feature serializes the
+    /// table by value, so persistence is unchanged).
+    pstates: Arc<PStateTable>,
     governor: Governor,
     cap: Option<RaplLimit>,
     activity: PowerActivity,
@@ -73,6 +78,19 @@ impl SimModule {
         variation: ModuleVariation,
         power_model: ModulePowerModel,
         pstates: PStateTable,
+        thermal: ThermalEnv,
+    ) -> Self {
+        Self::with_shared_pstates(id, variation, power_model, Arc::new(pstates), thermal)
+    }
+
+    /// [`SimModule::new`] over an already-shared P-state table — the
+    /// fleet-construction path, which builds one `Arc` for the whole
+    /// cluster instead of one table clone per module.
+    pub fn with_shared_pstates(
+        id: usize,
+        variation: ModuleVariation,
+        power_model: ModulePowerModel,
+        pstates: Arc<PStateTable>,
         thermal: ThermalEnv,
     ) -> Self {
         let mut m = SimModule {
@@ -107,6 +125,11 @@ impl SimModule {
     /// The base (PVT-microbenchmark) manufacturing fingerprint.
     pub fn base_variation(&self) -> &ModuleVariation {
         &self.variation
+    }
+
+    /// The workload-specific fingerprint override, if one is installed.
+    pub fn workload_variation(&self) -> Option<&ModuleVariation> {
+        self.workload_variation.as_ref()
     }
 
     /// Install (or clear) a workload-specific fingerprint override.
@@ -150,6 +173,11 @@ impl SimModule {
     pub fn set_activity(&mut self, activity: PowerActivity) {
         self.activity = activity;
         self.resolve();
+    }
+
+    /// The currently installed cpufreq governor.
+    pub fn governor(&self) -> Governor {
+        self.governor
     }
 
     /// Install a cpufreq governor (the FS control path).
@@ -304,6 +332,17 @@ impl SimModule {
         self.dram_counter.accumulate(dram);
         self.msrs.write(MSR_PKG_ENERGY_STATUS, self.pkg_counter.raw() as u64);
         self.msrs.write(MSR_DRAM_ENERGY_STATUS, self.dram_counter.raw() as u64);
+    }
+
+    /// The package-domain energy counter (the value behind
+    /// `MSR_PKG_ENERGY_STATUS`, plus its sub-quantum residual).
+    pub fn pkg_counter(&self) -> EnergyCounter {
+        self.pkg_counter
+    }
+
+    /// The DRAM-domain energy counter.
+    pub fn dram_counter(&self) -> EnergyCounter {
+        self.dram_counter
     }
 
     /// Lifetime package energy.

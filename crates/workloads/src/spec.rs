@@ -10,6 +10,7 @@ use vap_model::units::{GigaHertz, Seconds};
 use vap_model::variability::ModuleVariation;
 use vap_mpi::program::{Op, Program, ProgramBuilder};
 use vap_sim::cluster::Cluster;
+use vap_sim::fleet::FleetState;
 
 /// Identifier for the benchmarks of §3.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -267,6 +268,22 @@ impl WorkloadSpec {
                 Some(wv)
             });
             m.set_activity(self.activity);
+        }
+    }
+
+    /// [`WorkloadSpec::apply_to`] for the struct-of-arrays fleet: the same
+    /// per-module fingerprint derivation (same base, same seed, same
+    /// stream) and activity install, over [`FleetState`] columns. A
+    /// cluster and a fleet built from the same `(spec, n, seed)` end up in
+    /// bit-identical workload state under either entry point.
+    pub fn apply_to_fleet(&self, fleet: &mut FleetState, seed: u64) {
+        for id in 0..fleet.len() {
+            let wv = self.workload_variation(&fleet.base_variation(id).clone(), seed);
+            fleet.set_workload_variation(
+                id,
+                if self.response == VariationResponse::faithful() { None } else { Some(wv) },
+            );
+            fleet.set_activity(id, self.activity);
         }
     }
 }

@@ -49,6 +49,42 @@ fn campaign_medians_and_speedups_are_measured_numbers() {
 }
 
 #[test]
+fn fleet_scaling_record_holds_measured_numbers_and_targets() {
+    // The fleet-scale story (struct-of-arrays cluster + incremental
+    // budgeter) is only real if the committed record carries measured
+    // timings — and those timings hit the headline targets: a
+    // fig7-equivalent campaign at 100k modules in single-digit seconds,
+    // and the scheduler replay above a million events per second.
+    let doc = read("BENCH_fleet.json");
+    let results = doc.find("\"results\"").expect("results section in BENCH_fleet.json");
+    for key in [
+        "construct_10k_s",
+        "construct_100k_s",
+        "construct_1m_s",
+        "pvt_sweep_10k_s",
+        "pvt_sweep_100k_s",
+        "pvt_sweep_1m_s",
+        "campaign_100k_s",
+        "sched_events_per_s",
+    ] {
+        assert!(numeric_field(&doc, results, key) > 0.0, "{key} must be a measured positive number");
+    }
+    assert!(
+        numeric_field(&doc, results, "campaign_100k_s") < 10.0,
+        "fig7-equivalent at 100k modules must finish in single-digit seconds"
+    );
+    assert!(
+        numeric_field(&doc, results, "sched_events_per_s") >= 1e6,
+        "scheduler replay must sustain at least 1M events/s"
+    );
+    // scaling sanity: 1M-module construction must not be catastrophically
+    // superlinear vs 100k (columns are flat vecs; 10x modules ≈ 10x time)
+    let c100k = numeric_field(&doc, results, "construct_100k_s");
+    let c1m = numeric_field(&doc, results, "construct_1m_s");
+    assert!(c1m < c100k * 100.0, "1M construction is superlinear: {c1m}s vs {c100k}s at 100k");
+}
+
+#[test]
 fn daemon_soak_recorded_nontrivial_errorfree_throughput() {
     let doc = read("BENCH_daemon.json");
     let results = doc.find("\"results\"").expect("results section in BENCH_daemon.json");

@@ -132,6 +132,45 @@ fn sched_study_is_seed_and_thread_count_invariant() {
 }
 
 #[test]
+fn fleet_scale_construction_and_sweep_are_deterministic() {
+    // Fleet scale: the SoA layout must stay bit-for-bit reproducible at
+    // 10k modules — same-seed fleets identical, different-seed fleets
+    // different, and the fleet-native PVT sweep thread-count invariant.
+    use vap::core::pvt::PowerVariationTable;
+    use vap::sim::fleet::FleetState;
+    let n = 10_000;
+    let a = FleetState::new(SystemSpec::ha8k(), n, 2015);
+    let b = FleetState::new(SystemSpec::ha8k(), n, 2015);
+    assert_eq!(a.len(), n);
+    assert_eq!(
+        a.total_power().value().to_bits(),
+        b.total_power().value().to_bits(),
+        "same-seed 10k fleets must agree bitwise"
+    );
+    for i in [0usize, 1, 4_999, n - 1] {
+        let (x, y) = (a.operating_point(i), b.operating_point(i));
+        assert_eq!(x.clock.value().to_bits(), y.clock.value().to_bits());
+        assert_eq!(a.cpu_power(i).value().to_bits(), b.cpu_power(i).value().to_bits());
+    }
+    let c = FleetState::new(SystemSpec::ha8k(), n, 2016);
+    assert_ne!(
+        a.total_power().value().to_bits(),
+        c.total_power().value().to_bits(),
+        "different silicon lotteries must differ"
+    );
+
+    let micro = catalog::get(WorkloadId::Stream);
+    let sweep = |threads: usize| {
+        let mut fleet = FleetState::new(SystemSpec::ha8k(), n, 2015);
+        PowerVariationTable::generate_from_fleet(&mut fleet, &micro, 2015, threads)
+    };
+    let serial = sweep(1);
+    let parallel = sweep(4);
+    assert_eq!(serial, parallel, "10k-module PVT sweep must not depend on thread count");
+    assert_eq!(serial.len(), n);
+}
+
+#[test]
 fn observability_journal_is_thread_count_invariant() {
     // Recording a campaign must not perturb it, and the journal itself is
     // part of the deterministic surface: byte-identical at any --threads.

@@ -1,0 +1,214 @@
+//! Differential equivalence: the struct-of-arrays fleet path must be an
+//! *indistinguishable* drop-in for the original per-module object path.
+//!
+//! The SoA [`vap_sim::fleet::FleetState`] and the [`Cluster`] facade share
+//! the same scalar kernels (`rapl::steady_state`, the power models, the
+//! RAPL register round-trip), so everything downstream — PVTs, campaign
+//! CSVs, observability journals — must be **byte-identical**, not merely
+//! close, across layouts, seeds, and thread counts. These tests hold that
+//! line; `--pvt-engine reference` keeps the old path alive as the baseline.
+
+use vap::prelude::*;
+use vap_core::pvt::PvtEngine;
+use vap_sim::fleet::FleetState;
+use vap_workloads::spec::VariationResponse;
+
+const SEEDS: [u64; 3] = [1, 42, 0xdead];
+const THREADS: [usize; 2] = [1, 4];
+
+fn ha8k(n: usize, seed: u64) -> Cluster {
+    Cluster::with_size(SystemSpec::ha8k(), n, seed)
+}
+
+/// Bitwise comparison of a cluster and a fleet claiming to mirror it.
+fn assert_fleet_mirrors_cluster(cluster: &Cluster, fleet: &FleetState) {
+    assert_eq!(cluster.len(), fleet.len());
+    for (i, m) in cluster.modules().iter().enumerate() {
+        let (mop, fop) = (m.operating_point(), fleet.operating_point(i));
+        assert_eq!(mop.clock.value().to_bits(), fop.clock.value().to_bits(), "clock[{i}]");
+        assert_eq!(mop.duty.to_bits(), fop.duty.to_bits(), "duty[{i}]");
+        assert_eq!(m.cap().map(|c| c.cap.value().to_bits()), fleet.cap(i).map(|c| c.cap.value().to_bits()), "cap[{i}]");
+        assert_eq!(m.rapl_throttled(), fleet.rapl_throttled(i), "throttle[{i}]");
+        assert_eq!(m.cpu_power().value().to_bits(), fleet.cpu_power(i).value().to_bits(), "cpu_power[{i}]");
+        assert_eq!(m.dram_power().value().to_bits(), fleet.dram_power(i).value().to_bits(), "dram_power[{i}]");
+        assert_eq!(m.pkg_energy().value().to_bits(), fleet.pkg_energy(i).value().to_bits(), "pkg_energy[{i}]");
+        assert_eq!(m.dram_energy().value().to_bits(), fleet.dram_energy(i).value().to_bits(), "dram_energy[{i}]");
+    }
+}
+
+#[test]
+fn pvt_is_layout_invariant_across_seeds_and_threads() {
+    // The tentpole contract: both sweep engines produce bit-identical
+    // PVTs at every (seed, thread count) combination.
+    let micro = catalog::get(WorkloadId::Stream);
+    for seed in SEEDS {
+        for threads in THREADS {
+            let mut a = ha8k(48, seed);
+            let soa = PowerVariationTable::generate_with_engine(
+                &mut a,
+                &micro,
+                seed,
+                threads,
+                PvtEngine::Soa,
+            );
+            let mut b = ha8k(48, seed);
+            let reference = PowerVariationTable::generate_with_engine(
+                &mut b,
+                &micro,
+                seed,
+                threads,
+                PvtEngine::Reference,
+            );
+            assert_eq!(soa, reference, "PVT diverged at seed {seed}, threads {threads}");
+            for (x, y) in soa.entries().iter().zip(reference.entries()) {
+                assert_eq!(x.cpu_max.to_bits(), y.cpu_max.to_bits(), "seed {seed}");
+                assert_eq!(x.cpu_min.to_bits(), y.cpu_min.to_bits(), "seed {seed}");
+                assert_eq!(x.dram_max.to_bits(), y.dram_max.to_bits(), "seed {seed}");
+                assert_eq!(x.dram_min.to_bits(), y.dram_min.to_bits(), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pvt_journals_are_layout_invariant() {
+    // Not just the numbers: the observability journal each engine emits
+    // must be byte-identical too (same grid kind, same item brackets),
+    // at one thread and at four.
+    let micro = catalog::get(WorkloadId::Stream);
+    let observed = |engine: PvtEngine, threads: usize| {
+        let session = vap_obs::Session::install();
+        let mut cluster = ha8k(32, 42);
+        let pvt =
+            PowerVariationTable::generate_with_engine(&mut cluster, &micro, 42, threads, engine);
+        (pvt, session.finish())
+    };
+    for threads in THREADS {
+        let (pvt_soa, rep_soa) = observed(PvtEngine::Soa, threads);
+        let (pvt_ref, rep_ref) = observed(PvtEngine::Reference, threads);
+        assert_eq!(pvt_soa, pvt_ref);
+        assert_eq!(
+            rep_soa.journal_jsonl, rep_ref.journal_jsonl,
+            "journal diverged across engines at threads {threads}"
+        );
+        assert_eq!(rep_soa.metrics_csv, rep_ref.metrics_csv);
+        assert!(rep_soa.journal_jsonl.contains("\"kind\":\"module\""));
+    }
+}
+
+#[test]
+fn fig7_csv_is_layout_invariant() {
+    // A full campaign driven through each engine emits bit-identical CSV.
+    use vap_report::experiments::fig7;
+    use vap_report::{csv, RunOptions};
+    let at = |engine: PvtEngine| RunOptions {
+        modules: Some(32),
+        seed: 2015,
+        scale: 0.02,
+        threads: Some(2),
+        pvt_engine: engine,
+        ..RunOptions::default()
+    };
+    let soa = csv::fig7(&fig7::run(&at(PvtEngine::Soa)));
+    let reference = csv::fig7(&fig7::run(&at(PvtEngine::Reference)));
+    assert_eq!(soa, reference, "fig7 CSV must not depend on --pvt-engine");
+}
+
+#[test]
+fn sched_study_is_layout_invariant() {
+    // The scheduling study (PVT install + discrete-event replay + the
+    // incremental budgeter's re-partitions) is byte-identical across
+    // engines, CSV and simulated timeline both.
+    use vap_report::experiments::sched_study;
+    use vap_report::RunOptions;
+    let at = |engine: PvtEngine| RunOptions {
+        modules: Some(48),
+        seed: 2015,
+        scale: 0.05,
+        threads: Some(2),
+        pvt_engine: engine,
+        ..RunOptions::default()
+    };
+    let soa = sched_study::run(&at(PvtEngine::Soa));
+    let reference = sched_study::run(&at(PvtEngine::Reference));
+    assert_eq!(
+        sched_study::to_csv(&soa),
+        sched_study::to_csv(&reference),
+        "schedstudy CSV must not depend on --pvt-engine"
+    );
+    assert_eq!(soa.timeline_json, reference.timeline_json);
+}
+
+#[test]
+fn fleet_construction_matches_cluster_construction() {
+    // FleetState::new and FleetState::from_cluster(Cluster::with_size)
+    // describe the same fleet, bit for bit, at every seed.
+    for seed in SEEDS {
+        let cluster = ha8k(64, seed);
+        let direct = FleetState::new(SystemSpec::ha8k(), 64, seed);
+        let adopted = FleetState::from_cluster(&cluster);
+        assert_fleet_mirrors_cluster(&cluster, &direct);
+        assert_fleet_mirrors_cluster(&cluster, &adopted);
+    }
+}
+
+#[test]
+fn mirrored_operation_sequences_stay_bitwise_equal() {
+    // Drive the AoS cluster and the SoA fleet through the same RAPL /
+    // governor / workload / step sequence and compare after every phase.
+    for seed in SEEDS {
+        let mut cluster = ha8k(24, seed);
+        let mut fleet = FleetState::from_cluster(&cluster);
+        let spec = catalog::get(WorkloadId::Dgemm);
+
+        // workload occupancy (with variation response)
+        spec.apply_to_modules(&mut cluster, &(0..24).collect::<Vec<_>>(), seed);
+        spec.apply_to_fleet(&mut fleet, seed);
+        assert_fleet_mirrors_cluster(&cluster, &fleet);
+
+        // heterogeneous caps
+        let caps: Vec<Watts> = (0..24).map(|i| Watts(60.0 + i as f64)).collect();
+        cluster.set_caps(&caps).unwrap();
+        fleet.set_caps(&caps).unwrap();
+        assert_fleet_mirrors_cluster(&cluster, &fleet);
+
+        // frequency pinning
+        let freqs: Vec<GigaHertz> = (0..24).map(|i| GigaHertz(1.2 + 0.05 * i as f64)).collect();
+        cluster.set_frequencies(&freqs).unwrap();
+        fleet.set_frequencies(&freqs).unwrap();
+        assert_fleet_mirrors_cluster(&cluster, &fleet);
+
+        // time: energy accounting must agree through the MSR quantization
+        for _ in 0..5 {
+            cluster.step_all(Seconds(0.01));
+            fleet.step_all(Seconds(0.01));
+        }
+        assert_fleet_mirrors_cluster(&cluster, &fleet);
+        assert_eq!(
+            cluster.total_power().value().to_bits(),
+            fleet.total_power().value().to_bits()
+        );
+
+        // release
+        cluster.uncap_all();
+        fleet.uncap_all();
+        assert_fleet_mirrors_cluster(&cluster, &fleet);
+    }
+}
+
+#[test]
+fn workload_application_is_layout_invariant_for_faithful_response() {
+    // The faithful response keeps the base variation (no override); both
+    // layouts must agree on that too.
+    let mut cluster = ha8k(12, 7);
+    let mut fleet = FleetState::from_cluster(&cluster);
+    let mut spec = catalog::get(WorkloadId::Stream);
+    spec.response = VariationResponse::faithful();
+    spec.apply_to_modules(&mut cluster, &(0..12).collect::<Vec<_>>(), 7);
+    spec.apply_to_fleet(&mut fleet, 7);
+    for (i, m) in cluster.modules().iter().enumerate() {
+        assert_eq!(m.variation().dynamic.to_bits(), fleet.variation(i).dynamic.to_bits());
+        assert_eq!(m.variation().leakage.to_bits(), fleet.variation(i).leakage.to_bits());
+    }
+    assert_fleet_mirrors_cluster(&cluster, &fleet);
+}
