@@ -1,0 +1,112 @@
+//! `obs-overhead`: measures what the watt-provenance ledger costs a real
+//! campaign. Runs the fig. 7 grid twice per repetition — recorder off
+//! (the shipped default: every `ledger_tick` site is one relaxed atomic
+//! load) and with `Session::install_with_ledger` armed — and reports the
+//! medians plus the relative overhead as hand-rolled JSON for
+//! `BENCH_obs.json`. Sessions are dropped without export so the numbers
+//! time attribution itself, not journal serialization.
+//!
+//! ```text
+//! obs-overhead --modules 48 --reps 5 --out BENCH_obs.json
+//! ```
+
+use std::time::Instant;
+use vap_report::experiments::fig7;
+use vap_report::options::RunOptions;
+
+struct Args {
+    modules: usize,
+    reps: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Args {
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = Args { modules: 48, reps: 5, seed: 2015, out: None };
+        let mut it = argv;
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--modules" => {
+                    args.modules =
+                        take("--modules")?.parse().map_err(|e| format!("--modules: {e}"))?;
+                }
+                "--reps" => {
+                    args.reps = take("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                    if args.reps == 0 {
+                        return Err("--reps must be at least 1".into());
+                    }
+                }
+                "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--out" => args.out = Some(take("--out")?),
+                _ => {
+                    return Err(format!(
+                        "unknown flag {flag} (usage: [--modules N] [--reps R] [--seed S] [--out PATH])"
+                    ))
+                }
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Time `reps` fig. 7 campaigns, with or without the ledger armed.
+fn time_campaigns(opts: &RunOptions, reps: usize, ledger: bool) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let session = ledger.then(vap_obs::Session::install_with_ledger);
+            let start = Instant::now();
+            let result = fig7::run(opts);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(!result.rows.is_empty(), "campaign produced no rows");
+            drop(session);
+            elapsed
+        })
+        .collect()
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = RunOptions { modules: Some(args.modules), seed: args.seed, ..RunOptions::default() };
+
+    // Interleaving off/on reps would be fairer under thermal drift, but
+    // campaigns are seconds long on cold caches either way; keep the two
+    // series separate so each is a clean warm-up ramp.
+    let mut off = time_campaigns(&opts, args.reps, false);
+    let mut on = time_campaigns(&opts, args.reps, true);
+    let off_median = median(&mut off);
+    let on_median = median(&mut on);
+    let overhead_pct = 100.0 * (on_median - off_median) / off_median;
+
+    let report = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"modules\": {},\n  \"reps\": {},\n  \
+         \"ledger_off_median_s\": {off_median:.4},\n  \"ledger_on_median_s\": {on_median:.4},\n  \
+         \"overhead_pct\": {overhead_pct:.2}\n}}\n",
+        args.modules, args.reps,
+    );
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+            print!("{report}");
+        }
+        None => print!("{report}"),
+    }
+}

@@ -79,6 +79,10 @@ pub fn run_region(
     vap_obs::observe("region.makespan_s", run.makespan().value());
     vap_obs::observe("region.total_power_w", total_power.value());
 
+    // Watt-provenance: attribute the plan's budget over the whole region
+    // while settings are still applied. One tick, dt = makespan.
+    vap_obs::ledger_tick(|| region_ledger_tick(cluster, plan, run.makespan()));
+
     // --- region exit (just before MPI_Finalize) ---
     release_plan(plan, cluster);
     for &id in module_ids {
@@ -90,6 +94,44 @@ pub fn run_region(
     }
 
     RegionReport { run, module_power, total_power, energy }
+}
+
+/// Attribute one region's budget to `(job, module, domain)` watt bins.
+///
+/// The region is a single implicit job (id 0). Telescoping keeps the
+/// bins summing to the budget exactly: per-domain `useful + loss`
+/// recovers each grant (`useful = min(measured, granted)`, the loss
+/// classified as throttle when RAPL is actively limiting, headroom
+/// otherwise), and the job-residue row absorbs `budget − Σ grants` —
+/// so the ledger's conservation invariant holds by construction, not by
+/// measurement luck.
+fn region_ledger_tick(
+    cluster: &Cluster,
+    plan: &PowerPlan,
+    makespan: Seconds,
+) -> vap_obs::LedgerTick {
+    use vap_obs::{Category, Domain, LedgerEntry, LedgerTick};
+    let mut entries = Vec::new();
+    let mut granted_total = 0.0;
+    for a in &plan.allocations {
+        let Some(m) = cluster.get(a.module_id) else {
+            continue;
+        };
+        let id = a.module_id as u64;
+        let throttled = m.rapl_throttled();
+        for (domain, granted, measured) in [
+            (Domain::Cpu, a.p_cpu.value(), m.cpu_power().value()),
+            (Domain::Dram, a.p_dram.value(), m.dram_power().value()),
+        ] {
+            let useful = measured.min(granted);
+            entries.push(LedgerEntry::module(0, id, domain, Category::Useful, useful));
+            let cat = if throttled { Category::Throttle } else { Category::Headroom };
+            entries.push(LedgerEntry::module(0, id, domain, cat, granted - useful));
+            granted_total += granted;
+        }
+    }
+    entries.push(LedgerEntry::job_residue(0, plan.budget.value() - granted_total));
+    LedgerTick { t_s: 0.0, dt_s: makespan.value(), cap_w: plan.budget.value(), entries }
 }
 
 #[cfg(test)]
@@ -161,6 +203,38 @@ mod tests {
         let tight = run_with(SchemeId::VaFs, Watts(65.0), 8);
         assert!(tight.makespan() > loose.makespan());
         assert!(tight.total_power < loose.total_power);
+    }
+
+    #[test]
+    fn region_ledger_conserves_the_budget() {
+        let (mut c, pvt) = setup(8);
+        let w = catalog::get(WorkloadId::Mhd);
+        let ids: Vec<usize> = (0..8).collect();
+        let req = PlanRequest {
+            budget: Watts(8.0 * 80.0),
+            module_ids: &ids,
+            workload: &w,
+            pvt: &pvt,
+            seed: SEED,
+        };
+        let plan = SchemeId::VaPc.plan(&mut c, &req).unwrap();
+        w.apply_to_modules(&mut c, &ids, SEED);
+        apply_plan(&plan, &mut c);
+
+        let tick = region_ledger_tick(&c, &plan, Seconds(120.0));
+        // 8 modules × 2 domains × 2 rows + job residue
+        assert_eq!(tick.entries.len(), 8 * 2 * 2 + 1);
+        let mut table = vap_obs::LedgerTable::new();
+        table.record(tick);
+        assert_eq!(table.violations, 0, "telescoped bins must sum to the budget");
+        let [useful, throttle, headroom, _stranded] = table.energy_by_category();
+        assert!(useful > 0.0, "a busy region burns useful watts");
+        assert!(
+            throttle + headroom >= 0.0,
+            "losses are non-negative by construction"
+        );
+
+        release_plan(&plan, &mut c);
     }
 
     #[test]

@@ -17,8 +17,10 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 use vap_daemon::clock::{Deadline, Stopwatch};
+use vap_obs::Histogram;
 
 struct Args {
     prom: String,
@@ -82,6 +84,9 @@ struct Counters {
     prom_bytes: AtomicU64,
     json_lines: AtomicU64,
     errors: AtomicU64,
+    /// Per-scrape wall latency (ms), log-linear bucketed. A mutex is fine
+    /// here: one lock per whole HTTP round trip, off the daemon's path.
+    scrape_ms: Mutex<Histogram>,
 }
 
 /// One Prometheus scrape: connect, GET /metrics, read to EOF.
@@ -103,10 +108,14 @@ fn scrape_once(addr: &str) -> Result<u64, ()> {
 /// Scrape `/metrics` in a tight loop until the deadline.
 fn prom_client(addr: &str, deadline: Deadline, counters: &Counters) {
     while !deadline.expired() {
+        let watch = Stopwatch::start();
         match scrape_once(addr) {
             Ok(bytes) => {
                 counters.prom_scrapes.fetch_add(1, Ordering::Relaxed);
                 counters.prom_bytes.fetch_add(bytes, Ordering::Relaxed);
+                if let Ok(mut hist) = counters.scrape_ms.lock() {
+                    hist.observe(watch.elapsed_s() * 1e3);
+                }
             }
             Err(()) => {
                 counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -157,10 +166,20 @@ fn report_json(args: &Args, wall_s: f64, counters: &Counters) -> String {
     let bytes = counters.prom_bytes.load(Ordering::Relaxed);
     let lines = counters.json_lines.load(Ordering::Relaxed);
     let errors = counters.errors.load(Ordering::Relaxed);
+    let (p50, p95, p99) = match counters.scrape_ms.lock() {
+        Ok(hist) => (
+            hist.quantile(0.50).unwrap_or(0.0),
+            hist.quantile(0.95).unwrap_or(0.0),
+            hist.quantile(0.99).unwrap_or(0.0),
+        ),
+        Err(_) => (0.0, 0.0, 0.0),
+    };
     format!(
         "{{\n  \"bench\": \"daemon_soak\",\n  \"wall_s\": {wall_s:.3},\n  \
          \"prom_clients\": {},\n  \"prom_scrapes\": {scrapes},\n  \
          \"prom_bytes\": {bytes},\n  \"prom_scrapes_per_s\": {:.1},\n  \
+         \"prom_scrape_p50_ms\": {p50:.3},\n  \"prom_scrape_p95_ms\": {p95:.3},\n  \
+         \"prom_scrape_p99_ms\": {p99:.3},\n  \
          \"json_clients\": {},\n  \"json_lines\": {lines},\n  \"errors\": {errors}\n}}\n",
         args.prom_clients,
         scrapes as f64 / wall_s.max(1e-9),

@@ -2,8 +2,12 @@
 //! HTTP server, rendering the latest snapshot in the
 //! [exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
 //! (text version 0.0.4 — `# HELP` / `# TYPE` lines plus labelled
-//! samples). Every metric is a gauge: the snapshot is a point-in-time
-//! view, not a counter stream.
+//! samples). Scalar metrics are gauges (the snapshot is a point-in-time
+//! view, not a counter stream); the snapshot's log-linear histograms are
+//! rendered as real `histogram` families with cumulative
+//! `_bucket{le=...}` / `_sum` / `_count` samples. `GET /alerts` serves
+//! the snapshot's drift alerts as JSON (hand-rolled — the endpoint works
+//! even where serde_json is stubbed out).
 
 use crate::http::{self, Request, Response};
 use crate::signal::ShutdownFlag;
@@ -46,10 +50,14 @@ impl Exporter for PrometheusExporter {
             ("GET", "/metrics") => {
                 Response::ok("text/plain; version=0.0.4", render_prometheus(&registry.read()))
             }
+            ("GET", "/alerts") => {
+                Response::ok("application/json", render_alerts_json(&registry.read()))
+            }
             ("GET", "/") => Response::ok(
                 "text/plain",
                 "vap-daemon: live telemetry for the simulated fleet\n\
-                 GET /metrics — Prometheus text format\n"
+                 GET /metrics — Prometheus text format\n\
+                 GET /alerts — drift alerts as JSON\n"
                     .to_string(),
             ),
             (_, path) => Response::not_found(path),
@@ -129,13 +137,59 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
         );
     }
 
+    gauge_header(
+        &mut out,
+        "vap_drift_alerts_total",
+        "Drift alerts raised over the producer's lifetime.",
+    );
+    let _ = writeln!(out, "vap_drift_alerts_total {}", snap.drift_alerts);
+
+    for h in &snap.hists {
+        let name = format!("vap_{}", h.name);
+        let _ = writeln!(out, "# HELP {name} Log-linear histogram published by the producer.");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        // Snapshot buckets are per-bucket counts; Prometheus `le` buckets
+        // are cumulative.
+        let mut cumulative = 0u64;
+        for &vap_obs::BucketCount(le, n) in &h.buckets {
+            cumulative += n;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+
+    out
+}
+
+/// Render the snapshot's drift state as JSON, by hand: the fixed field
+/// set keeps the serving plane free of any JSON-library dependency.
+pub fn render_alerts_json(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(128 + 64 * snap.alerts.len());
+    let _ = write!(
+        out,
+        "{{\"epoch\":{},\"sim_time_s\":{},\"drift_alerts\":{},\"alerts\":[",
+        snap.epoch, snap.sim_time_s, snap.drift_alerts
+    );
+    for (i, a) in snap.alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"module\":{},\"residual_w\":{},\"z\":{}}}",
+            a.module, a.residual_w, a.z
+        );
+    }
+    out.push_str("]}\n");
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vap_obs::ModuleSample;
+    use vap_obs::{BucketCount, DriftAlertSample, HistogramSample, ModuleSample};
 
     fn snapshot() -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -144,6 +198,14 @@ mod tests {
             cap_w: 160.0,
             running_jobs: 2,
             queued_jobs: 5,
+            drift_alerts: 3,
+            alerts: vec![DriftAlertSample { module: 1, residual_w: 4.5, z: 5.25 }],
+            hists: vec![HistogramSample {
+                name: "sched_jct_s".to_string(),
+                count: 6,
+                sum: 31.5,
+                buckets: vec![BucketCount(4.0, 2), BucketCount(8.0, 3), BucketCount(16.0, 1)],
+            }],
             modules: vec![
                 ModuleSample {
                     id: 0,
@@ -184,15 +246,47 @@ mod tests {
         // uncapped module 1 must have no cap sample; capped module 0 must
         assert!(text.contains("vap_module_cap_watts{module=\"0\"} 80\n"));
         assert!(!text.contains("vap_module_cap_watts{module=\"1\"}"));
+        assert!(text.contains("vap_drift_alerts_total 3\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_prometheus_buckets() {
+        let text = render_prometheus(&snapshot());
+        assert!(text.contains("# TYPE vap_sched_jct_s histogram"));
+        // per-bucket counts 2/3/1 become cumulative 2/5/6
+        assert!(text.contains("vap_sched_jct_s_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("vap_sched_jct_s_bucket{le=\"8\"} 5\n"));
+        assert!(text.contains("vap_sched_jct_s_bucket{le=\"16\"} 6\n"));
+        assert!(text.contains("vap_sched_jct_s_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("vap_sched_jct_s_sum 31.5\n"));
+        assert!(text.contains("vap_sched_jct_s_count 6\n"));
     }
 
     #[test]
     fn every_sample_line_has_help_and_type() {
         let text = render_prometheus(&snapshot());
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let name = line.split(['{', ' ']).next().unwrap();
+            let sample = line.split(['{', ' ']).next().unwrap();
+            // histogram samples carry the family's _bucket/_sum/_count suffix
+            let name = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| sample.strip_suffix(s))
+                .unwrap_or(sample);
             assert!(text.contains(&format!("# HELP {name} ")), "missing HELP for {name}");
-            assert!(text.contains(&format!("# TYPE {name} gauge")), "missing TYPE for {name}");
+            let typed = text.contains(&format!("# TYPE {name} gauge"))
+                || text.contains(&format!("# TYPE {name} histogram"));
+            assert!(typed, "missing TYPE for {name}");
         }
+    }
+
+    #[test]
+    fn alerts_json_is_parseable_and_complete() {
+        let text = render_alerts_json(&snapshot());
+        assert!(text.starts_with('{') && text.ends_with("}\n"));
+        assert!(text.contains("\"drift_alerts\":3"));
+        assert!(text.contains("\"alerts\":[{\"module\":1,\"residual_w\":4.5,\"z\":5.25}]"));
+        // an alert-free snapshot renders an empty array, not a null
+        let quiet = TelemetrySnapshot::default().seal(1);
+        assert!(render_alerts_json(&quiet).contains("\"alerts\":[]"));
     }
 }

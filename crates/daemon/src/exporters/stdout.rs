@@ -55,7 +55,7 @@ impl Exporter for StdoutExporter {
         let stdout = std::io::stdout();
         while !stop.raised() {
             let epoch = registry.epoch();
-            if epoch > last_epoch && epoch % self.every == 0 {
+            if epoch > last_epoch && epoch.is_multiple_of(self.every) {
                 let snap = registry.read();
                 last_epoch = snap.epoch;
                 let mut out = stdout.lock();

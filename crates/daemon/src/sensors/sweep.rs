@@ -7,6 +7,7 @@
 use crate::sensors::Sensor;
 use vap_model::systems::SystemSpec;
 use vap_model::units::{Seconds, Watts};
+use vap_obs::{DriftAlertSample, DriftConfig, DriftDetector};
 use vap_sim::cluster::Cluster;
 use vap_sim::rapl::RaplLimit;
 use vap_workloads::{catalog, WorkloadId};
@@ -18,6 +19,9 @@ const CAP_LADDER_W: [Option<f64>; 4] = [Some(95.0), Some(80.0), Some(68.0), None
 /// Simulated seconds spent at each ladder rung before stepping.
 const DWELL_TICKS: u64 = 30;
 
+/// Live drift alerts kept in each snapshot.
+const RECENT_ALERTS: usize = 8;
+
 /// A capped fleet under load, stepped one simulated second per tick.
 pub struct CapSweepSensor {
     cluster: Cluster,
@@ -25,6 +29,8 @@ pub struct CapSweepSensor {
     ticks: u64,
     max_ticks: u64,
     rung: usize,
+    drift: DriftDetector,
+    recent_alerts: Vec<DriftAlertSample>,
 }
 
 impl CapSweepSensor {
@@ -33,8 +39,16 @@ impl CapSweepSensor {
     pub fn new(n: usize, seed: u64, max_ticks: u64) -> Self {
         let mut cluster = Cluster::with_size(SystemSpec::ha8k(), n, seed);
         catalog::get(WorkloadId::Dgemm).apply_to(&mut cluster, seed);
-        let mut sensor =
-            CapSweepSensor { cluster, sim_time_s: 0.0, ticks: 0, max_ticks, rung: 0 };
+        let drift = DriftDetector::new(cluster.len(), DriftConfig::default());
+        let mut sensor = CapSweepSensor {
+            cluster,
+            sim_time_s: 0.0,
+            ticks: 0,
+            max_ticks,
+            rung: 0,
+            drift,
+            recent_alerts: Vec::new(),
+        };
         sensor.apply_rung();
         sensor
     }
@@ -65,7 +79,7 @@ impl Sensor for CapSweepSensor {
         if self.max_ticks > 0 && self.ticks >= self.max_ticks {
             return None;
         }
-        if self.ticks > 0 && self.ticks % DWELL_TICKS == 0 {
+        if self.ticks > 0 && self.ticks.is_multiple_of(DWELL_TICKS) {
             self.rung = (self.rung + 1) % CAP_LADDER_W.len();
             self.apply_rung();
         }
@@ -73,6 +87,21 @@ impl Sensor for CapSweepSensor {
         self.ticks += 1;
         self.sim_time_s += 1.0;
         vap_obs::incr("daemon.ticks");
+        for idx in 0..self.cluster.len() {
+            let Some(m) = self.cluster.get(idx) else { continue };
+            let residual = m.module_power().value() - m.pvt_predicted_power().value();
+            if let Some(alert) = self.drift.observe(idx, self.sim_time_s, residual) {
+                vap_obs::incr("daemon.drift_alerts");
+                self.recent_alerts.push(DriftAlertSample {
+                    module: alert.module,
+                    residual_w: alert.residual_w,
+                    z: alert.z,
+                });
+                if self.recent_alerts.len() > RECENT_ALERTS {
+                    self.recent_alerts.remove(0);
+                }
+            }
+        }
         let modules = self.cluster.telemetry();
         let total_power_w = modules.iter().map(|m| m.power_w).sum();
         vap_obs::observe("daemon.fleet_power_w", total_power_w);
@@ -82,6 +111,8 @@ impl Sensor for CapSweepSensor {
             cap_w: self.rung_cap_w() * modules.len() as f64,
             running_jobs: 0,
             queued_jobs: 0,
+            drift_alerts: self.drift.alerts_total(),
+            alerts: self.recent_alerts.clone(),
             modules,
             ..vap_obs::TelemetrySnapshot::default()
         })
@@ -116,6 +147,19 @@ mod tests {
         assert_eq!(caps[DWELL_TICKS as usize], 160.0);
         assert_eq!(caps[2 * DWELL_TICKS as usize], 136.0);
         assert_eq!(caps[3 * DWELL_TICKS as usize], 0.0);
+    }
+
+    #[test]
+    fn drift_state_rides_along_in_snapshots() {
+        let mut sensor = CapSweepSensor::new(3, 2015, 0);
+        let mut last = None;
+        for _ in 0..(DWELL_TICKS * 2) {
+            last = sensor.tick();
+        }
+        let snap = last.unwrap();
+        // the live window is bounded and never exceeds the lifetime total
+        assert!(snap.alerts.len() <= RECENT_ALERTS);
+        assert!(snap.drift_alerts >= snap.alerts.len() as u64);
     }
 
     #[test]

@@ -24,6 +24,18 @@ use crate::source::SourceFile;
 const SCOPE: [&str; 6] =
     ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched", "vap-daemon"];
 
+/// `vap-obs` modules that feed the deterministic journal. The recorder
+/// crate as a whole stays out of scope (its session plumbing is host-side
+/// glue), but watt-provenance bins, histograms, decision records and
+/// drift state are replayed byte-for-byte — a wall clock or hash-ordered
+/// map in any of them would silently break journal identity.
+const MODULE_SCOPE: [&str; 4] = [
+    "crates/obs/src/ledger.rs",
+    "crates/obs/src/hist.rs",
+    "crates/obs/src/decision.rs",
+    "crates/obs/src/drift.rs",
+];
+
 /// `(token, message, help)` per forbidden construct.
 const FORBIDDEN: [(&str, &str, &str); 6] = [
     (
@@ -67,11 +79,13 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched/vap-daemon"
+        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched/vap-daemon or the vap-obs ledger/hist/decision/drift modules"
     }
 
     fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
-        if !SCOPE.contains(&file.crate_name.as_str()) {
+        let crate_in_scope = SCOPE.contains(&file.crate_name.as_str());
+        let module_in_scope = MODULE_SCOPE.iter().any(|suffix| file.path.ends_with(suffix));
+        if !crate_in_scope && !module_in_scope {
             return;
         }
         for (i, line) in file.code.iter().enumerate() {
@@ -161,6 +175,31 @@ mod tests {
         let mut out = Vec::new();
         Determinism.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
         assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn the_ledger_modules_are_in_scope_by_path() {
+        // wall clocks must stay out of watt-provenance binning even
+        // though the wider vap-obs crate is exempt
+        for path in super::MODULE_SCOPE {
+            let f = SourceFile::from_source(path, "vap-obs", "let t = Instant::now();\n");
+            let mut out = Vec::new();
+            Determinism.check(
+                &f,
+                &Context { index: &crate::index::SymbolIndex::default() },
+                &mut out,
+            );
+            assert_eq!(out.len(), 1, "{path} must be in scope");
+        }
+        // the session/recorder plumbing stays host-side glue
+        let f = SourceFile::from_source(
+            "crates/obs/src/recorder.rs",
+            "vap-obs",
+            "let t = Instant::now();\n",
+        );
+        let mut out = Vec::new();
+        Determinism.check(&f, &Context { index: &crate::index::SymbolIndex::default() }, &mut out);
+        assert!(out.is_empty(), "recorder.rs is out of scope");
     }
 
     #[test]

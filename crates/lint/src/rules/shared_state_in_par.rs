@@ -188,6 +188,23 @@ mod tests {
     }
 
     #[test]
+    fn a_ledger_static_would_be_par_reachable() {
+        // the watt-provenance sink: ledger ticks are recorded from inside
+        // par_grid campaign cells, so any hidden static accumulator in the
+        // ledger module races across workers — per-cell tables merged in
+        // index order (what vap-obs actually does) is the sanctioned shape
+        let hits = findings_with_deps(
+            "crates/obs/src/ledger.rs",
+            "vap-obs",
+            "static TOTALS: Mutex<Vec<f64>> = Mutex::new(Vec::new());\n",
+            &[SIM_PAR],
+            &[("vap-sim", &["vap-core", "vap-exec"]), ("vap-core", &["vap-obs"])],
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("reachable from vap-exec worker closures"));
+    }
+
+    #[test]
     fn static_in_unreachable_crate_is_quiet() {
         let hits = findings_with_deps(
             "crates/report/src/table.rs",

@@ -6,12 +6,14 @@
 //!
 //! Any number of artifacts, classified by extension: `.jsonl` files are
 //! validated as event journals (parsed into the `vap_obs::export` schema,
-//! re-serialized, and compared byte-for-byte — a serde round-trip),
-//! `.json` files as Chrome trace-event timelines, and `.csv` files as
-//! metrics tables. Exit code 0 on success, 1 on validation failure, 2 on
-//! usage/IO errors.
+//! re-serialized, and compared byte-for-byte — a serde round-trip,
+//! including ledger and decision records), files named `ledger.csv` as
+//! watt-provenance ledgers (per-tick conservation is re-checked from the
+//! raw rows), other `.json` files as Chrome trace-event timelines, and
+//! other `.csv` files as metrics tables. Exit code 0 on success, 1 on
+//! validation failure, 2 on usage/IO errors.
 
-use vap_obs::{validate_journal, validate_metrics_csv, validate_trace};
+use vap_obs::{validate_journal, validate_ledger_csv, validate_metrics_csv, validate_trace};
 
 fn read(path: &str) -> String {
     match std::fs::read_to_string(path) {
@@ -45,6 +47,17 @@ fn main() {
         } else if path.ends_with(".json") {
             match validate_trace(&read(path)) {
                 Ok(events) => println!("{path}: OK ({events} events)"),
+                Err(e) => {
+                    eprintln!("obs-check: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else if path.ends_with("ledger.csv") {
+            match validate_ledger_csv(&read(path)) {
+                Ok(stats) => println!(
+                    "{path}: OK ({} tick rows, {} bin rows, conservation holds)",
+                    stats.tick_rows, stats.bin_rows
+                ),
                 Err(e) => {
                     eprintln!("obs-check: {path}: {e}");
                     std::process::exit(1);

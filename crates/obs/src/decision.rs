@@ -1,0 +1,186 @@
+//! Structured scheduler decision records.
+//!
+//! Every admission, deferral, kill, preemption, rebalance and cap change
+//! the scheduler runtime makes is captured as a [`DecisionRecord`]: the
+//! simulated time, the job concerned, the budget state the decision was
+//! made under, and — crucially — the *alternatives considered* (the
+//! width probes of the admission binary search, the per-job budget
+//! deltas of a rebalance). The records are pure functions of the
+//! simulated trace, so the journal stays byte-identical at any
+//! `--threads N`, and `vap-report --bin explain` can replay them offline
+//! to answer "why was job J shrunk at t=T" without re-running the
+//! simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// One width the admission search probed: the job width tried, the power
+/// floor it would need, and whether the budget could cover it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct WidthProbe {
+    /// Modules the probe would grant.
+    pub width: u64,
+    /// Minimum power (W) the probed placement needs.
+    pub floor_w: f64,
+    /// Whether the floor fits the available budget.
+    pub feasible: bool,
+}
+
+/// One job's budget movement inside a rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BudgetDelta {
+    /// The job whose budget moved.
+    pub job: u64,
+    /// Budget (W) before the rebalance.
+    pub before_w: f64,
+    /// Budget (W) after the rebalance.
+    pub after_w: f64,
+    /// The α the new budget resolves to.
+    pub alpha: f64,
+}
+
+/// What the scheduler decided, with the evidence it weighed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DecisionKind {
+    /// The job was placed.
+    Admit {
+        /// Modules the job asked for.
+        width_requested: u64,
+        /// Modules it was granted (≤ requested under a tight cap).
+        width_granted: u64,
+        /// Power budget (W) attached to the placement.
+        budget_w: f64,
+        /// The α the budget resolves to at grant time.
+        alpha: f64,
+        /// Widths the binary search probed on the way to the grant.
+        alternatives: Vec<WidthProbe>,
+    },
+    /// The job stayed queued.
+    Defer {
+        /// Why placement failed (vocabulary: `"no_feasible_width"`,
+        /// `"insufficient_modules"`, `"insufficient_power"`).
+        reason: String,
+    },
+    /// The job can never run and was removed.
+    Kill {
+        /// Why the job is impossible.
+        reason: String,
+    },
+    /// A running job was evicted.
+    Preempt {
+        /// Power (W) returned to the pool.
+        freed_w: f64,
+        /// Width the job held when evicted.
+        width: u64,
+    },
+    /// Budgets were redistributed across running jobs.
+    Rebalance {
+        /// The partition policy that drove the split.
+        policy: String,
+        /// Per-job before/after budgets.
+        deltas: Vec<BudgetDelta>,
+    },
+    /// The global cap moved.
+    CapChange {
+        /// Cap (W) before.
+        old_w: f64,
+        /// Cap (W) after.
+        new_w: f64,
+    },
+}
+
+impl DecisionKind {
+    /// Stable lowercase tag (matches the serde `kind` field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DecisionKind::Admit { .. } => "admit",
+            DecisionKind::Defer { .. } => "defer",
+            DecisionKind::Kill { .. } => "kill",
+            DecisionKind::Preempt { .. } => "preempt",
+            DecisionKind::Rebalance { .. } => "rebalance",
+            DecisionKind::CapChange { .. } => "cap_change",
+        }
+    }
+}
+
+/// One scheduler decision at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct DecisionRecord {
+    /// Simulated time the decision was taken (s).
+    pub t_s: f64,
+    /// The job concerned, if the decision is job-scoped.
+    pub job: Option<u64>,
+    /// Global cap in effect (W).
+    pub cap_w: f64,
+    /// Unallocated budget at decision time (W).
+    pub avail_w: f64,
+    /// The decision and its evidence.
+    pub kind: DecisionKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_json_uses_snake_case_kind_tags() {
+        let rec = DecisionRecord {
+            t_s: 12.5,
+            job: Some(3),
+            cap_w: 95.0,
+            avail_w: 20.0,
+            kind: DecisionKind::Admit {
+                width_requested: 8,
+                width_granted: 4,
+                budget_w: 18.0,
+                alpha: 0.82,
+                alternatives: vec![
+                    WidthProbe { width: 8, floor_w: 36.0, feasible: false },
+                    WidthProbe { width: 4, floor_w: 17.0, feasible: true },
+                ],
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"kind\":\"admit\""), "{json}");
+        assert!(json.contains("\"alternatives\""), "{json}");
+        let back: DecisionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn cap_change_has_no_job() {
+        let rec = DecisionRecord {
+            t_s: 30.0,
+            job: None,
+            cap_w: 80.0,
+            avail_w: 5.0,
+            kind: DecisionKind::CapChange { old_w: 95.0, new_w: 80.0 },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"job\":null"), "{json}");
+        assert_eq!(rec.kind.tag(), "cap_change");
+    }
+
+    #[test]
+    fn tags_cover_every_variant() {
+        let kinds = [
+            DecisionKind::Admit {
+                width_requested: 1,
+                width_granted: 1,
+                budget_w: 1.0,
+                alpha: 1.0,
+                alternatives: vec![],
+            },
+            DecisionKind::Defer { reason: "insufficient_power".into() },
+            DecisionKind::Kill { reason: "impossible".into() },
+            DecisionKind::Preempt { freed_w: 10.0, width: 2 },
+            DecisionKind::Rebalance { policy: "even".into(), deltas: vec![] },
+            DecisionKind::CapChange { old_w: 1.0, new_w: 2.0 },
+        ];
+        let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags, ["admit", "defer", "kill", "preempt", "rebalance", "cap_change"]);
+    }
+}

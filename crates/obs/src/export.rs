@@ -25,11 +25,14 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use crate::decision::{DecisionKind, DecisionRecord};
+use crate::ledger::{conservation_epsilon, Category, LedgerBin, LedgerTable};
 use crate::metrics::{Histogram, Metrics};
 use crate::recorder::Inner;
 
-/// Journal schema version.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Journal schema version. v2 added the watt-provenance `ledger` and
+/// scheduler `decision` line types (between the cells and the total).
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// Serializable snapshot of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,6 +98,43 @@ pub enum JournalLine {
         /// Histograms by name.
         histograms: BTreeMap<String, HistogramSnapshot>,
     },
+    /// One scope's watt-provenance ledger rollup: accumulated energy
+    /// bins plus the conservation verdict. Cell scopes carry their
+    /// `(grid, index)`; the driver's direct ledger carries `None`s.
+    Ledger {
+        /// Owning grid, or `None` for the driver's direct ledger.
+        grid: Option<u64>,
+        /// Item index within the grid, if cell-scoped.
+        index: Option<u64>,
+        /// Ticks recorded into this scope.
+        ticks: u64,
+        /// Ticks whose bins failed the conservation invariant.
+        violations: u64,
+        /// Largest |Σ bins − cap| observed (W).
+        worst_residual_w: f64,
+        /// Accumulated energy bins, sorted by `(job, module, domain,
+        /// category)`.
+        bins: Vec<LedgerBin>,
+    },
+    /// One scheduler decision, with the alternatives it weighed.
+    Decision {
+        /// Owning grid, or `None` for driver-thread decisions.
+        grid: Option<u64>,
+        /// Item index within the grid, if cell-scoped.
+        index: Option<u64>,
+        /// Record order within the scope (0-based).
+        seq: u64,
+        /// Simulated time of the decision (s).
+        t_s: f64,
+        /// The job concerned, if job-scoped.
+        job: Option<u64>,
+        /// Global cap in effect (W).
+        cap_w: f64,
+        /// Unallocated budget at decision time (W).
+        avail_w: f64,
+        /// The decision and its evidence.
+        decision: DecisionKind,
+    },
     /// Whole-session rollup: always the last line.
     Total {
         /// Counter values by name.
@@ -142,6 +182,8 @@ pub struct ObsReport {
     pub journal_jsonl: String,
     /// Long-form per-cell metrics CSV.
     pub metrics_csv: String,
+    /// Watt-provenance ledger CSV (empty when no ledger was recorded).
+    pub ledger_csv: String,
     /// Chrome trace-event timeline (wall-clock side channel).
     pub trace_json: String,
     /// Human-readable totals table for stdout.
@@ -149,15 +191,19 @@ pub struct ObsReport {
 }
 
 impl ObsReport {
-    /// Write the three artifacts into `dir` (created if missing),
-    /// returning the paths written.
+    /// Write the artifacts into `dir` (created if missing), returning
+    /// the paths written. `ledger.csv` is written only when the session
+    /// recorded ledger ticks.
     pub fn write_to(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
         std::fs::create_dir_all(dir)?;
-        let files = [
+        let mut files = vec![
             ("journal.jsonl", &self.journal_jsonl),
             ("metrics.csv", &self.metrics_csv),
             ("trace.json", &self.trace_json),
         ];
+        if !self.ledger_csv.is_empty() {
+            files.push(("ledger.csv", &self.ledger_csv));
+        }
         let mut written = Vec::with_capacity(files.len());
         for (name, content) in files {
             let path = dir.join(name);
@@ -181,6 +227,30 @@ fn to_line(line: &JournalLine) -> String {
     // vap:allow(no-panic-in-lib): all journal values are finite and all
     // map keys stringify — serialization of these plain types cannot fail
     serde_json::to_string(line).expect("journal serialization cannot fail")
+}
+
+fn ledger_line(grid: Option<u64>, index: Option<u64>, t: &LedgerTable) -> JournalLine {
+    JournalLine::Ledger {
+        grid,
+        index,
+        ticks: t.ticks.len() as u64,
+        violations: t.violations,
+        worst_residual_w: t.worst_residual_w,
+        bins: t.bin_records(),
+    }
+}
+
+fn decision_line(grid: Option<u64>, index: Option<u64>, seq: u64, r: &DecisionRecord) -> JournalLine {
+    JournalLine::Decision {
+        grid,
+        index,
+        seq,
+        t_s: r.t_s,
+        job: r.job,
+        cap_w: r.cap_w,
+        avail_w: r.avail_w,
+        decision: r.kind.clone(),
+    }
 }
 
 /// Build the full report from a session's recorded state.
@@ -211,6 +281,30 @@ pub(crate) fn build_report(inner: &Inner) -> ObsReport {
         }));
         journal.push('\n');
     }
+    // ledger rollups: cell scopes in (grid, index) order, direct last —
+    // the same deterministic order the cells themselves export in
+    for ((grid, index), cell) in &inner.cells {
+        if !cell.ledger.is_empty() {
+            journal.push_str(&to_line(&ledger_line(Some(*grid), Some(*index), &cell.ledger)));
+            journal.push('\n');
+        }
+    }
+    if !inner.ledger.is_empty() {
+        journal.push_str(&to_line(&ledger_line(None, None, &inner.ledger)));
+        journal.push('\n');
+    }
+    // decisions: cell scopes in (grid, index) order, then driver-direct,
+    // each scope in record order (seq)
+    for ((grid, index), cell) in &inner.cells {
+        for (seq, rec) in cell.decisions.iter().enumerate() {
+            journal.push_str(&to_line(&decision_line(Some(*grid), Some(*index), seq as u64, rec)));
+            journal.push('\n');
+        }
+    }
+    for (seq, rec) in inner.decisions.iter().enumerate() {
+        journal.push_str(&to_line(&decision_line(None, None, seq as u64, rec)));
+        journal.push('\n');
+    }
     let (counters, histograms) = snapshot_maps(&totals);
     journal.push_str(&to_line(&JournalLine::Total { counters, histograms }));
     journal.push('\n');
@@ -218,6 +312,7 @@ pub(crate) fn build_report(inner: &Inner) -> ObsReport {
     ObsReport {
         journal_jsonl: journal,
         metrics_csv: metrics_csv(inner, &totals),
+        ledger_csv: ledger_csv(inner),
         trace_json: trace_json(inner),
         summary: summary(&totals, inner),
     }
@@ -259,6 +354,132 @@ fn metrics_csv(inner: &Inner, totals: &Metrics) -> String {
     }
     emit("total", String::new(), String::new(), "", String::new(), totals);
     out
+}
+
+/// CSV header for `ledger.csv`. Two row shapes share it: `tick` rows
+/// carry per-tick per-category watts (4 rows per tick — the offline
+/// conservation re-check sums them against `cap_w`), `bin` rows carry
+/// accumulated watt-seconds per `(job, module, domain, category)` bin.
+pub const LEDGER_CSV_HEADER: &str =
+    "scope,grid,index,tick,t_s,dt_s,cap_w,job,module,domain,category,value";
+
+fn ledger_csv(inner: &Inner) -> String {
+    let mut scopes: Vec<(String, String, &LedgerTable)> = inner
+        .cells
+        .iter()
+        .filter(|(_, c)| !c.ledger.is_empty())
+        .map(|((g, i), c)| (g.to_string(), i.to_string(), &c.ledger))
+        .collect();
+    if !inner.ledger.is_empty() {
+        scopes.push((String::new(), String::new(), &inner.ledger));
+    }
+    if scopes.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(LEDGER_CSV_HEADER);
+    out.push('\n');
+    for (grid, index, table) in &scopes {
+        for (tick, t) in table.ticks.iter().enumerate() {
+            for cat in Category::ALL {
+                out.push_str(&format!(
+                    "tick,{grid},{index},{tick},{},{},{},,,,{},{}\n",
+                    t.t_s,
+                    t.dt_s,
+                    t.cap_w,
+                    cat.name(),
+                    t.totals_w[cat.index()]
+                ));
+            }
+        }
+        for bin in table.bin_records() {
+            let job = bin.job.map(|j| j.to_string()).unwrap_or_default();
+            let module = bin.module.map(|m| m.to_string()).unwrap_or_default();
+            let domain = bin.domain.map(|d| d.name()).unwrap_or_default();
+            out.push_str(&format!(
+                "bin,{grid},{index},,,,,{job},{module},{domain},{},{}\n",
+                bin.category.name(),
+                bin.watt_s
+            ));
+        }
+    }
+    out
+}
+
+/// Row counts from a successful [`validate_ledger_csv`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerCsvStats {
+    /// Per-tick category rows (`tick,...`).
+    pub tick_rows: usize,
+    /// Aggregated watt-second bin rows (`bin,...`).
+    pub bin_rows: usize,
+}
+
+/// Validate a ledger CSV: header, column counts, row vocabulary, and the
+/// offline conservation re-check — every tick's four category rows must
+/// sum to the tick's `cap_w` within the 1 ULP-scaled epsilon.
+pub fn validate_ledger_csv(csv: &str) -> Result<LedgerCsvStats, String> {
+    let mut lines = csv.lines();
+    match lines.next() {
+        Some(h) if h == LEDGER_CSV_HEADER => {}
+        other => return Err(format!("bad ledger CSV header: {other:?}")),
+    }
+    let want = LEDGER_CSV_HEADER.split(',').count();
+    // (scope-grid, scope-index, tick) → (cap_w, Σ category watts, rows)
+    let mut ticks: BTreeMap<(String, String, String), (f64, f64, usize)> = BTreeMap::new();
+    let mut stats = LedgerCsvStats { tick_rows: 0, bin_rows: 0 };
+    for (i, row) in lines.enumerate() {
+        let n = i + 2;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != want {
+            return Err(format!("row {n}: {} fields, expected {want}", fields.len()));
+        }
+        match fields[0] {
+            "tick" => {
+                stats.tick_rows += 1;
+                let cap: f64 = fields[6]
+                    .parse()
+                    .map_err(|e| format!("row {n}: bad cap_w {:?}: {e}", fields[6]))?;
+                let value: f64 = fields[11]
+                    .parse()
+                    .map_err(|e| format!("row {n}: bad value {:?}: {e}", fields[11]))?;
+                let key =
+                    (fields[1].to_string(), fields[2].to_string(), fields[3].to_string());
+                let entry = ticks.entry(key).or_insert((cap, 0.0, 0));
+                if entry.0 != cap {
+                    return Err(format!("row {n}: cap_w disagrees within a tick"));
+                }
+                entry.1 += value;
+                entry.2 += 1;
+            }
+            "bin" => {
+                stats.bin_rows += 1;
+                let _: f64 = fields[11]
+                    .parse()
+                    .map_err(|e| format!("row {n}: bad value {:?}: {e}", fields[11]))?;
+            }
+            other => return Err(format!("row {n}: unknown scope {other:?}")),
+        }
+    }
+    if stats.tick_rows + stats.bin_rows == 0 {
+        return Err("ledger CSV has no data rows".to_string());
+    }
+    for ((grid, index, tick), (cap, sum, catrows)) in &ticks {
+        if *catrows != Category::ALL.len() {
+            return Err(format!(
+                "tick ({grid},{index},{tick}): {catrows} category rows, expected {}",
+                Category::ALL.len()
+            ));
+        }
+        // 64 summands covers any realistic bin count behind a tick total
+        let eps = conservation_epsilon(*cap, 64);
+        if (sum - cap).abs() > eps {
+            return Err(format!(
+                "tick ({grid},{index},{tick}): categories sum to {sum} W, cap is {cap} W (residual {}, eps {eps})",
+                (sum - cap).abs()
+            ));
+        }
+    }
+    Ok(stats)
 }
 
 fn trace_json(inner: &Inner) -> String {
@@ -303,6 +524,27 @@ fn summary(totals: &Metrics, inner: &Inner) -> String {
         inner.cells.len(),
         inner.spans.len()
     ));
+    let mut ledger = inner.ledger.clone();
+    for cell in inner.cells.values() {
+        ledger.merge(&cell.ledger);
+    }
+    if !ledger.is_empty() {
+        let by_cat = ledger.energy_by_category();
+        out.push_str(&format!(
+            "ledger: {} ticks, {} violations (worst residual {:.3e} W)\n",
+            ledger.ticks.len(),
+            ledger.violations,
+            ledger.worst_residual_w
+        ));
+        for cat in Category::ALL {
+            out.push_str(&format!("  {:<10} {:>16.3} W·s\n", cat.name(), by_cat[cat.index()]));
+        }
+    }
+    let decisions = inner.decisions.len()
+        + inner.cells.values().map(|c| c.decisions.len()).sum::<usize>();
+    if decisions > 0 {
+        out.push_str(&format!("decisions: {decisions}\n"));
+    }
     if !totals.counters().is_empty() {
         out.push_str(&format!("{:<32} {:>14}\n", "counter", "value"));
         for (name, v) in totals.counters() {
@@ -333,15 +575,29 @@ pub struct JournalStats {
     pub grids: usize,
     /// `cell` lines.
     pub cells: usize,
+    /// `ledger` lines.
+    pub ledgers: usize,
+    /// `decision` lines.
+    pub decisions: usize,
+}
+
+/// A scope sort key with `None` (driver-direct) ordered last.
+fn scope_key(grid: Option<u64>, index: Option<u64>) -> (u64, u64) {
+    (grid.unwrap_or(u64::MAX), index.unwrap_or(u64::MAX))
 }
 
 /// Validate a JSONL journal: schema round-trip per line (deserialize,
-/// re-serialize, compare bytes), structural ordering (meta first, grids
-/// sequential, cells sorted, total last) and histogram invariants.
+/// re-serialize, compare bytes), structural ordering (meta first, then
+/// grids, cells, ledgers, decisions, total — each block internally
+/// sorted), histogram invariants, and ledger conservation (any recorded
+/// violation fails validation).
 pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
-    let mut stats = JournalStats { lines: 0, grids: 0, cells: 0 };
+    let mut stats = JournalStats { lines: 0, grids: 0, cells: 0, ledgers: 0, decisions: 0 };
     let mut saw_total = false;
+    let mut phase = 0u8;
     let mut last_cell: Option<(u64, u64)> = None;
+    let mut last_ledger: Option<(u64, u64)> = None;
+    let mut last_decision: Option<(u64, u64, u64)> = None;
     for (i, raw) in journal.lines().enumerate() {
         let n = i + 1;
         stats.lines += 1;
@@ -354,6 +610,20 @@ pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
         if saw_total {
             return Err(format!("line {n}: content after the total rollup"));
         }
+        let this_phase = match &line {
+            JournalLine::Meta { .. } => 0,
+            JournalLine::Grid { .. } => 1,
+            JournalLine::Cell { .. } => 2,
+            JournalLine::Ledger { .. } => 3,
+            JournalLine::Decision { .. } => 4,
+            JournalLine::Total { .. } => 5,
+        };
+        if this_phase < phase {
+            return Err(format!(
+                "line {n}: journal blocks out of order (meta, grids, cells, ledgers, decisions, total)"
+            ));
+        }
+        phase = this_phase;
         match &line {
             JournalLine::Meta { version } => {
                 if i != 0 {
@@ -379,6 +649,43 @@ pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
                 last_cell = Some((*grid, *index));
                 stats.cells += 1;
                 validate_histograms(histograms).map_err(|e| format!("line {n}: {e}"))?;
+            }
+            JournalLine::Ledger { grid, index, ticks, violations, bins, .. } => {
+                let key = scope_key(*grid, *index);
+                if last_ledger.is_some_and(|prev| prev >= key) {
+                    return Err(format!(
+                        "line {n}: ledgers must be sorted by (grid, index), direct last"
+                    ));
+                }
+                last_ledger = Some(key);
+                if *violations > 0 {
+                    return Err(format!(
+                        "line {n}: ledger recorded {violations} conservation violations over {ticks} ticks"
+                    ));
+                }
+                let sorted = bins.windows(2).all(|w| {
+                    (w[0].job, w[0].module, w[0].domain, w[0].category)
+                        < (w[1].job, w[1].module, w[1].domain, w[1].category)
+                });
+                if !sorted {
+                    return Err(format!("line {n}: ledger bins must be sorted and unique"));
+                }
+                stats.ledgers += 1;
+            }
+            JournalLine::Decision { grid, index, seq, .. } => {
+                let key = (scope_key(*grid, *index).0, scope_key(*grid, *index).1, *seq);
+                if last_decision.is_some_and(|prev| prev >= key) {
+                    return Err(format!(
+                        "line {n}: decisions must be sorted by (grid, index, seq)"
+                    ));
+                }
+                let fresh_scope =
+                    last_decision.is_none_or(|prev| (prev.0, prev.1) != (key.0, key.1));
+                if fresh_scope && *seq != 0 {
+                    return Err(format!("line {n}: decision seq must restart at 0 per scope"));
+                }
+                last_decision = Some(key);
+                stats.decisions += 1;
             }
             JournalLine::Total { histograms, .. } => {
                 saw_total = true;
@@ -510,6 +817,98 @@ mod tests {
         let report = sample_report();
         assert!(report.summary.contains("scheme.plans"));
         assert!(report.summary.contains("cells: 3"));
+    }
+
+    fn balanced_tick(t_s: f64, job: u64, cap_w: f64) -> crate::ledger::LedgerTick {
+        use crate::ledger::{Category, Domain, LedgerEntry, LedgerTick};
+        let useful = 60.0;
+        let headroom = 10.0;
+        LedgerTick {
+            t_s,
+            dt_s: 0.5,
+            cap_w,
+            entries: vec![
+                LedgerEntry::module(job, 0, Domain::Cpu, Category::Useful, useful),
+                LedgerEntry::module(job, 0, Domain::Cpu, Category::Headroom, headroom),
+                LedgerEntry::system_stranded(cap_w - useful - headroom),
+            ],
+        }
+    }
+
+    fn decision_record(t_s: f64, job: u64) -> crate::decision::DecisionRecord {
+        crate::decision::DecisionRecord {
+            t_s,
+            job: Some(job),
+            cap_w: 95.0,
+            avail_w: 25.0,
+            kind: crate::decision::DecisionKind::Defer { reason: "insufficient_power".into() },
+        }
+    }
+
+    #[test]
+    fn ledger_and_decisions_export_and_validate() {
+        let s = Session::install_with_ledger();
+        let r = s.handle().expect("live session");
+        crate::ledger_tick(|| balanced_tick(0.0, 7, 95.0));
+        crate::decision(|| decision_record(0.0, 7));
+        let grid = r.begin_grid("cell", 1);
+        r.run_item(grid, "cell", 0, 1, || {
+            crate::ledger_tick(|| balanced_tick(1.0, 3, 80.0));
+            crate::decision(|| decision_record(1.0, 3));
+            crate::decision(|| decision_record(2.0, 3));
+        });
+        let report = s.finish();
+        let stats = validate_journal(&report.journal_jsonl).expect("valid journal");
+        assert_eq!(stats.ledgers, 2, "cell scope + direct scope");
+        assert_eq!(stats.decisions, 3);
+        assert!(report.journal_jsonl.contains("\"type\":\"ledger\""));
+        assert!(report.journal_jsonl.contains("\"kind\":\"defer\""));
+        let csv_stats = validate_ledger_csv(&report.ledger_csv).expect("valid ledger csv");
+        // 2 ticks × 4 category rows; 3 bins per scope × 2 scopes
+        assert_eq!(csv_stats.tick_rows, 8, "ledger csv tick rows");
+        assert_eq!(csv_stats.bin_rows, 6, "ledger csv bin rows");
+        assert!(report.summary.contains("ledger: 2 ticks, 0 violations"));
+        assert!(report.summary.contains("decisions: 3"));
+    }
+
+    #[test]
+    fn conservation_violations_fail_journal_validation() {
+        let s = Session::install_with_ledger();
+        crate::ledger_tick(|| crate::ledger::LedgerTick {
+            t_s: 0.0,
+            dt_s: 1.0,
+            cap_w: 100.0,
+            entries: vec![crate::ledger::LedgerEntry::system_stranded(50.0)],
+        });
+        let report = s.finish();
+        let err = validate_journal(&report.journal_jsonl).expect_err("violation must fail");
+        assert!(err.contains("conservation"), "{err}");
+    }
+
+    #[test]
+    fn ledger_csv_validator_rejects_broken_conservation() {
+        let s = Session::install_with_ledger();
+        crate::ledger_tick(|| balanced_tick(0.0, 1, 95.0));
+        let report = s.finish();
+        // corrupt the useful-watts tick row: conservation re-check fires
+        let tampered = report.ledger_csv.replacen(",useful,60", ",useful,59", 1);
+        assert_ne!(tampered, report.ledger_csv, "tamper target must exist");
+        let err = validate_ledger_csv(&tampered).expect_err("tampered csv must fail");
+        assert!(err.contains("categories sum"), "{err}");
+        assert!(validate_ledger_csv("nope\n").is_err());
+        assert!(validate_ledger_csv(LEDGER_CSV_HEADER).is_err(), "no data rows");
+    }
+
+    #[test]
+    fn plain_sessions_skip_the_ledger_but_keep_decisions() {
+        let s = Session::install();
+        crate::ledger_tick(|| panic!("ledger closure must not run without install_with_ledger"));
+        crate::decision(|| decision_record(0.0, 1));
+        let report = s.finish();
+        assert!(report.ledger_csv.is_empty());
+        let stats = validate_journal(&report.journal_jsonl).expect("valid journal");
+        assert_eq!(stats.ledgers, 0);
+        assert_eq!(stats.decisions, 1);
     }
 
     #[test]

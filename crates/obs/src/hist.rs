@@ -1,0 +1,122 @@
+//! Log-linear (HDR-style) histogram bucketing.
+//!
+//! Buckets subdivide each power of two into [`SUB_BUCKETS`] equal-width
+//! linear sub-buckets, read directly from the IEEE 754 exponent and the
+//! top mantissa bits — no libm, so bucketing is exact and
+//! platform-independent, which is what lets bucketed journals stay
+//! byte-identical across hosts and `--threads` counts. With 16
+//! sub-buckets the worst-case relative quantization error of a bucket
+//! edge is 1/16 ≈ 6.25 % — tight enough for p50/p95/p99 queue and
+//! latency reporting, sparse enough that a histogram over ten decades
+//! stays a few hundred entries.
+//!
+//! The key encoding is `key = 16 · floor(log2(|v|)) + sub` where `sub`
+//! is the top [`SUB_BUCKET_BITS`] mantissa bits. Zeros and subnormals
+//! share the [`FLOOR_KEY`] bucket. Signs are folded (`|v|`): the
+//! histograms here record durations, iteration counts and watt residual
+//! magnitudes, where the spread matters and the sign is recorded by the
+//! metric's name.
+
+/// Linear sub-buckets per power of two.
+pub const SUB_BUCKETS: u32 = 16;
+
+/// Mantissa bits consumed by the sub-bucket index (`2^4 = 16`).
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+/// The bucket shared by zeros and subnormals.
+pub const FLOOR_KEY: i32 = -1023 * SUB_BUCKETS as i32;
+
+/// The log-linear bucket key of a finite value.
+pub fn bucket_index(v: f64) -> i32 {
+    let bits = v.abs().to_bits();
+    let exponent = ((bits >> 52) & 0x7FF) as i32;
+    if exponent == 0 {
+        return FLOOR_KEY;
+    }
+    let sub = ((bits >> (52 - SUB_BUCKET_BITS)) & u64::from(SUB_BUCKETS - 1)) as i32;
+    (exponent - 1023) * SUB_BUCKETS as i32 + sub
+}
+
+/// Upper edge of bucket `key`: the smallest value that lands in the
+/// *next* bucket. Exact (a dyadic fraction times a power of two), so
+/// Prometheus `le` labels and quantile estimates are reproducible.
+pub fn bucket_upper_bound(key: i32) -> f64 {
+    if key <= FLOOR_KEY {
+        return f64::MIN_POSITIVE;
+    }
+    let e = key.div_euclid(SUB_BUCKETS as i32);
+    let sub = key.rem_euclid(SUB_BUCKETS as i32);
+    (1.0 + (sub as f64 + 1.0) / SUB_BUCKETS as f64) * 2f64.powi(e)
+}
+
+/// Lower edge of bucket `key` (0 for the floor bucket).
+pub fn bucket_lower_bound(key: i32) -> f64 {
+    if key <= FLOOR_KEY {
+        return 0.0;
+    }
+    let e = key.div_euclid(SUB_BUCKETS as i32);
+    let sub = key.rem_euclid(SUB_BUCKETS as i32);
+    (1.0 + sub as f64 / SUB_BUCKETS as f64) * 2f64.powi(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_monotone_in_magnitude() {
+        let values = [0.001, 0.5, 0.9, 1.0, 1.0625, 1.5, 1.99, 2.0, 3.0, 8.0, 1000.0];
+        let keys: Vec<i32> = values.iter().map(|&v| bucket_index(v)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "bucket keys must be monotone: {keys:?}");
+    }
+
+    #[test]
+    fn sub_buckets_split_each_octave() {
+        assert_eq!(bucket_index(1.0), 0);
+        // 1.0625 = 1 + 1/16: the first sub-bucket boundary above 1.0
+        assert_eq!(bucket_index(1.0625), 1);
+        assert_eq!(bucket_index(1.99), 15);
+        assert_eq!(bucket_index(2.0), 16);
+        assert_eq!(bucket_index(0.5), -16);
+        assert_eq!(bucket_index(-8.0), 48, "signs fold into magnitude");
+    }
+
+    #[test]
+    fn zeros_and_subnormals_share_the_floor() {
+        assert_eq!(bucket_index(0.0), FLOOR_KEY);
+        assert_eq!(bucket_index(-0.0), FLOOR_KEY);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), FLOOR_KEY);
+    }
+
+    #[test]
+    fn bounds_bracket_their_values() {
+        for &v in &[0.001, 0.7, 1.0, 1.03, 1.99, 2.0, 37.5, 1e6, 1e-9] {
+            let k = bucket_index(v);
+            assert!(bucket_lower_bound(k) <= v, "lower({k}) > {v}");
+            assert!(v < bucket_upper_bound(k), "upper({k}) <= {v}");
+        }
+    }
+
+    #[test]
+    fn bounds_tile_without_gaps() {
+        for k in -40..40 {
+            assert_eq!(
+                bucket_upper_bound(k),
+                bucket_lower_bound(k + 1),
+                "buckets {k} and {} must share an edge",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_sub_bucket() {
+        for &v in &[1.0, 5.3, 80.0, 1234.5] {
+            let k = bucket_index(v);
+            let width = bucket_upper_bound(k) - bucket_lower_bound(k);
+            assert!(width / v <= 1.0 / 8.0, "bucket at {v} too wide: {width}");
+        }
+    }
+}

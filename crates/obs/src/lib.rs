@@ -49,18 +49,31 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decision;
+pub mod drift;
 pub mod export;
+pub mod hist;
+pub mod ledger;
 pub mod metrics;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 
-pub use export::{ObsReport, validate_journal, validate_metrics_csv, validate_trace};
+pub use decision::{BudgetDelta, DecisionKind, DecisionRecord, WidthProbe};
+pub use drift::{DriftAlert, DriftConfig, DriftDetector};
+pub use export::{
+    validate_journal, validate_ledger_csv, validate_metrics_csv, validate_trace, LedgerCsvStats,
+    ObsReport,
+};
+pub use ledger::{Category, Domain, LedgerEntry, LedgerTable, LedgerTick};
 pub use metrics::{Histogram, Metrics};
 pub use recorder::{
-    enabled, grid_session, incr, incr_by, label_item, observe, Session, SessionRef,
+    decision, enabled, grid_session, incr, incr_by, label_item, ledger_enabled, ledger_tick,
+    observe, Session, SessionRef,
 };
 pub use registry::SnapshotRegistry;
-pub use snapshot::{ModuleSample, TelemetrySnapshot};
+pub use snapshot::{
+    BucketCount, DriftAlertSample, HistogramSample, ModuleSample, TelemetrySnapshot,
+};
 pub use span::{span, Span};

@@ -9,14 +9,18 @@
 
 use std::collections::BTreeMap;
 
-/// A sparse power-of-two histogram over `f64` observations.
+use crate::hist;
+
+/// A sparse log-linear (HDR-style) histogram over `f64` observations.
 ///
-/// Buckets are keyed by `floor(log2(|v|))`, read directly from the IEEE
-/// 754 exponent bits so bucketing is exact and platform-independent
-/// (no libm involved). Zeros and subnormals land in the floor bucket
-/// `-1023`; non-finite observations (the `INFINITY` sync waits of a
-/// zero-rate rank) are counted separately and excluded from
-/// `sum`/`min`/`max`.
+/// Buckets are keyed by [`hist::bucket_index`]: each power of two is
+/// split into [`hist::SUB_BUCKETS`] linear sub-buckets read directly
+/// from the IEEE 754 exponent and top mantissa bits, so bucketing is
+/// exact and platform-independent (no libm involved) and quantile
+/// estimates carry ≤ 1/16 relative bucket error. Zeros and subnormals
+/// land in the floor bucket [`hist::FLOOR_KEY`]; non-finite
+/// observations (the `INFINITY` sync waits of a zero-rate rank) are
+/// counted separately and excluded from `sum`/`min`/`max`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     /// Number of finite observations.
@@ -29,15 +33,8 @@ pub struct Histogram {
     pub max: f64,
     /// Number of non-finite observations (NaN, ±∞).
     pub nonfinite: u64,
-    /// Finite observations per `floor(log2(|v|))` bucket.
+    /// Finite observations per [`hist::bucket_index`] bucket.
     pub buckets: BTreeMap<i32, u64>,
-}
-
-/// The histogram bucket of a finite value: `floor(log2(|v|))` from the
-/// raw exponent field (`-1023` for zeros and subnormals).
-pub fn bucket_of(v: f64) -> i32 {
-    let exponent = ((v.abs().to_bits() >> 52) & 0x7FF) as i32;
-    exponent - 1023
 }
 
 impl Histogram {
@@ -60,7 +57,36 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
-        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        *self.buckets.entry(hist::bucket_index(v)).or_insert(0) += 1;
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the finite
+    /// observations by walking the cumulative bucket counts and
+    /// reporting the upper edge of the bucket holding the target rank,
+    /// clamped to the observed `[min, max]`. Magnitude-folded like the
+    /// buckets themselves, so meaningful for the non-negative series
+    /// (durations, latencies, iteration counts) this layer records.
+    /// Returns `None` when no finite observations were recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        // the extremes are tracked exactly — no bucket error at p0/p100
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&key, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(hist::bucket_upper_bound(key).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 
     /// Fold another histogram into this one.
@@ -145,13 +171,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_follow_the_exponent() {
-        assert_eq!(bucket_of(1.0), 0);
-        assert_eq!(bucket_of(1.99), 0);
-        assert_eq!(bucket_of(2.0), 1);
-        assert_eq!(bucket_of(0.5), -1);
-        assert_eq!(bucket_of(-8.0), 3);
-        assert_eq!(bucket_of(0.0), -1023);
+    fn buckets_follow_the_log_linear_key() {
+        assert_eq!(hist::bucket_index(1.0), 0);
+        assert_eq!(hist::bucket_index(1.99), 15);
+        assert_eq!(hist::bucket_index(2.0), 16);
+        assert_eq!(hist::bucket_index(0.5), -16);
+        assert_eq!(hist::bucket_index(-8.0), 48);
+        assert_eq!(hist::bucket_index(0.0), hist::FLOOR_KEY);
     }
 
     #[test]
@@ -165,9 +191,25 @@ mod tests {
         assert_eq!(h.min, 0.25);
         assert_eq!(h.max, 3.0);
         assert_eq!(h.sum, 4.25);
+        // 1.0 → key 0; 3.0 = 1.5·2 → key 16+8; 0.25 → key -32
         assert_eq!(h.buckets.get(&0), Some(&1));
-        assert_eq!(h.buckets.get(&1), Some(&1));
-        assert_eq!(h.buckets.get(&-2), Some(&1));
+        assert_eq!(h.buckets.get(&24), Some(&1));
+        assert_eq!(h.buckets.get(&-32), Some(&1));
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0), "q=0 clamps to min");
+        assert_eq!(h.quantile(1.0), Some(100.0), "q=1 clamps to max");
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((45.0..=56.0).contains(&p50), "p50 of 1..=100 was {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((92.0..=100.0).contains(&p99), "p99 of 1..=100 was {p99}");
+        assert!(Histogram::default().quantile(0.5).is_none());
     }
 
     #[test]

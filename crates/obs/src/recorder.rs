@@ -37,12 +37,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+use crate::decision::DecisionRecord;
 use crate::export::ObsReport;
+use crate::ledger::{LedgerTable, LedgerTick};
 use crate::metrics::Metrics;
 
 /// Number of live sessions in the process — the fast-path gate.
 // vap:allow(shared-state-in-par): deliberately process-wide; a relaxed counter is race-safe and never feeds results
 static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of live sessions with the watt-provenance ledger armed. A
+/// separate gate from [`LIVE`] so `--metrics` runs don't pay ledger
+/// construction, and the ledger-off hot path stays one relaxed load
+/// (asserted by `crates/bench/tests/alloc_regression.rs`).
+// vap:allow(shared-state-in-par): deliberately process-wide; a relaxed counter is race-safe and never feeds results
+static LEDGER: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// The session installed on (or propagated to) this thread.
@@ -57,6 +66,12 @@ thread_local! {
 #[inline]
 pub fn enabled() -> bool {
     LIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Whether any ledger-armed session is live (one relaxed atomic load).
+#[inline]
+pub fn ledger_enabled() -> bool {
+    LEDGER.load(Ordering::Relaxed) != 0
 }
 
 /// One grid registered by a `par_map`/`par_grid`/`par_map_modules` call.
@@ -77,6 +92,10 @@ pub(crate) struct CellRecord {
     pub label: Option<String>,
     /// Metrics recorded while the item ran.
     pub metrics: Metrics,
+    /// Watt-provenance ledger recorded while the item ran.
+    pub ledger: LedgerTable,
+    /// Scheduler decisions recorded while the item ran, in record order.
+    pub decisions: Vec<DecisionRecord>,
 }
 
 /// Wall-clock span for the Chrome-trace side channel.
@@ -104,12 +123,21 @@ pub(crate) struct Inner {
     pub grids: Vec<GridRecord>,
     /// Wall-clock spans (side channel — excluded from the journal).
     pub spans: Vec<SpanRecord>,
+    /// Ledger ticks recorded outside any item (driver-thread runs).
+    pub ledger: LedgerTable,
+    /// Decisions recorded outside any item, in record order.
+    pub decisions: Vec<DecisionRecord>,
 }
 
 #[derive(Debug)]
 pub(crate) struct Shared {
     /// Wall-clock zero of the trace timeline.
     pub epoch: Instant,
+    /// Whether this session records the watt-provenance ledger. The
+    /// global [`LEDGER`] count is only the fast gate; the per-session
+    /// bit keeps concurrent sessions (parallel tests in one process)
+    /// from arming each other.
+    pub ledger: bool,
     pub inner: Mutex<Inner>,
 }
 
@@ -126,6 +154,8 @@ struct ItemCtx {
     lane: u32,
     label: Option<String>,
     metrics: Metrics,
+    ledger: LedgerTable,
+    decisions: Vec<DecisionRecord>,
     start: Instant,
 }
 
@@ -165,6 +195,8 @@ impl SessionRef {
             lane,
             label: None,
             metrics: Metrics::new(),
+            ledger: LedgerTable::new(),
+            decisions: Vec::new(),
             start: Instant::now(),
         };
         // Stack the previous item (nested instrumented grids on the same
@@ -207,14 +239,19 @@ impl SessionRef {
             _ => "exec.items",
         };
         inner.direct.incr_by(items_counter, 1);
-        let cell = inner
-            .cells
-            .entry((ctx.grid, ctx.index))
-            .or_insert_with(|| CellRecord { kind: ctx.kind, label: None, metrics: Metrics::new() });
+        let cell = inner.cells.entry((ctx.grid, ctx.index)).or_insert_with(|| CellRecord {
+            kind: ctx.kind,
+            label: None,
+            metrics: Metrics::new(),
+            ledger: LedgerTable::new(),
+            decisions: Vec::new(),
+        });
         if ctx.label.is_some() {
             cell.label = ctx.label;
         }
         cell.metrics.merge(&ctx.metrics);
+        cell.ledger.merge(&ctx.ledger);
+        cell.decisions.extend(ctx.decisions);
     }
 
     pub(crate) fn record_span(&self, span: SpanRecord) {
@@ -318,6 +355,67 @@ pub fn observe(name: &'static str, v: f64) {
     }
 }
 
+/// Record one watt-provenance ledger tick in the current scope. The
+/// closure builds the tick only when the scope's session is ledger-armed
+/// ([`Session::install_with_ledger`]); with no armed session in the
+/// process the entire cost is one relaxed atomic load — the closure
+/// never runs, so producers can allocate entry vectors inside it freely.
+#[inline]
+pub fn ledger_tick(f: impl FnOnce() -> LedgerTick) {
+    if !ledger_enabled() {
+        return;
+    }
+    // Resolve the scope (and its armed bit) *before* building the tick:
+    // a plain session sharing the process with an armed one must not pay.
+    let item_armed = ITEM.with(|slot| slot.borrow().as_ref().map(|c| c.session.0.ledger));
+    match item_armed {
+        Some(true) => {
+            let tick = f();
+            ITEM.with(|slot| {
+                if let Some(ctx) = slot.borrow_mut().as_mut() {
+                    ctx.ledger.record(tick);
+                }
+            });
+        }
+        Some(false) => {}
+        None => {
+            if let Some(s) = current_session() {
+                if s.0.ledger {
+                    let tick = f();
+                    lock(&s.0).ledger.record(tick);
+                }
+            }
+        }
+    }
+}
+
+/// Record one scheduler decision in the current scope. Gated on
+/// [`enabled`] (decisions ride with `--metrics`/`--trace-out`, no
+/// separate flag): when no session is live the closure never runs.
+#[inline]
+pub fn decision(f: impl FnOnce() -> DecisionRecord) {
+    if !enabled() {
+        return;
+    }
+    let mut rec = Some(f());
+    let buffered = ITEM.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            if let Some(r) = rec.take() {
+                ctx.decisions.push(r);
+            }
+            true
+        } else {
+            false
+        }
+    });
+    if buffered {
+        return;
+    }
+    if let (Some(s), Some(r)) = (current_session(), rec.take()) {
+        lock(&s.0).decisions.push(r);
+    }
+}
+
 /// Label the current work item (e.g. `dgemm@110W`). The closure only
 /// runs when a session is live and the thread is inside an item, so the
 /// format cost is never paid on unobserved runs.
@@ -341,16 +439,33 @@ pub fn label_item(f: impl FnOnce() -> String) {
 pub struct Session {
     shared: Option<SessionRef>,
     prev: Option<SessionRef>,
+    ledger: bool,
 }
 
 impl Session {
     /// Install a new session on the calling thread.
     pub fn install() -> Session {
-        let shared =
-            SessionRef(Arc::new(Shared { epoch: Instant::now(), inner: Mutex::new(Inner::default()) }));
+        Session::install_inner(false)
+    }
+
+    /// Install a new session with the watt-provenance ledger armed:
+    /// [`ledger_tick`] calls record (and pay) only under such a session.
+    pub fn install_with_ledger() -> Session {
+        Session::install_inner(true)
+    }
+
+    fn install_inner(ledger: bool) -> Session {
+        let shared = SessionRef(Arc::new(Shared {
+            epoch: Instant::now(),
+            ledger,
+            inner: Mutex::new(Inner::default()),
+        }));
         let prev = CURRENT.with(|slot| slot.borrow_mut().replace(shared.clone()));
         LIVE.fetch_add(1, Ordering::Relaxed);
-        Session { shared: Some(shared), prev }
+        if ledger {
+            LEDGER.fetch_add(1, Ordering::Relaxed);
+        }
+        Session { shared: Some(shared), prev, ledger }
     }
 
     /// A handle other threads (or nested scopes) can record through.
@@ -361,6 +476,9 @@ impl Session {
     fn uninstall(&mut self) -> Option<SessionRef> {
         let shared = self.shared.take()?;
         CURRENT.with(|slot| *slot.borrow_mut() = self.prev.take());
+        if self.ledger {
+            LEDGER.fetch_sub(1, Ordering::Relaxed);
+        }
         LIVE.fetch_sub(1, Ordering::Relaxed);
         Some(shared)
     }

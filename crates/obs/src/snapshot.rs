@@ -31,6 +31,53 @@ pub struct ModuleSample {
     pub throttled: bool,
 }
 
+/// One module's live drift alert (EWMA residual outside the z-band).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftAlertSample {
+    /// The drifting module.
+    pub module: u64,
+    /// Measured − PVT-predicted power residual (W).
+    pub residual_w: f64,
+    /// How many tracked standard deviations out the residual sits.
+    pub z: f64,
+}
+
+/// One `(bucket upper bound, cumulative-ready count)` pair; serializes
+/// as a two-element array `[le, count]` to keep snapshot lines compact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount(pub f64, pub u64);
+
+/// One named histogram in a snapshot, in Prometheus-friendly shape:
+/// per-bucket counts (non-cumulative; the exporter accumulates into
+/// `le`-labelled cumulative buckets) plus `count`/`sum`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name (fixed vocabulary — no JSON escaping needed).
+    pub name: String,
+    /// Finite observation count.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// `(upper bound, count)` per occupied bucket, ascending.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSample {
+    /// Snapshot a [`crate::metrics::Histogram`] under `name`.
+    pub fn from_histogram(name: &str, h: &crate::metrics::Histogram) -> Self {
+        HistogramSample {
+            name: name.to_string(),
+            count: h.count,
+            sum: h.sum,
+            buckets: h
+                .buckets
+                .iter()
+                .map(|(&k, &n)| BucketCount(crate::hist::bucket_upper_bound(k), n))
+                .collect(),
+        }
+    }
+}
+
 /// One epoch-stamped view of the whole simulated cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct TelemetrySnapshot {
@@ -47,6 +94,12 @@ pub struct TelemetrySnapshot {
     pub running_jobs: u64,
     /// Jobs currently queued (0 outside a scheduling campaign).
     pub queued_jobs: u64,
+    /// Drift alerts raised over the producer's lifetime.
+    pub drift_alerts: u64,
+    /// Modules currently outside the drift z-band, in module-id order.
+    pub alerts: Vec<DriftAlertSample>,
+    /// Named histograms (JCT, solver iterations, latencies), name-sorted.
+    pub hists: Vec<HistogramSample>,
     /// Per-module samples, in module-id order.
     pub modules: Vec<ModuleSample>,
     /// FNV-1a fingerprint over every other field, written by
@@ -77,6 +130,25 @@ impl TelemetrySnapshot {
         fnv(&mut h, &self.cap_w.to_bits().to_le_bytes());
         fnv(&mut h, &self.running_jobs.to_le_bytes());
         fnv(&mut h, &self.queued_jobs.to_le_bytes());
+        fnv(&mut h, &self.drift_alerts.to_le_bytes());
+        fnv(&mut h, &(self.alerts.len() as u64).to_le_bytes());
+        for a in &self.alerts {
+            fnv(&mut h, &a.module.to_le_bytes());
+            fnv(&mut h, &a.residual_w.to_bits().to_le_bytes());
+            fnv(&mut h, &a.z.to_bits().to_le_bytes());
+        }
+        fnv(&mut h, &(self.hists.len() as u64).to_le_bytes());
+        for hs in &self.hists {
+            fnv(&mut h, hs.name.as_bytes());
+            fnv(&mut h, &[0]);
+            fnv(&mut h, &hs.count.to_le_bytes());
+            fnv(&mut h, &hs.sum.to_bits().to_le_bytes());
+            fnv(&mut h, &(hs.buckets.len() as u64).to_le_bytes());
+            for b in &hs.buckets {
+                fnv(&mut h, &b.0.to_bits().to_le_bytes());
+                fnv(&mut h, &b.1.to_le_bytes());
+            }
+        }
         fnv(&mut h, &(self.modules.len() as u64).to_le_bytes());
         for m in &self.modules {
             fnv(&mut h, &m.id.to_le_bytes());
@@ -127,7 +199,46 @@ impl TelemetrySnapshot {
         out.push_str(&self.running_jobs.to_string());
         out.push_str(",\"queued_jobs\":");
         out.push_str(&self.queued_jobs.to_string());
-        out.push_str(",\"modules\":[");
+        out.push_str(",\"drift_alerts\":");
+        out.push_str(&self.drift_alerts.to_string());
+        out.push_str(",\"alerts\":[");
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"module\":");
+            out.push_str(&a.module.to_string());
+            out.push_str(",\"residual_w\":");
+            push_f64(&mut out, a.residual_w);
+            out.push_str(",\"z\":");
+            push_f64(&mut out, a.z);
+            out.push('}');
+        }
+        out.push_str("],\"hists\":[");
+        for (i, hs) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(&hs.name);
+            out.push_str("\",\"count\":");
+            out.push_str(&hs.count.to_string());
+            out.push_str(",\"sum\":");
+            push_f64(&mut out, hs.sum);
+            out.push_str(",\"buckets\":[");
+            for (j, b) in hs.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_f64(&mut out, b.0);
+                out.push(',');
+                out.push_str(&b.1.to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"modules\":[");
         for (i, m) in self.modules.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -181,6 +292,14 @@ mod tests {
             cap_w: 768.0,
             running_jobs: 3,
             queued_jobs: 1,
+            drift_alerts: 2,
+            alerts: vec![DriftAlertSample { module: 0, residual_w: 5.5, z: 6.25 }],
+            hists: vec![HistogramSample {
+                name: "sched.jct_s".to_string(),
+                count: 2,
+                sum: 3.5,
+                buckets: vec![BucketCount(1.0625, 1), BucketCount(2.625, 1)],
+            }],
             modules: vec![
                 ModuleSample {
                     id: 0,
@@ -222,6 +341,15 @@ mod tests {
         let mut torn = sealed.clone();
         torn.modules[0].cap_w = None;
         assert!(!torn.verify());
+        let mut torn = sealed.clone();
+        torn.drift_alerts += 1;
+        assert!(!torn.verify());
+        let mut torn = sealed.clone();
+        torn.alerts[0].z = 1.0;
+        assert!(!torn.verify());
+        let mut torn = sealed.clone();
+        torn.hists[0].buckets[1].1 += 1;
+        assert!(!torn.verify());
         let mut torn = sealed;
         torn.epoch += 1;
         assert!(!torn.verify());
@@ -233,7 +361,10 @@ mod tests {
         let line = s.to_json_line();
         let expected = format!(
             "{{\"epoch\":3,\"sim_time_s\":12.5,\"total_power_w\":640,\"cap_w\":768,\
-             \"running_jobs\":3,\"queued_jobs\":1,\"modules\":[\
+             \"running_jobs\":3,\"queued_jobs\":1,\"drift_alerts\":2,\
+             \"alerts\":[{{\"module\":0,\"residual_w\":5.5,\"z\":6.25}}],\
+             \"hists\":[{{\"name\":\"sched.jct_s\",\"count\":2,\"sum\":3.5,\
+             \"buckets\":[[1.0625,1],[2.625,1]]}}],\"modules\":[\
              {{\"id\":0,\"power_w\":80,\"freq_ghz\":2.4,\"cap_w\":90,\"duty\":1,\"throttled\":true}},\
              {{\"id\":1,\"power_w\":20,\"freq_ghz\":2.7,\"cap_w\":null,\"duty\":1,\"throttled\":false}}\
              ],\"checksum\":{}}}",

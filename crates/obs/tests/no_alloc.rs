@@ -12,15 +12,21 @@
 //! what actually runs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    // Per-thread count: the libtest harness keeps its own threads alive
+    // during the measured window, and their bookkeeping must not land in
+    // our tally. Const-init so the first access never allocates.
+    static THREAD_ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // try_with: TLS may already be torn down when a thread exits.
+        let _ = THREAD_ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
         System.alloc(layout)
     }
 
@@ -41,15 +47,17 @@ fn disabled_hot_path_does_not_allocate() {
     vap_obs::observe("warmup.h", 1.0);
     drop(vap_obs::span("warmup.span"));
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = THREAD_ALLOCATIONS.with(Cell::get);
     for i in 0..100_000u64 {
         vap_obs::incr("exec.cells");
         vap_obs::incr_by("scheme.plans", 6);
         vap_obs::observe("mpi.wait_s", i as f64);
         vap_obs::label_item(|| unreachable!("label closures must not run when disabled"));
+        vap_obs::ledger_tick(|| unreachable!("ledger closures must not run when disabled"));
+        vap_obs::decision(|| unreachable!("decision closures must not run when disabled"));
         let _span = vap_obs::span("cell");
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = THREAD_ALLOCATIONS.with(Cell::get);
 
     assert_eq!(after - before, 0, "no-op recorder allocated {} times", after - before);
 }

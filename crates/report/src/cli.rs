@@ -2,8 +2,10 @@
 //!
 //! Every binary in `src/bin/` is a thin wrapper around [`run_main`]:
 //! it parses the common [`RunOptions`], installs a [`vap_obs::Session`]
-//! when `--metrics` or `--trace-out` asks for one, runs the experiment
-//! body, and exports the observability artifacts on the way out.
+//! when `--metrics`, `--trace-out` or `--ledger` asks for one (the
+//! ledger flag arms the watt-provenance channel on top of the session),
+//! runs the experiment body, and exports the observability artifacts on
+//! the way out.
 //!
 //! Exit codes are distinct by failure class so scripts can tell them
 //! apart: `0` success, [`EXIT_RUNTIME`] (`1`) for a failure while running
@@ -63,7 +65,13 @@ pub fn run_main_with<X>(
         }
     };
 
-    let session = (opts.metrics || opts.trace_out.is_some()).then(vap_obs::Session::install);
+    let session = (opts.metrics || opts.trace_out.is_some() || opts.ledger).then(|| {
+        if opts.ledger {
+            vap_obs::Session::install_with_ledger()
+        } else {
+            vap_obs::Session::install()
+        }
+    });
     let outcome = body(&opts, extra);
     let export = session.map(vap_obs::Session::finish).map(|report| -> Result<(), MainError> {
         if let Some(dir) = &opts.trace_out {

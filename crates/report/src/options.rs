@@ -26,6 +26,12 @@ pub struct RunOptions {
     /// `trace_out` turns the recorder on; with both off, instrumentation is
     /// a single relaxed atomic load per site.
     pub metrics: bool,
+    /// Record the per-tick watt-provenance ledger (`--ledger`): every
+    /// tick's budget attributed to `(job, module, domain)` bins, exported
+    /// as `ledger.csv` plus journal records. Implies the recorder is on;
+    /// without the flag the ledger closures never run (zero allocation,
+    /// one relaxed atomic load per tick site).
+    pub ledger: bool,
     /// PVT sweep engine (`--pvt-engine soa|reference`). Both produce
     /// bit-identical tables; `reference` keeps the original per-module
     /// clone path around as the differential baseline.
@@ -42,6 +48,7 @@ impl Default for RunOptions {
             threads: None,
             trace_out: None,
             metrics: false,
+            ledger: false,
             pvt_engine: PvtEngine::default(),
         }
     }
@@ -104,6 +111,9 @@ impl RunOptions {
                 "--metrics" => {
                     opts.metrics = true;
                 }
+                "--ledger" => {
+                    opts.ledger = true;
+                }
                 "--pvt-engine" => {
                     let v = take("--pvt-engine")?;
                     opts.pvt_engine = PvtEngine::parse(&v)
@@ -112,7 +122,7 @@ impl RunOptions {
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--modules N] [--seed S] [--scale X] [--csv DIR] [--threads N] \
-                         [--trace-out DIR] [--metrics] [--pvt-engine soa|reference]"
+                         [--trace-out DIR] [--metrics] [--ledger] [--pvt-engine soa|reference]"
                             .into(),
                     );
                 }
@@ -187,12 +197,14 @@ mod tests {
 
     #[test]
     fn observability_flags_parse() {
-        let o = parse(&["--trace-out", "/tmp/obs", "--metrics"]).unwrap();
+        let o = parse(&["--trace-out", "/tmp/obs", "--metrics", "--ledger"]).unwrap();
         assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("/tmp/obs")));
         assert!(o.metrics);
+        assert!(o.ledger);
         let o = parse(&[]).unwrap();
         assert!(o.trace_out.is_none());
         assert!(!o.metrics);
+        assert!(!o.ledger, "the ledger is opt-in");
         assert!(parse(&["--trace-out"]).is_err());
     }
 

@@ -30,6 +30,10 @@ use vap_core::testrun::{single_module_test_run, TestRunResult};
 use vap_model::linear::Alpha;
 use vap_model::power::PowerActivity;
 use vap_model::units::Watts;
+use vap_obs::{
+    BudgetDelta, Category, DecisionKind, DecisionRecord, Domain, DriftAlert, DriftConfig,
+    DriftDetector, Histogram, LedgerEntry, LedgerTick, WidthProbe,
+};
 use vap_sim::cluster::Cluster;
 use vap_sim::cpufreq::Governor;
 use vap_sim::scheduler::AllocationPolicy;
@@ -135,7 +139,27 @@ pub struct SchedRuntime {
     test_cache: BTreeMap<(u64, usize), TestRunResult>,
     samples: Vec<PowerSample>,
     pending_cap_changes: usize,
+    /// Simulated time of the previous [`Self::sample`] call — the width
+    /// of the next watt-provenance ledger tick.
+    last_sample_t: f64,
+    /// Online drift detector over measured − PVT-predicted residuals.
+    drift: DriftDetector,
+    /// The most recent drift alerts (bounded), for the telemetry plane.
+    recent_alerts: Vec<DriftAlert>,
+    /// Job completion times (s).
+    hist_jct: Histogram,
+    /// Queue wait before admission (s).
+    hist_wait: Histogram,
+    /// Gap between consecutive processed events (s) — the event-queue
+    /// latency profile.
+    hist_event_gap: Histogram,
+    /// Calibration probes per admission (the width binary search's
+    /// iteration count — the α-solve work per placement).
+    hist_width_probes: Histogram,
 }
+
+/// How many drift alerts the live telemetry snapshot carries.
+const RECENT_ALERTS: usize = 8;
 
 impl SchedRuntime {
     /// Build a runtime over a pristine (post-PVT) cluster clone. The PVT
@@ -151,6 +175,7 @@ impl SchedRuntime {
         }
         let free: Vec<usize> = (0..cluster.len()).collect();
         let cap = config.cap;
+        let drift = DriftDetector::new(cluster.len(), DriftConfig::default());
         SchedRuntime {
             cluster,
             pvt,
@@ -168,6 +193,13 @@ impl SchedRuntime {
             test_cache: BTreeMap::new(),
             samples: Vec::new(),
             pending_cap_changes: 0,
+            last_sample_t: 0.0,
+            drift,
+            recent_alerts: Vec::new(),
+            hist_jct: Histogram::default(),
+            hist_wait: Histogram::default(),
+            hist_event_gap: Histogram::default(),
+            hist_width_probes: Histogram::default(),
         }
     }
 
@@ -202,6 +234,7 @@ impl SchedRuntime {
         }
 
         while let Some((t, event)) = self.events.pop() {
+            self.hist_event_gap.observe((t - self.now).max(0.0));
             self.advance(t);
             vap_obs::incr("sched.events");
             match event {
@@ -224,8 +257,16 @@ impl SchedRuntime {
                 }
                 Event::CapChange { cap } => {
                     vap_obs::incr("sched.cap_changes");
+                    let old = self.cap;
                     self.cap = cap;
                     self.pending_cap_changes = self.pending_cap_changes.saturating_sub(1);
+                    vap_obs::decision(|| DecisionRecord {
+                        t_s: self.now,
+                        job: None,
+                        cap_w: cap.value(),
+                        avail_w: self.available().value(),
+                        kind: DecisionKind::CapChange { old_w: old.value(), new_w: cap.value() },
+                    });
                     self.enforce_cap();
                     self.try_admit();
                     self.resolve();
@@ -274,6 +315,15 @@ impl SchedRuntime {
         vap_obs::incr("sched.completions");
         if let Some(jct) = self.jobs[id].jct_s() {
             vap_obs::observe("sched.jct_s", jct);
+            self.hist_jct.observe(jct);
+        }
+    }
+
+    /// Watts not yet spoken for under the current policy's ledger.
+    fn available(&self) -> Watts {
+        match self.config.realloc {
+            ReallocPolicy::Frozen => self.cap - self.committed,
+            _ => self.cap - self.running_floors(),
         }
     }
 
@@ -316,6 +366,16 @@ impl SchedRuntime {
         self.budgeter.remove(id as u64);
         self.pending.insert(0, id);
         vap_obs::incr("sched.preemptions");
+        vap_obs::decision(|| DecisionRecord {
+            t_s: self.now,
+            job: Some(id as u64),
+            cap_w: self.cap.value(),
+            avail_w: self.available().value(),
+            kind: DecisionKind::Preempt {
+                freed_w: budget.value(),
+                width: placement.len() as u64,
+            },
+        });
     }
 
     /// Return modules to the free pool: uncap, performance governor, idle
@@ -373,6 +433,7 @@ impl SchedRuntime {
     fn try_place(&mut self, id: usize) -> Placement {
         let arrival = self.jobs[id].spec.clone();
         if arrival.min_width > self.cluster.len() {
+            self.defer_or_kill_decision(id, "min_width_exceeds_fleet", true);
             return Placement::Impossible;
         }
         // Can the job's admission ever improve without our intervention?
@@ -380,44 +441,78 @@ impl SchedRuntime {
         // change is still scheduled.
         let idle_system = self.running.is_empty() && self.pending_cap_changes == 0;
         if self.free.len() < arrival.min_width {
+            self.defer_or_kill_decision(id, "insufficient_modules", false);
             return Placement::Deferred;
         }
         let spec = catalog::get(arrival.workload);
         let w_max = arrival.width.min(self.free.len());
         let pref = self.pick_modules(w_max, &spec, id);
         let Some(&probe) = pref.first() else {
+            self.defer_or_kill_decision(id, "insufficient_modules", false);
             return Placement::Deferred;
         };
         let test = self.cached_test(arrival.workload, probe, &spec);
 
-        let avail = match self.config.realloc {
-            ReallocPolicy::Frozen => self.cap - self.committed,
-            _ => self.cap - self.running_floors(),
-        };
+        let avail = self.available();
+        // Width probes feed the decision trace only: recording them must
+        // not perturb the replay, and without a live session they must
+        // cost nothing.
+        let tracing = vap_obs::enabled();
+        let mut probes: Vec<WidthProbe> = Vec::new();
         let calibrate =
             |w: usize| PowerModelTable::calibrate(&self.pvt, &test, &pref[..w]).ok();
         // Feasibility floor is monotone in width: check the narrowest
         // shape first, then binary-search the widest feasible width.
         let Some(pmt_min) = calibrate(arrival.min_width) else {
+            self.defer_or_kill_decision(id, "no_feasible_width", false);
             return Placement::Deferred;
         };
+        if tracing {
+            probes.push(WidthProbe {
+                width: arrival.min_width as u64,
+                floor_w: pmt_min.fleet_minimum().value(),
+                feasible: pmt_min.fleet_minimum() <= avail,
+            });
+        }
         if pmt_min.fleet_minimum() > avail {
+            self.defer_or_kill_decision(id, "insufficient_power", idle_system);
             return if idle_system { Placement::Impossible } else { Placement::Deferred };
         }
         let mut lo = arrival.min_width;
         let mut hi = w_max;
         let mut pmt = pmt_min;
+        let mut calibrations = 1u64;
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
+            calibrations += 1;
             match calibrate(mid) {
                 Some(p) if p.fleet_minimum() <= avail => {
+                    if tracing {
+                        probes.push(WidthProbe {
+                            width: mid as u64,
+                            floor_w: p.fleet_minimum().value(),
+                            feasible: true,
+                        });
+                    }
                     lo = mid;
                     pmt = p;
                 }
-                _ => hi = mid - 1,
+                other => {
+                    if tracing {
+                        if let Some(p) = other {
+                            probes.push(WidthProbe {
+                                width: mid as u64,
+                                floor_w: p.fleet_minimum().value(),
+                                feasible: false,
+                            });
+                        }
+                    }
+                    hi = mid - 1;
+                }
             }
         }
         let width = lo;
+        self.hist_width_probes.observe(calibrations as f64);
         let ids: Vec<usize> = pref[..width].to_vec();
 
         // Admit: occupy the modules and (frozen policy) lock the budget.
@@ -430,6 +525,19 @@ impl SchedRuntime {
             // rebalance policies award budgets in resolve()
             _ => pmt.fleet_minimum(),
         };
+        vap_obs::decision(|| DecisionRecord {
+            t_s: self.now,
+            job: Some(id as u64),
+            cap_w: self.cap.value(),
+            avail_w: avail.value(),
+            kind: DecisionKind::Admit {
+                width_requested: arrival.width as u64,
+                width_granted: width as u64,
+                budget_w: budget.value(),
+                alpha: Alpha::saturating(raw_alpha(budget, &pmt)).value(),
+                alternatives: probes,
+            },
+        });
         self.free.retain(|m| !ids.contains(m));
         spec.apply_to_modules(&mut self.cluster, &ids, self.seed);
         self.budgeter.admit(
@@ -457,7 +565,25 @@ impl SchedRuntime {
         }
         vap_obs::observe("sched.wait_s", self.now - arrival.at_s);
         vap_obs::observe("sched.width_granted", width as f64);
+        self.hist_wait.observe(self.now - arrival.at_s);
         Placement::Placed
+    }
+
+    /// Trace a placement failure as a [`DecisionKind::Defer`] (or
+    /// [`DecisionKind::Kill`] when the job can never run). Trace only —
+    /// no replay effect, no cost without a live session.
+    fn defer_or_kill_decision(&self, id: usize, reason: &str, kill: bool) {
+        vap_obs::decision(|| DecisionRecord {
+            t_s: self.now,
+            job: Some(id as u64),
+            cap_w: self.cap.value(),
+            avail_w: self.available().value(),
+            kind: if kill {
+                DecisionKind::Kill { reason: reason.to_string() }
+            } else {
+                DecisionKind::Defer { reason: reason.to_string() }
+            },
+        });
     }
 
     /// Pick up to `n` modules from the free pool in *preference order*
@@ -567,9 +693,51 @@ impl SchedRuntime {
                 // is feasible; if it ever is not (float dust on the
                 // boundary), keep the previous budgets rather than abort.
                 if let Ok(parts) = self.budgeter.partition(self.cap, policy) {
+                    let before: Vec<f64> = if vap_obs::enabled() {
+                        self.budgeter
+                            .keys()
+                            .iter()
+                            .map(|&k| self.jobs[k as usize].budget.value())
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
                     for (&key, part) in self.budgeter.keys().iter().zip(&parts) {
                         self.jobs[key as usize].budget = part.budget;
                     }
+                    vap_obs::decision(|| DecisionRecord {
+                        t_s: self.now,
+                        job: None,
+                        cap_w: self.cap.value(),
+                        avail_w: self.available().value(),
+                        kind: DecisionKind::Rebalance {
+                            policy: self.config.realloc.name().to_string(),
+                            deltas: self
+                                .budgeter
+                                .keys()
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &k)| {
+                                    let j = &self.jobs[k as usize];
+                                    BudgetDelta {
+                                        job: k,
+                                        before_w: before
+                                            .get(i)
+                                            .copied()
+                                            .unwrap_or_else(|| j.budget.value()),
+                                        after_w: j.budget.value(),
+                                        alpha: j
+                                            .pmt
+                                            .as_ref()
+                                            .map(|p| {
+                                                Alpha::saturating(raw_alpha(j.budget, p)).value()
+                                            })
+                                            .unwrap_or(0.0),
+                                    }
+                                })
+                                .collect(),
+                        },
+                    });
                 }
             }
         }
@@ -623,6 +791,17 @@ impl SchedRuntime {
         self.pending.len()
     }
 
+    /// Total drift alerts fired so far.
+    pub fn drift_alerts(&self) -> u64 {
+        self.drift.alerts_total()
+    }
+
+    /// The most recent drift alerts (bounded to the last
+    /// [`RECENT_ALERTS`]), oldest first.
+    pub fn recent_drift_alerts(&self) -> &[DriftAlert] {
+        &self.recent_alerts
+    }
+
     /// The runtime's live telemetry as an unsealed snapshot (the daemon's
     /// sensor view; the registry stamps epoch + checksum at publish).
     pub fn telemetry(&self) -> vap_obs::TelemetrySnapshot {
@@ -632,12 +811,35 @@ impl SchedRuntime {
             cap_w: self.cap.value(),
             running_jobs: self.running.len() as u64,
             queued_jobs: self.pending.len() as u64,
+            drift_alerts: self.drift.alerts_total(),
+            alerts: self
+                .recent_alerts
+                .iter()
+                .map(|a| vap_obs::DriftAlertSample {
+                    module: a.module,
+                    residual_w: a.residual_w,
+                    z: a.z,
+                })
+                .collect(),
+            hists: vec![
+                vap_obs::HistogramSample::from_histogram("sched_jct_s", &self.hist_jct),
+                vap_obs::HistogramSample::from_histogram("sched_wait_s", &self.hist_wait),
+                vap_obs::HistogramSample::from_histogram(
+                    "sched_event_gap_s",
+                    &self.hist_event_gap,
+                ),
+                vap_obs::HistogramSample::from_histogram(
+                    "sched_width_probes",
+                    &self.hist_width_probes,
+                ),
+            ],
             modules: self.cluster.telemetry(),
             ..vap_obs::TelemetrySnapshot::default()
         }
     }
 
-    /// Record the power/queue snapshot after an event.
+    /// Record the power/queue snapshot after an event, feed the drift
+    /// detector, and emit the watt-provenance ledger tick.
     fn sample(&mut self) {
         let allocated: Watts = self.running.iter().map(|&id| self.jobs[id].budget).sum();
         self.samples.push(PowerSample {
@@ -647,6 +849,85 @@ impl SchedRuntime {
             running: self.running.len(),
             queued: self.pending.len(),
         });
+
+        // Drift: every module's measured − PVT-predicted residual. Part
+        // of the deterministic replay state (the daemon serves it), so
+        // it runs whether or not a journal session is live.
+        for idx in 0..self.cluster.len() {
+            let Some(m) = self.cluster.get(idx) else {
+                continue;
+            };
+            let residual = m.module_power().value() - m.pvt_predicted_power().value();
+            if let Some(alert) = self.drift.observe(idx, self.now, residual) {
+                vap_obs::incr("sched.drift_alerts");
+                self.recent_alerts.push(alert);
+                if self.recent_alerts.len() > RECENT_ALERTS {
+                    let excess = self.recent_alerts.len() - RECENT_ALERTS;
+                    self.recent_alerts.drain(..excess);
+                }
+            }
+        }
+
+        let dt = self.now - self.last_sample_t;
+        self.last_sample_t = self.now;
+        vap_obs::ledger_tick(|| self.provenance_tick(dt));
+    }
+
+    /// Attribute the current cap to `(job, module, domain)` watt bins.
+    ///
+    /// Telescoping keeps the bins summing to the cap exactly: per-domain
+    /// `useful + loss` recovers each module grant (`useful =
+    /// min(measured, granted)`, the loss classified as throttle when
+    /// RAPL is actively limiting, headroom otherwise), each job-residue
+    /// row absorbs `budget − Σ grants`, and the system-stranded row
+    /// absorbs `cap − Σ budgets` — so conservation holds by
+    /// construction for every trace (`tests/ledger_props.rs`). Public so
+    /// observers hooked via [`Self::run_with`] can audit the attribution
+    /// directly; the journal path calls it through
+    /// [`vap_obs::ledger_tick`] after every event.
+    pub fn provenance_tick(&self, dt_s: f64) -> LedgerTick {
+        let mut entries = Vec::new();
+        let mut budgets_total = 0.0;
+        for &id in &self.running {
+            let j = &self.jobs[id];
+            budgets_total += j.budget.value();
+            let mut granted_total = 0.0;
+            if let Some(pmt) = &j.pmt {
+                for a in allocations(pmt, j.alpha) {
+                    let Some(m) = self.cluster.get(a.module_id) else {
+                        continue;
+                    };
+                    let module = a.module_id as u64;
+                    let throttled = m.rapl_throttled();
+                    for (domain, granted, measured) in [
+                        (Domain::Cpu, a.p_cpu.value(), m.cpu_power().value()),
+                        (Domain::Dram, a.p_dram.value(), m.dram_power().value()),
+                    ] {
+                        let useful = measured.min(granted);
+                        entries.push(LedgerEntry::module(
+                            id as u64,
+                            module,
+                            domain,
+                            Category::Useful,
+                            useful,
+                        ));
+                        let cat =
+                            if throttled { Category::Throttle } else { Category::Headroom };
+                        entries.push(LedgerEntry::module(
+                            id as u64,
+                            module,
+                            domain,
+                            cat,
+                            granted - useful,
+                        ));
+                        granted_total += granted;
+                    }
+                }
+            }
+            entries.push(LedgerEntry::job_residue(id as u64, j.budget.value() - granted_total));
+        }
+        entries.push(LedgerEntry::system_stranded(self.cap.value() - budgets_total));
+        LedgerTick { t_s: self.now, dt_s, cap_w: self.cap.value(), entries }
     }
 }
 

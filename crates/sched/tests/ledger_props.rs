@@ -1,0 +1,133 @@
+//! The watt-provenance conservation invariant, attacked from two sides:
+//! a deterministic sweep over every policy combination, and a proptest
+//! over random caps, policies and traces. In every replayed state the
+//! ledger bins must sum to the applied cluster cap within the ULP-scaled
+//! epsilon — conservation is by construction (telescoping), so any
+//! violation is an attribution bug, not noise.
+
+use proptest::prelude::*;
+use vap_core::pvt::PowerVariationTable;
+use vap_model::systems::SystemSpec;
+use vap_model::units::Watts;
+use vap_obs::LedgerTable;
+use vap_sched::{QueueDiscipline, ReallocPolicy, SchedConfig, SchedRuntime, Trace, TraceGen};
+use vap_sim::cluster::Cluster;
+use vap_sim::scheduler::AllocationPolicy;
+use vap_workloads::catalog;
+use vap_workloads::spec::WorkloadId;
+
+/// A post-PVT fleet plus its PVT.
+fn fleet(n: usize, seed: u64) -> (Cluster, PowerVariationTable) {
+    let mut cluster = Cluster::with_size(SystemSpec::ha8k(), n, seed);
+    let stream = catalog::get(WorkloadId::Stream);
+    let pvt = PowerVariationTable::generate(&mut cluster, &stream, seed);
+    (cluster, pvt)
+}
+
+/// Replay `trace`, auditing the provenance tick after every event.
+/// Returns the accumulated ledger.
+fn audit(cluster: &Cluster, pvt: &PowerVariationTable, trace: &Trace, cfg: SchedConfig, seed: u64) -> LedgerTable {
+    let mut table = LedgerTable::new();
+    let mut last_t = 0.0_f64;
+    let rt = SchedRuntime::new(cluster.clone(), pvt.clone(), seed, cfg);
+    rt.run_with(trace, |state| {
+        let dt = state.now_s() - last_t;
+        last_t = state.now_s();
+        table.record(state.provenance_tick(dt));
+        std::ops::ControlFlow::Continue(())
+    });
+    table
+}
+
+fn assert_conserved(table: &LedgerTable, label: &str) {
+    assert!(
+        table.violations == 0,
+        "{label}: {} conservation violations (worst residual {} W)",
+        table.violations,
+        table.worst_residual_w
+    );
+    let [useful, throttle, headroom, _stranded] = table.energy_by_category();
+    assert!(useful >= 0.0, "{label}: negative useful energy {useful}");
+    assert!(throttle >= 0.0, "{label}: negative throttle energy {throttle}");
+    assert!(headroom >= 0.0, "{label}: negative headroom energy {headroom}");
+}
+
+#[test]
+fn every_policy_combination_conserves_the_cap() {
+    let seed = 2015;
+    let n = 16;
+    let (cluster, pvt) = fleet(n, seed);
+    let trace = TraceGen { mean_interarrival_s: 20.0, ..TraceGen::new(8, n) }
+        .generate(seed)
+        .with_cap_change(120.0, Watts(45.0 * n as f64));
+    for realloc in ReallocPolicy::ALL {
+        for queue in [QueueDiscipline::Fifo, QueueDiscipline::Backfill] {
+            let cfg = SchedConfig {
+                allocation: AllocationPolicy::LowestPowerFirst,
+                realloc,
+                queue,
+                cap: Watts(70.0 * n as f64),
+            };
+            let table = audit(&cluster, &pvt, &trace, cfg, seed);
+            assert!(!table.is_empty(), "{realloc}/{queue:?}: no ticks audited");
+            assert_conserved(&table, &format!("{realloc}/{queue:?}"));
+        }
+    }
+}
+
+#[test]
+fn a_busy_fleet_attributes_useful_watts() {
+    let seed = 7;
+    let n = 12;
+    let (cluster, pvt) = fleet(n, seed);
+    let trace = TraceGen::new(6, n).generate(seed);
+    let cfg = SchedConfig {
+        allocation: AllocationPolicy::Contiguous,
+        realloc: ReallocPolicy::UniformRebalance,
+        queue: QueueDiscipline::Backfill,
+        cap: Watts(95.0 * n as f64),
+    };
+    let table = audit(&cluster, &pvt, &trace, cfg, seed);
+    assert_conserved(&table, "busy fleet");
+    let [useful, ..] = table.energy_by_category();
+    assert!(useful > 0.0, "running jobs must burn useful watt-seconds");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random caps, policies, trace shapes and cap changes: the bins
+    /// always sum to the applied cap, at every tick of every replay.
+    #[test]
+    fn conservation_holds_for_random_caps_and_traces(
+        seed in 0_u64..1_000,
+        n in 8_usize..17,
+        jobs in 1_usize..9,
+        cap_per_module in 40.0_f64..120.0,
+        interarrival in 10.0_f64..90.0,
+        realloc_ix in 0_usize..3,
+        backfill in any::<bool>(),
+        drop_cap in any::<bool>(),
+        dropped_per_module in 30.0_f64..80.0,
+    ) {
+        let (cluster, pvt) = fleet(n, seed);
+        let mut trace = TraceGen {
+            mean_interarrival_s: interarrival,
+            ..TraceGen::new(jobs, n)
+        }
+        .generate(seed);
+        if drop_cap {
+            trace = trace.with_cap_change(60.0, Watts(dropped_per_module * n as f64));
+        }
+        let cfg = SchedConfig {
+            allocation: AllocationPolicy::LowestPowerFirst,
+            realloc: ReallocPolicy::ALL[realloc_ix],
+            queue: if backfill { QueueDiscipline::Backfill } else { QueueDiscipline::Fifo },
+            cap: Watts(cap_per_module * n as f64),
+        };
+        let table = audit(&cluster, &pvt, &trace, cfg, seed);
+        prop_assert_eq!(table.violations, 0, "worst residual {} W", table.worst_residual_w);
+        let [useful, throttle, headroom, _] = table.energy_by_category();
+        prop_assert!(useful >= 0.0 && throttle >= 0.0 && headroom >= 0.0);
+    }
+}

@@ -306,6 +306,29 @@ impl SimModule {
         self.cpu_power() + self.dram_power()
     }
 
+    /// Module power *predicted from the base PVT fingerprint* at the
+    /// current operating point — what an operator who calibrated on the
+    /// PVT microbenchmark would expect this module to draw. When a
+    /// workload-specific fingerprint override is installed, the actual
+    /// draw ([`Self::module_power`]) diverges from this prediction; the
+    /// scheduler's drift detector watches that residual.
+    pub fn pvt_predicted_power(&self) -> Watts {
+        let base = self.base_variation();
+        let run = self.power_model.cpu.power(
+            self.op.clock,
+            self.activity.cpu,
+            base,
+            self.thermal.factor(),
+        );
+        let cpu = if self.op.duty >= 1.0 {
+            run
+        } else {
+            let gated = self.power_model.cpu.gated_power(base, self.thermal.factor());
+            run * self.op.duty + gated * (1.0 - self.op.duty)
+        };
+        cpu + self.power_model.dram.power(self.op.clock, self.activity.dram * self.op.duty, base)
+    }
+
     /// Relative execution rate (1.0 = this workload at the reference
     /// frequency on a nominal part): the boundedness-dependent DVFS
     /// slowdown, the duty cycle, and the module's silicon-speed multiplier.
@@ -496,6 +519,22 @@ mod tests {
         let p = m.module_power();
         assert!(p.value() < 35.0, "idle power {p}");
         assert!(p.value() > 15.0);
+    }
+
+    #[test]
+    fn pvt_prediction_matches_actual_until_workload_override() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        assert!(
+            (m.pvt_predicted_power().value() - m.module_power().value()).abs() < 1e-12,
+            "no override: prediction is the actual draw"
+        );
+        let mut hot = ModuleVariation::nominal(0, 12);
+        hot.dynamic = 1.10;
+        hot.leakage = 1.3;
+        m.set_workload_variation(Some(hot));
+        let residual = m.module_power().value() - m.pvt_predicted_power().value();
+        assert!(residual > 1.0, "hungrier workload fingerprint must overshoot PVT prediction by watts, got {residual}");
     }
 
     #[test]

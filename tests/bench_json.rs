@@ -93,4 +93,26 @@ fn daemon_soak_recorded_nontrivial_errorfree_throughput() {
     assert!(numeric_field(&doc, results, "prom_scrapes_per_s") > 0.0);
     assert!(numeric_field(&doc, results, "json_lines") > 0.0);
     assert_eq!(numeric_field(&doc, results, "errors"), 0.0, "soak recorded protocol errors");
+    // scrape latency percentiles: measured, positive, and ordered
+    let p50 = numeric_field(&doc, results, "prom_scrape_p50_ms");
+    let p95 = numeric_field(&doc, results, "prom_scrape_p95_ms");
+    let p99 = numeric_field(&doc, results, "prom_scrape_p99_ms");
+    assert!(p50 > 0.0, "p50 must be a measured positive latency, got {p50}");
+    assert!(p50 <= p95 && p95 <= p99, "percentiles out of order: {p50}/{p95}/{p99}");
+}
+
+#[test]
+fn ledger_overhead_record_holds_measured_numbers() {
+    // The watt-provenance ledger's cost story is only real with measured
+    // medians on both sides of the flag — and a disabled-path overhead
+    // that stays genuinely small (the off path is one relaxed atomic
+    // load per site; the on path amortizes into the campaign itself).
+    let doc = read("BENCH_obs.json");
+    let results = doc.find("\"results\"").expect("results section in BENCH_obs.json");
+    let off = numeric_field(&doc, results, "ledger_off_median_s");
+    let on = numeric_field(&doc, results, "ledger_on_median_s");
+    let overhead = numeric_field(&doc, results, "overhead_pct");
+    assert!(off > 0.0 && on > 0.0, "medians must be measured positive durations");
+    assert!(overhead < 25.0, "armed-ledger overhead regressed to {overhead}%");
+    assert!(numeric_field(&doc, results, "reps") >= 3.0, "need at least 3 reps for a median");
 }

@@ -199,3 +199,43 @@ fn observability_journal_is_thread_count_invariant() {
     assert!(report_1.journal_jsonl.contains("scheme.plans"));
     assert!(report_1.journal_jsonl.contains("\"kind\":\"cell\""));
 }
+
+#[test]
+fn watt_provenance_ledger_is_thread_count_invariant() {
+    // The attribution plane is part of the deterministic surface too:
+    // with the ledger armed over a scheduling campaign, the journal
+    // (ledger ticks + decision records included) and ledger.csv must be
+    // byte-identical at any --threads, and the ledger must re-validate
+    // (per-tick conservation) on the exported bytes.
+    use vap_report::experiments::sched_study;
+    use vap_report::RunOptions;
+    let attributed = |threads: usize| {
+        let session = vap_obs::Session::install_with_ledger();
+        let run = sched_study::run(&RunOptions {
+            modules: Some(48),
+            seed: 2015,
+            scale: 0.05,
+            threads: Some(threads),
+            ..RunOptions::default()
+        });
+        (sched_study::to_csv(&run), session.finish())
+    };
+    let (csv_1, report_1) = attributed(1);
+    let (csv_4, report_4) = attributed(4);
+    assert_eq!(csv_1, csv_4, "arming the ledger must not perturb results");
+    assert_eq!(
+        report_1.journal_jsonl, report_4.journal_jsonl,
+        "journal with ledger + decision records must be byte-identical at any thread count"
+    );
+    assert_eq!(
+        report_1.ledger_csv, report_4.ledger_csv,
+        "ledger.csv must be byte-identical at any thread count"
+    );
+    // the campaign actually recorded attribution and decisions
+    assert!(report_1.journal_jsonl.contains("\"type\":\"ledger\""));
+    assert!(report_1.journal_jsonl.contains("\"type\":\"decision\""));
+    let stats = vap_obs::validate_ledger_csv(&report_1.ledger_csv)
+        .expect("exported ledger must re-validate");
+    assert!(stats.tick_rows > 0 && stats.bin_rows > 0, "ledger must carry real rows");
+    vap_obs::validate_journal(&report_1.journal_jsonl).expect("journal must validate");
+}
