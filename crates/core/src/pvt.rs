@@ -80,6 +80,16 @@ pub struct PowerVariationTable {
     pub f_max: GigaHertz,
     /// Minimum-frequency anchor.
     pub f_min: GigaHertz,
+    /// Fleet-average raw anchor powers `[cpu_max, cpu_min, dram_max,
+    /// dram_min]` in watts, recorded at assembly time. Scales are
+    /// normalized by these, so keeping them lets a later *partial*
+    /// re-calibration reconstruct every unaffected module's raw anchors
+    /// (`scale × mean`) and renormalize the whole table consistently.
+    /// Zeroed on tables persisted before this field existed
+    /// ([`PowerVariationTable::recalibrate_modules`] falls back to a full
+    /// sweep for those).
+    #[serde(default)]
+    anchor_means: [f64; 4],
     entries: Vec<PvtEntry>,
 }
 
@@ -239,8 +249,63 @@ impl PowerVariationTable {
             microbenchmark: micro.id.name().to_string(),
             f_max,
             f_min,
+            anchor_means: avg,
             entries,
         }
+    }
+
+    /// Online re-calibration: re-run the microbenchmark sweep on the
+    /// `affected` modules only — against whatever the silicon looks like
+    /// *now*, accumulated drift included — and return a fresh table.
+    ///
+    /// Unaffected modules are not re-measured: their raw anchors are
+    /// reconstructed from the stored scales and fleet means
+    /// (`scale × mean`), then the whole table is renormalized, so the
+    /// invariant that scales average to 1.0 survives re-calibration.
+    /// Out-of-range ids are ignored; the affected modules are left idle,
+    /// exactly as the boot-time sweep leaves the fleet. A table loaded
+    /// from a pre-drift artifact (no stored anchor means) or sized for a
+    /// different fleet falls back to the full boot-time sweep.
+    pub fn recalibrate_modules(
+        &self,
+        cluster: &mut Cluster,
+        micro: &WorkloadSpec,
+        affected: &[usize],
+        seed: u64,
+    ) -> Self {
+        let reconstructable = self.anchor_means.iter().all(|&m| m > 0.0);
+        if !reconstructable || self.entries.len() != cluster.len() {
+            return Self::generate_with_threads(cluster, micro, seed, 1);
+        }
+        let mut raw: Vec<(f64, f64, f64, f64)> = self
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.cpu_max * self.anchor_means[0],
+                    e.cpu_min * self.anchor_means[1],
+                    e.dram_max * self.anchor_means[2],
+                    e.dram_min * self.anchor_means[3],
+                )
+            })
+            .collect();
+        let ids: Vec<usize> = affected.iter().copied().filter(|&i| i < cluster.len()).collect();
+        micro.apply_to_modules(cluster, &ids, seed);
+        for &i in &ids {
+            if let Some(m) = cluster.get(i) {
+                vap_obs::incr("pvt.modules_recalibrated");
+                let (cpu_max, dram_max) = measure_module_snapshot(m, self.f_max);
+                let (cpu_min, dram_min) = measure_module_snapshot(m, self.f_min);
+                raw[i] = (cpu_max.value(), cpu_min.value(), dram_max.value(), dram_min.value());
+            }
+        }
+        for &i in &ids {
+            if let Some(m) = cluster.get_mut(i) {
+                m.set_workload_variation(None);
+                m.set_activity(vap_model::power::PowerActivity::IDLE);
+            }
+        }
+        Self::assemble(micro, self.f_max, self.f_min, raw)
     }
 
     /// Number of modules covered.
@@ -384,6 +449,53 @@ mod tests {
             assert_eq!(fleet.activity(i), vap_model::power::PowerActivity::IDLE);
             assert!(fleet.cap(i).is_none());
         }
+    }
+
+    #[test]
+    fn recalibrating_nothing_reproduces_the_table() {
+        let (mut c, pvt) = pvt_for(16, 23);
+        let stream = catalog::get(WorkloadId::Stream);
+        let again = pvt.recalibrate_modules(&mut c, &stream, &[], 23);
+        assert_eq!(again.len(), pvt.len());
+        for (a, b) in pvt.entries().iter().zip(again.entries()) {
+            assert!((a.cpu_max - b.cpu_max).abs() < 1e-12, "round-trip scale drifted");
+            assert!((a.dram_min - b.dram_min).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recalibration_tracks_silicon_drift() {
+        use vap_model::variability::DriftSkew;
+        let (mut c, stale) = pvt_for(32, 29);
+        let aged = DriftSkew { dynamic: 1.08, leakage: 1.25, dram: 1.05 };
+        c.apply_drift(3, &aged);
+        let stream = catalog::get(WorkloadId::Stream);
+        let fresh = stale.recalibrate_modules(&mut c, &stream, &[3], 29);
+        // the drifted module's scale rises against its stale value...
+        let before = stale.entry(3).unwrap().cpu_max;
+        let after = fresh.entry(3).unwrap().cpu_max;
+        assert!(after > before * 1.02, "recalibration must see the drift: {before} -> {after}");
+        // ...while unaffected modules only move through renormalization
+        for i in [0usize, 7, 31] {
+            let b = stale.entry(i).unwrap().cpu_max;
+            let a = fresh.entry(i).unwrap().cpu_max;
+            assert!((a - b).abs() < 0.01, "module {i} moved {b} -> {a}");
+        }
+        // scales still average to 1.0 after renormalization
+        let mean: f64 = fresh.entries().iter().map(|e| e.cpu_max).sum::<f64>() / fresh.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-6);
+        // affected module left idle, like the boot-time sweep leaves it
+        assert_eq!(c.module(3).activity(), vap_model::power::PowerActivity::IDLE);
+        assert!(c.module(3).workload_variation().is_none());
+    }
+
+    #[test]
+    fn recalibration_falls_back_to_a_full_sweep_on_fleet_resize() {
+        let (_, pvt) = pvt_for(8, 31);
+        let stream = catalog::get(WorkloadId::Stream);
+        let mut bigger = Cluster::with_size(SystemSpec::ha8k(), 12, 31);
+        let fresh = pvt.recalibrate_modules(&mut bigger, &stream, &[2], 31);
+        assert_eq!(fresh.len(), 12, "resized fleet takes the full-sweep path");
     }
 
     #[test]

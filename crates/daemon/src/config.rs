@@ -4,6 +4,8 @@
 //! the shared parser keeps `--modules/--seed/--scale/...` and hands the
 //! tokens it does not recognize to [`DaemonConfig::parse`].
 
+use vap_scenario::Scenario;
+
 /// What the sensor side of the daemon simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Mode {
@@ -52,6 +54,9 @@ pub struct DaemonConfig {
     /// Stop after this many sensor ticks; 0 is unbounded (sweep mode
     /// never finishes on its own; sched mode stops when the trace ends).
     pub ticks: u64,
+    /// Non-stationary scenario injected into the sensor (`null` keeps
+    /// the fleet stationary — the byte-identical historical behavior).
+    pub scenario: Scenario,
 }
 
 impl Default for DaemonConfig {
@@ -64,13 +69,15 @@ impl Default for DaemonConfig {
             accel: 0.0,
             duration_s: 0.0,
             ticks: 0,
+            scenario: Scenario::Null,
         }
     }
 }
 
 /// The daemon's flag reference, appended to the shared usage line.
 pub const USAGE: &str = "vap-daemon flags: [--mode sweep|sched] [--prom-port N] [--json-port N] \
-                         [--stdout-every N] [--accel X] [--duration-s X] [--ticks N]";
+                         [--stdout-every N] [--accel X] [--duration-s X] [--ticks N] \
+                         [--scenario null|heatwave|aging|entropy|faults|shocks|churn|mixed]";
 
 impl DaemonConfig {
     /// Parse the daemon's own flags from the tokens the shared parser
@@ -114,6 +121,12 @@ impl DaemonConfig {
                 "--ticks" => {
                     cfg.ticks = take("--ticks")?.parse().map_err(|e| format!("--ticks: {e}"))?;
                 }
+                "--scenario" => {
+                    let name = take("--scenario")?;
+                    cfg.scenario = Scenario::parse(&name).ok_or_else(|| {
+                        format!("--scenario: unknown scenario `{name}` ({USAGE})")
+                    })?;
+                }
                 _ => return Err(format!("unknown flag {flag} ({USAGE})")),
             }
         }
@@ -136,6 +149,7 @@ mod tests {
         assert_eq!(cfg.mode, Mode::Sweep);
         assert_eq!(cfg.prom_port, 9500);
         assert_eq!(cfg.json_port, 9501);
+        assert_eq!(cfg.scenario, Scenario::Null);
     }
 
     #[test]
@@ -155,6 +169,8 @@ mod tests {
             "2.5",
             "--ticks",
             "400",
+            "--scenario",
+            "heatwave",
         ])
         .unwrap();
         assert_eq!(cfg.mode, Mode::Sched);
@@ -164,6 +180,15 @@ mod tests {
         assert_eq!(cfg.accel, 50.0);
         assert_eq!(cfg.duration_s, 2.5);
         assert_eq!(cfg.ticks, 400);
+        assert_eq!(cfg.scenario, Scenario::Heatwave);
+    }
+
+    #[test]
+    fn every_scenario_name_parses() {
+        for sc in Scenario::ALL {
+            let cfg = parse(&["--scenario", sc.name()]).unwrap();
+            assert_eq!(cfg.scenario, sc, "{sc}");
+        }
     }
 
     #[test]
@@ -173,6 +198,8 @@ mod tests {
         assert!(parse(&["--accel", "-1"]).is_err());
         assert!(parse(&["--duration-s", "-0.5"]).is_err());
         assert!(parse(&["--ticks"]).is_err());
+        assert!(parse(&["--scenario", "meteor"]).is_err());
+        assert!(parse(&["--scenario"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
     }
 }

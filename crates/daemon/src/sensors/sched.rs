@@ -11,6 +11,7 @@ use vap_model::units::Watts;
 use vap_obs::TelemetrySnapshot;
 use vap_report::experiments::common;
 use vap_report::options::RunOptions;
+use vap_scenario::{Scenario, ScenarioRuntime};
 use vap_sched::{QueueDiscipline, ReallocPolicy, SchedConfig, SchedReport, SchedRuntime, Trace, TraceGen};
 use vap_sim::scheduler::AllocationPolicy;
 
@@ -33,6 +34,14 @@ impl SchedCampaign {
     /// (`--modules`, default 96), `--seed`, and `--scale` exactly as the
     /// `sched-study` experiment interprets them.
     pub fn from_options(opts: &RunOptions) -> Self {
+        SchedCampaign::with_scenario(opts, Scenario::Null)
+    }
+
+    /// [`Self::from_options`] plus a non-stationary scenario: the
+    /// perturbation schedule covers the trace's span (last arrival plus
+    /// slack) and merges into the replay's event queue. [`Scenario::Null`]
+    /// installs nothing and is byte-identical to the plain campaign.
+    pub fn with_scenario(opts: &RunOptions, scenario: Scenario) -> Self {
         let n = opts.modules_or(96);
         let mut cluster = common::ha8k(n, opts.seed);
         let budgeter = Budgeter::install_with_threads(&mut cluster, opts.seed, opts.threads());
@@ -48,7 +57,17 @@ impl SchedCampaign {
             queue: QueueDiscipline::Backfill,
             cap: Watts(CAP_W_PER_MODULE * n as f64),
         };
-        let runtime = SchedRuntime::new(cluster, budgeter.pvt().clone(), opts.seed, cfg);
+        let mut runtime = SchedRuntime::new(cluster, budgeter.pvt().clone(), opts.seed, cfg);
+        if scenario != Scenario::Null {
+            let last_arrival_s =
+                trace.jobs.last().map_or(0.0, |j| j.at_s).max(1.0);
+            runtime = runtime.with_scenario(ScenarioRuntime::new(
+                scenario,
+                n,
+                last_arrival_s * 1.5,
+                opts.seed,
+            ));
+        }
         SchedCampaign { runtime, trace }
     }
 
@@ -127,5 +146,28 @@ mod tests {
             sig
         };
         assert_eq!(stream(), stream());
+    }
+
+    #[test]
+    fn scenario_campaigns_are_deterministic_and_null_matches_plain() {
+        let stream = |scenario: Scenario| {
+            let mut sig = Vec::new();
+            SchedCampaign::with_scenario(&small(), scenario).run(|snap| {
+                sig.push(snap.seal(sig.len() as u64 + 1).checksum);
+                ControlFlow::Continue(())
+            });
+            sig
+        };
+        assert_eq!(
+            stream(Scenario::Null),
+            stream(Scenario::Null),
+            "null scenario must replay identically"
+        );
+        assert_eq!(stream(Scenario::Mixed), stream(Scenario::Mixed));
+        assert_ne!(
+            stream(Scenario::Mixed),
+            stream(Scenario::Null),
+            "a mixed scenario must perturb the campaign"
+        );
     }
 }

@@ -8,6 +8,7 @@ use crate::sensors::Sensor;
 use vap_model::systems::SystemSpec;
 use vap_model::units::{Seconds, Watts};
 use vap_obs::{DriftAlertSample, DriftConfig, DriftDetector};
+use vap_scenario::{Effect, ScenarioRuntime};
 use vap_sim::cluster::Cluster;
 use vap_sim::rapl::RaplLimit;
 use vap_workloads::{catalog, WorkloadId};
@@ -25,12 +26,14 @@ const RECENT_ALERTS: usize = 8;
 /// A capped fleet under load, stepped one simulated second per tick.
 pub struct CapSweepSensor {
     cluster: Cluster,
+    seed: u64,
     sim_time_s: f64,
     ticks: u64,
     max_ticks: u64,
     rung: usize,
     drift: DriftDetector,
     recent_alerts: Vec<DriftAlertSample>,
+    scenario: Option<ScenarioRuntime>,
 }
 
 impl CapSweepSensor {
@@ -42,22 +45,35 @@ impl CapSweepSensor {
         let drift = DriftDetector::new(cluster.len(), DriftConfig::default());
         let mut sensor = CapSweepSensor {
             cluster,
+            seed,
             sim_time_s: 0.0,
             ticks: 0,
             max_ticks,
             rung: 0,
             drift,
             recent_alerts: Vec::new(),
+            scenario: None,
         };
         sensor.apply_rung();
         sensor
     }
 
-    /// Program the current ladder rung onto every module.
+    /// Install a non-stationary perturbation schedule: events apply at
+    /// their simulated time as the sweep ticks. A schedule with no
+    /// events leaves the sweep byte-identical to a plain run.
+    pub fn with_scenario(mut self, scenario: ScenarioRuntime) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Program the current ladder rung onto every module, scaled by any
+    /// active scenario cap shock.
     fn apply_rung(&mut self) {
+        let scale = self.scenario.as_ref().map_or(1.0, |s| s.shock_scale());
         match CAP_LADDER_W[self.rung] {
             Some(cap_w) => {
-                self.cluster.set_uniform_cap(RaplLimit::with_default_window(Watts(cap_w)));
+                self.cluster
+                    .set_uniform_cap(RaplLimit::with_default_window(Watts(cap_w * scale)));
             }
             None => self.cluster.uncap_all(),
         }
@@ -66,7 +82,38 @@ impl CapSweepSensor {
 
     /// The per-module cap currently programmed (W); 0 when uncapped.
     fn rung_cap_w(&self) -> f64 {
-        CAP_LADDER_W[self.rung].unwrap_or(0.0)
+        let scale = self.scenario.as_ref().map_or(1.0, |s| s.shock_scale());
+        CAP_LADDER_W[self.rung].map(|w| w * scale).unwrap_or(0.0)
+    }
+
+    /// Apply scenario events due at the current simulated time and react
+    /// to their effects: a cap shock re-programs the rung at the shocked
+    /// scale, a failed module idles, a replacement picks the workload
+    /// back up on fresh silicon.
+    fn advance_scenario(&mut self) {
+        let Some(mut sc) = self.scenario.take() else {
+            return;
+        };
+        let effects = sc.advance_cluster(self.sim_time_s, &mut self.cluster);
+        self.scenario = Some(sc);
+        for effect in effects {
+            match effect {
+                Effect::Module(_) | Effect::Sensor(_) => {}
+                Effect::Cap => self.apply_rung(),
+                Effect::Failed(m) => {
+                    if let Some(module) = self.cluster.get_mut(m) {
+                        module.set_activity(vap_model::power::PowerActivity::IDLE);
+                    }
+                }
+                Effect::Replaced(m) => {
+                    catalog::get(WorkloadId::Dgemm).apply_to_modules(
+                        &mut self.cluster,
+                        &[m],
+                        self.seed,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -86,10 +133,17 @@ impl Sensor for CapSweepSensor {
         self.cluster.step_all(Seconds(1.0));
         self.ticks += 1;
         self.sim_time_s += 1.0;
+        self.advance_scenario();
         vap_obs::incr("daemon.ticks");
         for idx in 0..self.cluster.len() {
             let Some(m) = self.cluster.get(idx) else { continue };
-            let residual = m.module_power().value() - m.pvt_predicted_power().value();
+            let true_w = m.module_power().value();
+            let predicted = m.pvt_predicted_power().value();
+            let measured = match self.scenario.as_mut() {
+                Some(sc) => sc.read_power(idx, true_w),
+                None => true_w,
+            };
+            let residual = measured - predicted;
             if let Some(alert) = self.drift.observe(idx, self.sim_time_s, residual) {
                 vap_obs::incr("daemon.drift_alerts");
                 self.recent_alerts.push(DriftAlertSample {
@@ -122,6 +176,8 @@ impl Sensor for CapSweepSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vap_model::variability::DriftSkew;
+    use vap_scenario::{PerturbationKind, Scenario, ScenarioEvent};
 
     #[test]
     fn ticks_advance_time_and_respect_the_budget() {
@@ -174,5 +230,67 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different fleets must differ somewhere");
+    }
+
+    #[test]
+    fn null_scenario_is_byte_identical_to_no_scenario() {
+        let checksums = |sensor: &mut CapSweepSensor| {
+            let mut stream = Vec::new();
+            while let Some(snap) = sensor.tick() {
+                stream.push(snap.seal(stream.len() as u64 + 1).checksum);
+            }
+            stream
+        };
+        let mut plain = CapSweepSensor::new(3, 2015, 40);
+        let mut null = CapSweepSensor::new(3, 2015, 40)
+            .with_scenario(ScenarioRuntime::new(Scenario::Null, 3, 40.0, 2015));
+        assert_eq!(checksums(&mut plain), checksums(&mut null));
+    }
+
+    #[test]
+    fn injected_drift_alerts_within_bounded_ticks_and_null_does_not() {
+        // Null: nothing in the sim evolves between ticks at a fixed rung
+        // (power is a pure function of the operating point), so residuals
+        // are constant for the whole first dwell and the detector must
+        // stay silent even past its warmup.
+        let mut null = CapSweepSensor::new(4, 2015, 0);
+        for _ in 0..(DWELL_TICKS - 1) {
+            let snap = null.tick().unwrap();
+            assert_eq!(
+                snap.drift_alerts, 0,
+                "stationary sweep must not alert at t={}",
+                snap.sim_time_s
+            );
+        }
+
+        // Drift: a step on module 1 at t=20 s — past the detector warmup
+        // (16 observations), before the first rung change (tick 30) —
+        // must alert within a few ticks, attributed to that module.
+        let step = DriftSkew { dynamic: 1.15, leakage: 1.4, dram: 1.05 };
+        let events = vec![ScenarioEvent {
+            at_s: 20.0,
+            seq: 0,
+            kind: PerturbationKind::Drift { module: 1, step },
+        }];
+        let mut drifted = CapSweepSensor::new(4, 2015, 0)
+            .with_scenario(ScenarioRuntime::from_events(events, 4, 2015));
+        let mut alert_tick = None;
+        for t in 1..DWELL_TICKS {
+            let snap = drifted.tick().unwrap();
+            if snap.drift_alerts > 0 {
+                assert!(
+                    snap.alerts.iter().any(|a| a.module == 1),
+                    "the alert must attribute to the drifted module: {:?}",
+                    snap.alerts
+                );
+                alert_tick = Some(t);
+                break;
+            }
+        }
+        let fired = alert_tick.expect("injected drift never alerted within the dwell");
+        assert!(
+            (20..=23).contains(&fired),
+            "alert should fire within a few ticks of the t=20 injection, got tick {fired}"
+        );
     }
 }

@@ -19,6 +19,7 @@ use crate::{DaemonError, Exporter};
 use std::ops::ControlFlow;
 use vap_obs::SnapshotRegistry;
 use vap_report::options::RunOptions;
+use vap_scenario::{Scenario, ScenarioRuntime};
 
 /// Default fleet size when `--modules` is not given: big enough to show
 /// fleet-level variation spread, small enough to tick fast.
@@ -173,8 +174,15 @@ fn drive_sensor(
 
     let completed_jobs = match cfg.mode {
         Mode::Sweep => {
-            let mut sensor =
-                CapSweepSensor::new(opts.modules_or(DEFAULT_MODULES), opts.seed, cfg.ticks);
+            let n = opts.modules_or(DEFAULT_MODULES);
+            let mut sensor = CapSweepSensor::new(n, opts.seed, cfg.ticks);
+            if cfg.scenario != Scenario::Null {
+                // Spread the schedule over the tick budget; an unbounded
+                // run gets a one-hour horizon (the ladder repeats anyway).
+                let horizon_s = if cfg.ticks > 0 { cfg.ticks as f64 } else { 3600.0 };
+                sensor = sensor
+                    .with_scenario(ScenarioRuntime::new(cfg.scenario, n, horizon_s, opts.seed));
+            }
             while !stop.raised() && !deadline.expired() {
                 let Some(snap) = sensor.tick() else { break };
                 sim_time_s = snap.sim_time_s;
@@ -185,7 +193,7 @@ fn drive_sensor(
             None
         }
         Mode::Sched => {
-            let campaign = SchedCampaign::from_options(opts);
+            let campaign = SchedCampaign::with_scenario(opts, cfg.scenario);
             let report = campaign.run(|snap| {
                 let budget_spent = cfg.ticks > 0 && published >= cfg.ticks;
                 if stop.raised() || deadline.expired() || budget_spent {
@@ -241,6 +249,18 @@ mod tests {
         assert!(summary.published > 0);
         assert!(summary.completed_jobs.unwrap() > 0);
         assert!(summary.to_string().contains("jobs completed"));
+    }
+
+    #[test]
+    fn scenario_flag_reaches_both_sensor_modes() {
+        let sweep = DaemonConfig { scenario: Scenario::Heatwave, ..cfg(Mode::Sweep, 40) };
+        let summary = run(&opts(4), &sweep).unwrap();
+        assert_eq!(summary.published, 40, "a perturbed sweep still honours its tick budget");
+
+        let sched = DaemonConfig { scenario: Scenario::Mixed, ..cfg(Mode::Sched, 0) };
+        let options = RunOptions { scale: 0.05, ..opts(16) };
+        let summary = run(&options, &sched).unwrap();
+        assert!(summary.published > 0, "a perturbed campaign still publishes");
     }
 
     #[test]

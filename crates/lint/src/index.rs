@@ -334,6 +334,27 @@ mod tests {
     }
 
     #[test]
+    fn the_scenario_engine_is_par_scoped_through_the_drift_study() {
+        // the drift study fans its (scenario × policy × cap) grid through
+        // vap_exec::par_grid, and each worker drives a ScenarioRuntime —
+        // the scenario engine must inherit shared-state scope through
+        // that call site's dependency closure
+        let files = vec![sf(
+            "crates/report/src/experiments/drift_study.rs",
+            "vap-report",
+            "pub fn run() {\n    vap_exec::par_grid(&cells, 4, |c| cell(c));\n}\n",
+        )];
+        let d = deps(&[
+            ("vap-report", &["vap-scenario", "vap-sched"]),
+            ("vap-scenario", &["vap-sim"]),
+        ]);
+        let index = SymbolIndex::build(&files, d);
+        for c in ["vap-report", "vap-scenario", "vap-sim"] {
+            assert!(index.par_crates.contains(c), "{c} should be par-reachable");
+        }
+    }
+
+    #[test]
     fn dump_is_stable_and_complete() {
         let files = vec![sf(
             "crates/core/src/x.rs",

@@ -6,10 +6,13 @@
 //! order since Rust 1.36) or consults OS entropy / wall clocks. In
 //! `vap-sim`, `vap-mpi`, `vap-core`, `vap-exec` (the deterministic
 //! parallel execution layer lives or dies by this property), `vap-sched`
-//! (the discrete-event runtime replays traces byte-for-byte) and
-//! `vap-daemon` (the service plane promises a journal that is invariant
-//! under scraper load; its wall-clock pacing side channel carries
-//! explicit `vap:allow` markers), non-test code must not use:
+//! (the discrete-event runtime replays traces byte-for-byte),
+//! `vap-scenario` (perturbation schedules are part of the replay's
+//! deterministic surface — a wall clock in event generation would make
+//! every campaign unrepeatable) and `vap-daemon` (the service plane
+//! promises a journal that is invariant under scraper load; its
+//! wall-clock pacing side channel carries explicit `vap:allow` markers),
+//! non-test code must not use:
 //!
 //! * `std::collections::HashMap` / `HashSet` — use `BTreeMap` /
 //!   `BTreeSet` / `Vec` (deterministic iteration, stable snapshots);
@@ -21,8 +24,8 @@ use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
 /// Crates whose state must replay deterministically.
-const SCOPE: [&str; 6] =
-    ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched", "vap-daemon"];
+const SCOPE: [&str; 7] =
+    ["vap-sim", "vap-mpi", "vap-core", "vap-exec", "vap-sched", "vap-scenario", "vap-daemon"];
 
 /// `vap-obs` modules that feed the deterministic journal. The recorder
 /// crate as a whole stays out of scope (its session plumbing is host-side
@@ -79,7 +82,7 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched/vap-daemon or the vap-obs ledger/hist/decision/drift modules"
+        "no HashMap/HashSet state or OS entropy/wall clocks in vap-sim/vap-mpi/vap-core/vap-exec/vap-sched/vap-scenario/vap-daemon or the vap-obs ledger/hist/decision/drift modules"
     }
 
     fn check(&self, file: &SourceFile, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
@@ -151,6 +154,17 @@ mod tests {
     #[test]
     fn the_sched_runtime_is_in_scope() {
         assert_eq!(findings("vap-sched", "let q = HashMap::new();\n").len(), 1);
+    }
+
+    #[test]
+    fn scenario_event_generation_must_not_consult_wall_clocks() {
+        // a `Scenario::events()` schedule stamped from the host clock
+        // would differ on every run — the exact failure mode this rule
+        // exists to catch
+        let src = "let at_s = SystemTime::now().elapsed().unwrap().as_secs_f64();\n\
+                   let jitter = thread_rng();\n";
+        assert_eq!(findings("vap-scenario", src).len(), 2);
+        assert!(findings("vap-scenario", "let rng = SplitMix64::new(seed);\n").is_empty());
     }
 
     #[test]

@@ -97,6 +97,14 @@ impl VariabilityModel {
         (0..n).map(|id| self.sample_module(id, cores, &mut rng)).collect()
     }
 
+    /// Sample one replacement module deterministically in `seed`: a part
+    /// swapped in mid-campaign (module churn) draws a fresh fingerprint
+    /// from the same bin the original fleet was drawn from.
+    pub fn sample_replacement(&self, module_id: usize, cores: usize, seed: u64) -> ModuleVariation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample_module(module_id, cores, &mut rng)
+    }
+
     /// Sample a single module's variation.
     pub fn sample_module(&self, module_id: usize, cores: usize, rng: &mut StdRng) -> ModuleVariation {
         // vap:allow(no-panic-in-lib): Normal::new(0, 1) with constant finite
@@ -159,6 +167,56 @@ pub struct ModuleVariation {
     pub core_factors: Vec<f64>,
 }
 
+/// A multiplicative perturbation of a module's power fingerprint —
+/// thermal drift, silicon aging, or input-entropy workload content —
+/// applied *on top of* whatever [`ModuleVariation`] is in effect.
+///
+/// The fabrication fingerprint is fixed at test time; what drifts in the
+/// field is the *effective* power curve (NBTI/electromigration raise
+/// leakage, ambient temperature moves both terms, input content moves
+/// switching activity). A skew of all 1.0 is the identity; skews compose
+/// multiplicatively, and application clamps through the same
+/// floors/ceilings as sampling, so a drifted module can never leave the
+/// physically plausible envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftSkew {
+    /// Multiplier on the dynamic (switching) power term.
+    pub dynamic: f64,
+    /// Multiplier on the leakage power term.
+    pub leakage: f64,
+    /// Multiplier on the DRAM power term.
+    pub dram: f64,
+}
+
+impl Default for DriftSkew {
+    fn default() -> Self {
+        DriftSkew::IDENTITY
+    }
+}
+
+impl DriftSkew {
+    /// The identity skew (no drift).
+    pub const IDENTITY: DriftSkew = DriftSkew { dynamic: 1.0, leakage: 1.0, dram: 1.0 };
+
+    /// Whether this skew is exactly the identity (bitwise — the identity
+    /// is only ever produced by the `IDENTITY` constant, never computed).
+    pub fn is_identity(&self) -> bool {
+        let one = 1.0f64.to_bits();
+        self.dynamic.to_bits() == one
+            && self.leakage.to_bits() == one
+            && self.dram.to_bits() == one
+    }
+
+    /// Sequential drift events accumulate multiplicatively.
+    pub fn compose(&self, other: &DriftSkew) -> DriftSkew {
+        DriftSkew {
+            dynamic: self.dynamic * other.dynamic,
+            leakage: self.leakage * other.leakage,
+            dram: self.dram * other.dram,
+        }
+    }
+}
+
 impl ModuleVariation {
     /// A perfectly nominal module (all multipliers 1.0).
     pub fn nominal(module_id: usize, cores: usize) -> Self {
@@ -192,6 +250,21 @@ impl ModuleVariation {
         let d2d = self.dynamic - 1.0;
         let wd = self.effective_dynamic() - self.dynamic;
         (d2d, wd)
+    }
+
+    /// This fingerprint with a [`DriftSkew`] applied, clamped through the
+    /// same floors/ceilings as sampling. The per-core factors are left
+    /// untouched: drift is a module-level phenomenon here, and the
+    /// within-die spread rides along unchanged.
+    pub fn skewed(&self, skew: &DriftSkew) -> ModuleVariation {
+        ModuleVariation {
+            module_id: self.module_id,
+            dynamic: clamp_mult(self.dynamic * skew.dynamic),
+            leakage: (self.leakage * skew.leakage).clamp(LEAKAGE_FLOOR, LEAKAGE_CEIL),
+            dram: clamp_mult(self.dram * skew.dram),
+            perf: self.perf,
+            core_factors: self.core_factors.clone(),
+        }
     }
 }
 
@@ -300,5 +373,32 @@ mod tests {
         assert_eq!(v.effective_dynamic(), 1.0);
         assert_eq!(v.module_id, 3);
         assert_eq!(v.core_factors.len(), 12);
+    }
+
+    #[test]
+    fn identity_skew_is_a_no_op() {
+        let m = VariabilityModel::frequency_binned(0.04, 0.2, 0.12);
+        let v = &m.sample_fleet(4, 8, 5)[2];
+        assert!(DriftSkew::IDENTITY.is_identity());
+        assert_eq!(&v.skewed(&DriftSkew::IDENTITY), v);
+    }
+
+    #[test]
+    fn skews_compose_and_clamp() {
+        let v = ModuleVariation::nominal(0, 4);
+        let hot = DriftSkew { dynamic: 1.05, leakage: 1.30, dram: 1.02 };
+        assert!(!hot.is_identity());
+        let once = v.skewed(&hot);
+        assert!((once.dynamic - 1.05).abs() < 1e-12);
+        assert!((once.leakage - 1.30).abs() < 1e-12);
+        let twice = v.skewed(&hot.compose(&hot));
+        assert_eq!(twice, once.skewed(&hot), "composition = sequential application");
+        // absurd accumulated drift saturates at the sampling clamps
+        let melt = DriftSkew { dynamic: 10.0, leakage: 10.0, dram: 10.0 };
+        let cooked = v.skewed(&melt);
+        assert_eq!(cooked.dynamic, MULTIPLIER_CEIL);
+        assert_eq!(cooked.leakage, LEAKAGE_CEIL);
+        assert_eq!(cooked.dram, MULTIPLIER_CEIL);
+        assert_eq!(cooked.perf, v.perf, "drift never touches the perf bin");
     }
 }

@@ -7,7 +7,8 @@
 //! Any number of artifacts, classified by extension: `.jsonl` files are
 //! validated as event journals (parsed into the `vap_obs::export` schema,
 //! re-serialized, and compared byte-for-byte — a serde round-trip,
-//! including ledger and decision records), files named `ledger.csv` as
+//! including ledger, decision, and scenario records, the latter with
+//! monotonic event times and in-range module ids), files named `ledger.csv` as
 //! watt-provenance ledgers (per-tick conservation is re-checked from the
 //! raw rows), other `.json` files as Chrome trace-event timelines, and
 //! other `.csv` files as metrics tables. Exit code 0 on success, 1 on
@@ -36,8 +37,8 @@ fn main() {
         if path.ends_with(".jsonl") {
             match validate_journal(&read(path)) {
                 Ok(stats) => println!(
-                    "{path}: OK ({} lines, {} grids, {} cells)",
-                    stats.lines, stats.grids, stats.cells
+                    "{path}: OK ({} lines, {} grids, {} cells, {} scenario events)",
+                    stats.lines, stats.grids, stats.cells, stats.scenarios
                 ),
                 Err(e) => {
                     eprintln!("obs-check: {path}: {e}");

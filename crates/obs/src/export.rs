@@ -29,10 +29,13 @@ use crate::decision::{DecisionKind, DecisionRecord};
 use crate::ledger::{conservation_epsilon, Category, LedgerBin, LedgerTable};
 use crate::metrics::{Histogram, Metrics};
 use crate::recorder::Inner;
+use crate::scenario::{ScenarioKind, ScenarioRecord};
 
 /// Journal schema version. v2 added the watt-provenance `ledger` and
-/// scheduler `decision` line types (between the cells and the total).
-pub const JOURNAL_VERSION: u32 = 2;
+/// scheduler `decision` line types (between the cells and the total);
+/// v3 added the `scenario` perturbation lines (between the decisions
+/// and the total).
+pub const JOURNAL_VERSION: u32 = 3;
 
 /// Serializable snapshot of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,6 +137,21 @@ pub enum JournalLine {
         avail_w: f64,
         /// The decision and its evidence.
         decision: DecisionKind,
+    },
+    /// One applied scenario perturbation.
+    Scenario {
+        /// Owning grid, or `None` for driver-thread perturbations.
+        grid: Option<u64>,
+        /// Item index within the grid, if cell-scoped.
+        index: Option<u64>,
+        /// Record order within the scope (0-based).
+        seq: u64,
+        /// Simulated time the perturbation was applied (s).
+        t_s: f64,
+        /// Fleet size it was applied against (module-id range check).
+        fleet: u64,
+        /// The perturbation and its payload.
+        event: ScenarioKind,
     },
     /// Whole-session rollup: always the last line.
     Total {
@@ -253,6 +271,17 @@ fn decision_line(grid: Option<u64>, index: Option<u64>, seq: u64, r: &DecisionRe
     }
 }
 
+fn scenario_line(grid: Option<u64>, index: Option<u64>, seq: u64, r: &ScenarioRecord) -> JournalLine {
+    JournalLine::Scenario {
+        grid,
+        index,
+        seq,
+        t_s: r.t_s,
+        fleet: r.fleet,
+        event: r.kind.clone(),
+    }
+}
+
 /// Build the full report from a session's recorded state.
 pub(crate) fn build_report(inner: &Inner) -> ObsReport {
     // --- deterministic journal ---
@@ -303,6 +332,18 @@ pub(crate) fn build_report(inner: &Inner) -> ObsReport {
     }
     for (seq, rec) in inner.decisions.iter().enumerate() {
         journal.push_str(&to_line(&decision_line(None, None, seq as u64, rec)));
+        journal.push('\n');
+    }
+    // scenario perturbations: cell scopes in (grid, index) order, then
+    // driver-direct, each scope in record order (seq)
+    for ((grid, index), cell) in &inner.cells {
+        for (seq, rec) in cell.scenarios.iter().enumerate() {
+            journal.push_str(&to_line(&scenario_line(Some(*grid), Some(*index), seq as u64, rec)));
+            journal.push('\n');
+        }
+    }
+    for (seq, rec) in inner.scenarios.iter().enumerate() {
+        journal.push_str(&to_line(&scenario_line(None, None, seq as u64, rec)));
         journal.push('\n');
     }
     let (counters, histograms) = snapshot_maps(&totals);
@@ -545,6 +586,11 @@ fn summary(totals: &Metrics, inner: &Inner) -> String {
     if decisions > 0 {
         out.push_str(&format!("decisions: {decisions}\n"));
     }
+    let scenarios = inner.scenarios.len()
+        + inner.cells.values().map(|c| c.scenarios.len()).sum::<usize>();
+    if scenarios > 0 {
+        out.push_str(&format!("scenario events: {scenarios}\n"));
+    }
     if !totals.counters().is_empty() {
         out.push_str(&format!("{:<32} {:>14}\n", "counter", "value"));
         for (name, v) in totals.counters() {
@@ -579,6 +625,8 @@ pub struct JournalStats {
     pub ledgers: usize,
     /// `decision` lines.
     pub decisions: usize,
+    /// `scenario` lines.
+    pub scenarios: usize,
 }
 
 /// A scope sort key with `None` (driver-direct) ordered last.
@@ -588,16 +636,21 @@ fn scope_key(grid: Option<u64>, index: Option<u64>) -> (u64, u64) {
 
 /// Validate a JSONL journal: schema round-trip per line (deserialize,
 /// re-serialize, compare bytes), structural ordering (meta first, then
-/// grids, cells, ledgers, decisions, total — each block internally
-/// sorted), histogram invariants, and ledger conservation (any recorded
-/// violation fails validation).
+/// grids, cells, ledgers, decisions, scenarios, total — each block
+/// internally sorted), histogram invariants, ledger conservation (any
+/// recorded violation fails validation), and scenario invariants
+/// (non-decreasing event times per scope, module ids inside the
+/// recorded fleet size).
 pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
-    let mut stats = JournalStats { lines: 0, grids: 0, cells: 0, ledgers: 0, decisions: 0 };
+    let mut stats =
+        JournalStats { lines: 0, grids: 0, cells: 0, ledgers: 0, decisions: 0, scenarios: 0 };
     let mut saw_total = false;
     let mut phase = 0u8;
     let mut last_cell: Option<(u64, u64)> = None;
     let mut last_ledger: Option<(u64, u64)> = None;
     let mut last_decision: Option<(u64, u64, u64)> = None;
+    let mut last_scenario: Option<(u64, u64, u64)> = None;
+    let mut last_scenario_t: Option<f64> = None;
     for (i, raw) in journal.lines().enumerate() {
         let n = i + 1;
         stats.lines += 1;
@@ -616,11 +669,12 @@ pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
             JournalLine::Cell { .. } => 2,
             JournalLine::Ledger { .. } => 3,
             JournalLine::Decision { .. } => 4,
-            JournalLine::Total { .. } => 5,
+            JournalLine::Scenario { .. } => 5,
+            JournalLine::Total { .. } => 6,
         };
         if this_phase < phase {
             return Err(format!(
-                "line {n}: journal blocks out of order (meta, grids, cells, ledgers, decisions, total)"
+                "line {n}: journal blocks out of order (meta, grids, cells, ledgers, decisions, scenarios, total)"
             ));
         }
         phase = this_phase;
@@ -686,6 +740,40 @@ pub fn validate_journal(journal: &str) -> Result<JournalStats, String> {
                 }
                 last_decision = Some(key);
                 stats.decisions += 1;
+            }
+            JournalLine::Scenario { grid, index, seq, t_s, fleet, event } => {
+                let key = (scope_key(*grid, *index).0, scope_key(*grid, *index).1, *seq);
+                if last_scenario.is_some_and(|prev| prev >= key) {
+                    return Err(format!(
+                        "line {n}: scenarios must be sorted by (grid, index, seq)"
+                    ));
+                }
+                let fresh_scope =
+                    last_scenario.is_none_or(|prev| (prev.0, prev.1) != (key.0, key.1));
+                if fresh_scope {
+                    if *seq != 0 {
+                        return Err(format!("line {n}: scenario seq must restart at 0 per scope"));
+                    }
+                    last_scenario_t = None;
+                }
+                if !t_s.is_finite() || *t_s < 0.0 {
+                    return Err(format!("line {n}: scenario time {t_s} must be finite and ≥ 0"));
+                }
+                if last_scenario_t.is_some_and(|prev| *t_s < prev) {
+                    return Err(format!(
+                        "line {n}: scenario times must be non-decreasing within a scope"
+                    ));
+                }
+                last_scenario_t = Some(*t_s);
+                if let Some(m) = event.module() {
+                    if m >= *fleet {
+                        return Err(format!(
+                            "line {n}: scenario module {m} out of range for fleet {fleet}"
+                        ));
+                    }
+                }
+                last_scenario = Some(key);
+                stats.scenarios += 1;
             }
             JournalLine::Total { histograms, .. } => {
                 saw_total = true;
@@ -869,6 +957,58 @@ mod tests {
         assert_eq!(csv_stats.bin_rows, 6, "ledger csv bin rows");
         assert!(report.summary.contains("ledger: 2 ticks, 0 violations"));
         assert!(report.summary.contains("decisions: 3"));
+    }
+
+    fn scenario_record(t_s: f64, module: u64) -> crate::scenario::ScenarioRecord {
+        crate::scenario::ScenarioRecord {
+            t_s,
+            fleet: 8,
+            kind: crate::scenario::ScenarioKind::Drift {
+                module,
+                dynamic: 1.03,
+                leakage: 1.2,
+                dram: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn scenario_lines_export_and_validate() {
+        let s = Session::install();
+        let r = s.handle().expect("live session");
+        crate::scenario_event(|| scenario_record(5.0, 1));
+        crate::scenario_event(|| scenario_record(9.0, 2));
+        let grid = r.begin_grid("cell", 1);
+        r.run_item(grid, "cell", 0, 1, || {
+            crate::scenario_event(|| scenario_record(1.0, 0));
+        });
+        let report = s.finish();
+        let stats = validate_journal(&report.journal_jsonl).expect("valid journal");
+        assert_eq!(stats.scenarios, 3, "cell scope + 2 direct");
+        assert!(report.journal_jsonl.contains("\"type\":\"scenario\""));
+        assert!(report.journal_jsonl.contains("\"kind\":\"drift\""));
+        assert!(report.summary.contains("scenario events: 3"));
+    }
+
+    #[test]
+    fn scenario_validation_rejects_bad_records() {
+        let run = |records: Vec<crate::scenario::ScenarioRecord>| {
+            let s = Session::install();
+            for rec in records {
+                crate::scenario_event(|| rec.clone());
+            }
+            let report = s.finish();
+            validate_journal(&report.journal_jsonl)
+        };
+        // module id outside the recorded fleet size
+        let err = run(vec![scenario_record(1.0, 99)]).expect_err("out-of-range module");
+        assert!(err.contains("out of range"), "{err}");
+        // event times must be non-decreasing within a scope
+        let err = run(vec![scenario_record(9.0, 1), scenario_record(5.0, 1)])
+            .expect_err("non-monotonic times");
+        assert!(err.contains("non-decreasing"), "{err}");
+        // well-formed records pass
+        assert!(run(vec![scenario_record(5.0, 1), scenario_record(5.0, 2)]).is_ok());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod recorder;
 pub mod registry;
+pub mod scenario;
 pub mod snapshot;
 pub mod span;
 
@@ -70,9 +71,10 @@ pub use ledger::{Category, Domain, LedgerEntry, LedgerTable, LedgerTick};
 pub use metrics::{Histogram, Metrics};
 pub use recorder::{
     decision, enabled, grid_session, incr, incr_by, label_item, ledger_enabled, ledger_tick,
-    observe, Session, SessionRef,
+    observe, scenario_event, Session, SessionRef,
 };
 pub use registry::SnapshotRegistry;
+pub use scenario::{ScenarioKind, ScenarioRecord};
 pub use snapshot::{
     BucketCount, DriftAlertSample, HistogramSample, ModuleSample, TelemetrySnapshot,
 };

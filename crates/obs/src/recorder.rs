@@ -41,6 +41,7 @@ use crate::decision::DecisionRecord;
 use crate::export::ObsReport;
 use crate::ledger::{LedgerTable, LedgerTick};
 use crate::metrics::Metrics;
+use crate::scenario::ScenarioRecord;
 
 /// Number of live sessions in the process — the fast-path gate.
 // vap:allow(shared-state-in-par): deliberately process-wide; a relaxed counter is race-safe and never feeds results
@@ -96,6 +97,9 @@ pub(crate) struct CellRecord {
     pub ledger: LedgerTable,
     /// Scheduler decisions recorded while the item ran, in record order.
     pub decisions: Vec<DecisionRecord>,
+    /// Scenario perturbations applied while the item ran, in record
+    /// order.
+    pub scenarios: Vec<ScenarioRecord>,
 }
 
 /// Wall-clock span for the Chrome-trace side channel.
@@ -127,6 +131,9 @@ pub(crate) struct Inner {
     pub ledger: LedgerTable,
     /// Decisions recorded outside any item, in record order.
     pub decisions: Vec<DecisionRecord>,
+    /// Scenario perturbations recorded outside any item, in record
+    /// order.
+    pub scenarios: Vec<ScenarioRecord>,
 }
 
 #[derive(Debug)]
@@ -156,6 +163,7 @@ struct ItemCtx {
     metrics: Metrics,
     ledger: LedgerTable,
     decisions: Vec<DecisionRecord>,
+    scenarios: Vec<ScenarioRecord>,
     start: Instant,
 }
 
@@ -197,6 +205,7 @@ impl SessionRef {
             metrics: Metrics::new(),
             ledger: LedgerTable::new(),
             decisions: Vec::new(),
+            scenarios: Vec::new(),
             start: Instant::now(),
         };
         // Stack the previous item (nested instrumented grids on the same
@@ -245,6 +254,7 @@ impl SessionRef {
             metrics: Metrics::new(),
             ledger: LedgerTable::new(),
             decisions: Vec::new(),
+            scenarios: Vec::new(),
         });
         if ctx.label.is_some() {
             cell.label = ctx.label;
@@ -252,6 +262,7 @@ impl SessionRef {
         cell.metrics.merge(&ctx.metrics);
         cell.ledger.merge(&ctx.ledger);
         cell.decisions.extend(ctx.decisions);
+        cell.scenarios.extend(ctx.scenarios);
     }
 
     pub(crate) fn record_span(&self, span: SpanRecord) {
@@ -413,6 +424,33 @@ pub fn decision(f: impl FnOnce() -> DecisionRecord) {
     }
     if let (Some(s), Some(r)) = (current_session(), rec.take()) {
         lock(&s.0).decisions.push(r);
+    }
+}
+
+/// Record one applied scenario perturbation in the current scope. Gated
+/// on [`enabled`] like [`decision`]: when no session is live the closure
+/// never runs, so producers pay one relaxed atomic load.
+#[inline]
+pub fn scenario_event(f: impl FnOnce() -> ScenarioRecord) {
+    if !enabled() {
+        return;
+    }
+    let mut rec = Some(f());
+    let buffered = ITEM.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            if let Some(r) = rec.take() {
+                ctx.scenarios.push(r);
+            }
+            true
+        } else {
+            false
+        }
+    });
+    if buffered {
+        return;
+    }
+    if let (Some(s), Some(r)) = (current_session(), rec.take()) {
+        lock(&s.0).scenarios.push(r);
     }
 }
 

@@ -1,0 +1,138 @@
+//! Structured scenario perturbation records.
+//!
+//! Every perturbation a `vap-scenario` runtime applies — drift steps,
+//! entropy shifts, sensor faults, cap shocks, failures, replacements —
+//! is captured as a [`ScenarioRecord`]: the simulated time, the fleet
+//! size it was applied against (so offline validation can range-check
+//! module ids), and the perturbation payload. Like decisions, the
+//! records are pure functions of the replayed schedule, so the journal
+//! stays byte-identical at any `--threads N`.
+
+use serde::{Deserialize, Serialize};
+
+/// What was perturbed, with the payload applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ScenarioKind {
+    /// A cumulative drift step composed onto the module's power curve.
+    Drift {
+        /// Affected module.
+        module: u64,
+        /// Dynamic-power multiplier step.
+        dynamic: f64,
+        /// Leakage-power multiplier step.
+        leakage: f64,
+        /// DRAM-power multiplier step.
+        dram: f64,
+    },
+    /// An input-entropy phase change replacing the module's data skew.
+    EntropyShift {
+        /// Affected module.
+        module: u64,
+        /// Dynamic-power multiplier now in force.
+        dynamic: f64,
+        /// Leakage-power multiplier now in force.
+        leakage: f64,
+        /// DRAM-power multiplier now in force.
+        dram: f64,
+    },
+    /// A sensor fault (or repair) on the module's power telemetry.
+    SensorFault {
+        /// Affected module.
+        module: u64,
+        /// Failure mode (vocabulary: `"stuck"`, `"noisy"`, `"offset"`,
+        /// `"clear"`).
+        fault: String,
+    },
+    /// A global cap shock.
+    CapShock {
+        /// Absolute multiplier on the campaign's base cap.
+        scale: f64,
+    },
+    /// The module failed out of the pool.
+    Fail {
+        /// The failed module.
+        module: u64,
+    },
+    /// A replacement part was swapped into the slot.
+    Replace {
+        /// The repaired slot.
+        module: u64,
+    },
+}
+
+impl ScenarioKind {
+    /// Stable lowercase tag (matches the serde `kind` field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ScenarioKind::Drift { .. } => "drift",
+            ScenarioKind::EntropyShift { .. } => "entropy_shift",
+            ScenarioKind::SensorFault { .. } => "sensor_fault",
+            ScenarioKind::CapShock { .. } => "cap_shock",
+            ScenarioKind::Fail { .. } => "fail",
+            ScenarioKind::Replace { .. } => "replace",
+        }
+    }
+
+    /// The module the perturbation targets, if module-scoped.
+    pub fn module(&self) -> Option<u64> {
+        match *self {
+            ScenarioKind::Drift { module, .. }
+            | ScenarioKind::EntropyShift { module, .. }
+            | ScenarioKind::SensorFault { module, .. }
+            | ScenarioKind::Fail { module }
+            | ScenarioKind::Replace { module } => Some(module),
+            ScenarioKind::CapShock { .. } => None,
+        }
+    }
+}
+
+/// One applied perturbation at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioRecord {
+    /// Simulated time the perturbation was applied (s).
+    pub t_s: f64,
+    /// Fleet size it was applied against (module-id range check).
+    pub fleet: u64,
+    /// The perturbation.
+    pub kind: ScenarioKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_json_uses_snake_case_kind_tags() {
+        let rec = ScenarioRecord {
+            t_s: 900.0,
+            fleet: 96,
+            kind: ScenarioKind::Drift { module: 7, dynamic: 1.03, leakage: 1.2, dram: 1.0 },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"kind\":\"drift\""), "{json}");
+        assert!(json.contains("\"fleet\":96"), "{json}");
+        let back: ScenarioRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn tags_and_modules_cover_every_variant() {
+        let kinds = [
+            ScenarioKind::Drift { module: 1, dynamic: 1.0, leakage: 1.0, dram: 1.0 },
+            ScenarioKind::EntropyShift { module: 2, dynamic: 1.0, leakage: 1.0, dram: 1.0 },
+            ScenarioKind::SensorFault { module: 3, fault: "stuck".into() },
+            ScenarioKind::CapShock { scale: 0.8 },
+            ScenarioKind::Fail { module: 4 },
+            ScenarioKind::Replace { module: 5 },
+        ];
+        let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(
+            tags,
+            ["drift", "entropy_shift", "sensor_fault", "cap_shock", "fail", "replace"]
+        );
+        let modules: Vec<_> = kinds.iter().map(|k| k.module()).collect();
+        assert_eq!(modules, [Some(1), Some(2), Some(3), None, Some(4), Some(5)]);
+    }
+}

@@ -54,6 +54,10 @@ fn main() {
         let ss = sched_study::run(opts);
         opts.maybe_write_csv("schedstudy.csv", &sched_study::to_csv(&ss));
         println!("{}", sched_study::render(&ss).render());
+
+        let ds = drift_study::run(opts);
+        opts.maybe_write_csv("driftstudy.csv", &drift_study::to_csv(&ds));
+        println!("{}", drift_study::render(&ds).render());
         Ok(())
     })
 }

@@ -1,0 +1,12 @@
+//! Run the stale-PVT drift study (non-stationary scenarios × online
+//! re-calibration policies × cap levels).
+use vap_report::experiments::drift_study;
+
+fn main() {
+    vap_report::cli::run_main(|opts| {
+        let result = drift_study::run(opts);
+        opts.maybe_write_csv("driftstudy.csv", &drift_study::to_csv(&result));
+        println!("{}", drift_study::render(&result).render());
+        Ok(())
+    })
+}

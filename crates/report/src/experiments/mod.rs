@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod drift_study;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

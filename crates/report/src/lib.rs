@@ -18,6 +18,7 @@
 //! | Fig. 9 (total power per scheme) | [`experiments::fig9`] | `... --bin fig9` |
 //! | §7 multi-tenant partitioning (extension) | [`experiments::multijob_study`] | `... --bin multijob` |
 //! | §7 online power scheduling (extension) | [`experiments::sched_study`] | `... --bin schedstudy` |
+//! | §7 stale-PVT drift & re-calibration (extension) | [`experiments::drift_study`] | `... --bin driftstudy` |
 //!
 //! Binaries accept `--modules N` (fleet size; default the paper's scale),
 //! `--seed S`, `--scale X` (workload duration multiplier) and `--csv DIR`

@@ -36,6 +36,12 @@ pub enum Event {
         /// The new system cap.
         cap: Watts,
     },
+    /// A scenario perturbation (drift step, sensor fault, cap shock,
+    /// module failure/replacement) fires.
+    Scenario {
+        /// Index into the installed scenario runtime's event list.
+        idx: usize,
+    },
 }
 
 /// An event with its position in simulated time and in push order.

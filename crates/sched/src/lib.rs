@@ -21,8 +21,10 @@
 //!
 //! ## Determinism contract
 //!
-//! A replay is a pure function of `(trace, cluster, seed, config)`:
-//! byte-identical reports at any thread count and across repeated runs.
+//! A replay is a pure function of `(trace, cluster, seed, config)` —
+//! plus the installed `vap_scenario::ScenarioRuntime`, when one is
+//! present: byte-identical reports at any thread count and across
+//! repeated runs.
 //! Three rules make that hold: event ties break by push sequence (never
 //! heap internals), all randomness flows from seeded SplitMix64 streams
 //! (never ambient RNG or clocks), and iteration is over sorted `Vec`s and

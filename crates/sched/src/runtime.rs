@@ -34,6 +34,7 @@ use vap_obs::{
     BudgetDelta, Category, DecisionKind, DecisionRecord, Domain, DriftAlert, DriftConfig,
     DriftDetector, Histogram, LedgerEntry, LedgerTick, WidthProbe,
 };
+use vap_scenario::{Effect, ScenarioRuntime};
 use vap_sim::cluster::Cluster;
 use vap_sim::cpufreq::Governor;
 use vap_sim::scheduler::AllocationPolicy;
@@ -139,6 +140,15 @@ pub struct SchedRuntime {
     test_cache: BTreeMap<(u64, usize), TestRunResult>,
     samples: Vec<PowerSample>,
     pending_cap_changes: usize,
+    /// Optional non-stationary perturbation schedule (drift, faults,
+    /// shocks, churn) replayed alongside the trace.
+    scenario: Option<ScenarioRuntime>,
+    /// Scenario events still scheduled — like `pending_cap_changes`,
+    /// part of the "can this admission ever improve?" check.
+    pending_scenario: usize,
+    /// The trace-level cap (shock-free): cap shocks scale this, and a
+    /// shock release restores it.
+    base_cap: Watts,
     /// Simulated time of the previous [`Self::sample`] call — the width
     /// of the next watt-provenance ledger tick.
     last_sample_t: f64,
@@ -193,6 +203,9 @@ impl SchedRuntime {
             test_cache: BTreeMap::new(),
             samples: Vec::new(),
             pending_cap_changes: 0,
+            scenario: None,
+            pending_scenario: 0,
+            base_cap: cap,
             last_sample_t: 0.0,
             drift,
             recent_alerts: Vec::new(),
@@ -201,6 +214,20 @@ impl SchedRuntime {
             hist_event_gap: Histogram::default(),
             hist_width_probes: Histogram::default(),
         }
+    }
+
+    /// Install a non-stationary perturbation schedule. Its events are
+    /// merged into the replay's `(time, push-order)` event queue at
+    /// [`Self::run_with`], so the replay stays a pure function of
+    /// `(cluster seed, trace, config, scenario)`.
+    pub fn with_scenario(mut self, scenario: ScenarioRuntime) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// The installed scenario runtime, if any.
+    pub fn scenario(&self) -> Option<&ScenarioRuntime> {
+        self.scenario.as_ref()
     }
 
     /// Replay `trace` to completion and report.
@@ -232,6 +259,13 @@ impl SchedRuntime {
             self.events.push(c.at_s, Event::CapChange { cap: c.cap });
             self.pending_cap_changes += 1;
         }
+        if let Some(sc) = self.scenario.as_ref() {
+            let times: Vec<f64> = sc.events().iter().map(|e| e.at_s).collect();
+            self.pending_scenario = times.len();
+            for (idx, at_s) in times.into_iter().enumerate() {
+                self.events.push(at_s, Event::Scenario { idx });
+            }
+        }
 
         while let Some((t, event)) = self.events.pop() {
             self.hist_event_gap.observe((t - self.now).max(0.0));
@@ -258,6 +292,12 @@ impl SchedRuntime {
                 Event::CapChange { cap } => {
                     vap_obs::incr("sched.cap_changes");
                     let old = self.cap;
+                    // An active cap shock scales the new trace cap too
+                    // (scale 1.0 is exact: the no-scenario replay is
+                    // bit-identical to before scenarios existed).
+                    let scale = self.scenario.as_ref().map_or(1.0, |s| s.shock_scale());
+                    self.base_cap = cap;
+                    let cap = Watts(cap.value() * scale);
                     self.cap = cap;
                     self.pending_cap_changes = self.pending_cap_changes.saturating_sub(1);
                     vap_obs::decision(|| DecisionRecord {
@@ -270,6 +310,11 @@ impl SchedRuntime {
                     self.enforce_cap();
                     self.try_admit();
                     self.resolve();
+                }
+                Event::Scenario { idx } => {
+                    vap_obs::incr("sched.scenario_events");
+                    self.pending_scenario = self.pending_scenario.saturating_sub(1);
+                    self.apply_scenario(idx);
                 }
             }
             self.sample();
@@ -379,7 +424,8 @@ impl SchedRuntime {
     }
 
     /// Return modules to the free pool: uncap, performance governor, idle
-    /// activity.
+    /// activity. Modules currently failed out by the scenario are idled
+    /// but *not* re-listed — they rejoin on replacement.
     fn release_modules(&mut self, ids: &[usize]) {
         for &m in ids {
             if let Some(module) = self.cluster.get_mut(m) {
@@ -390,7 +436,85 @@ impl SchedRuntime {
             }
         }
         self.free.extend_from_slice(ids);
+        if let Some(sc) = self.scenario.as_ref() {
+            self.free.retain(|&m| !sc.is_failed(m));
+        }
         self.free.sort_unstable();
+    }
+
+    /// Replay the `idx`-th scenario event against the cluster and react:
+    /// cap shocks flow through the cap-change path, failures preempt and
+    /// shrink the pool, replacements rejoin it. Drift/entropy/sensor
+    /// events mutate only the physics (and the sensor plane) — the
+    /// scheduler deliberately keeps planning from its stale PVT until a
+    /// re-calibration policy intervenes.
+    fn apply_scenario(&mut self, idx: usize) {
+        let Some(ev) = self.scenario.as_ref().and_then(|sc| sc.events().get(idx)).copied()
+        else {
+            return;
+        };
+        let effect = match self.scenario.as_mut() {
+            Some(sc) => sc.apply_to_cluster(&ev, &mut self.cluster),
+            None => return,
+        };
+        match effect {
+            Effect::Module(_) | Effect::Sensor(_) => {}
+            Effect::Cap => self.shock_cap(),
+            Effect::Failed(m) => self.fail_module(m),
+            Effect::Replaced(m) => self.rejoin_module(m),
+        }
+    }
+
+    /// Re-derive the effective cap as `shock scale × base cap` and push
+    /// the change through the same machinery a trace cap change uses.
+    fn shock_cap(&mut self) {
+        let scale = self.scenario.as_ref().map_or(1.0, |s| s.shock_scale());
+        let old = self.cap;
+        let cap = Watts(self.base_cap.value() * scale);
+        self.cap = cap;
+        vap_obs::decision(|| DecisionRecord {
+            t_s: self.now,
+            job: None,
+            cap_w: cap.value(),
+            avail_w: self.available().value(),
+            kind: DecisionKind::CapChange { old_w: old.value(), new_w: cap.value() },
+        });
+        self.enforce_cap();
+        self.try_admit();
+        self.resolve();
+    }
+
+    /// A module failed out of the pool: preempt every job placed on it
+    /// (their work is preserved; they re-queue at the head), then drop it
+    /// from the free list until a replacement arrives.
+    fn fail_module(&mut self, m: usize) {
+        vap_obs::incr("sched.module_failures");
+        let victims: Vec<usize> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|&id| self.jobs[id].placement.contains(&m))
+            .collect();
+        for v in victims {
+            self.preempt(v);
+        }
+        self.free.retain(|&f| f != m);
+        self.try_admit();
+        self.resolve();
+    }
+
+    /// A replacement part rejoined the pool with fresh silicon (already
+    /// swapped in by the scenario runtime): list it free again and give
+    /// the queue a chance at the recovered capacity.
+    fn rejoin_module(&mut self, m: usize) {
+        vap_obs::incr("sched.module_replacements");
+        let held = self.running.iter().any(|&id| self.jobs[id].placement.contains(&m));
+        if m < self.cluster.len() && !held && !self.free.contains(&m) {
+            self.free.push(m);
+            self.free.sort_unstable();
+        }
+        self.try_admit();
+        self.resolve();
     }
 
     /// Σ PMT floors of the running jobs (the rebalance policies' ledger).
@@ -437,9 +561,12 @@ impl SchedRuntime {
             return Placement::Impossible;
         }
         // Can the job's admission ever improve without our intervention?
-        // Only if something is running (will free modules/watts) or a cap
-        // change is still scheduled.
-        let idle_system = self.running.is_empty() && self.pending_cap_changes == 0;
+        // Only if something is running (will free modules/watts), a cap
+        // change is still scheduled, or a scenario event (shock release,
+        // module replacement) is still pending.
+        let idle_system = self.running.is_empty()
+            && self.pending_cap_changes == 0
+            && self.pending_scenario == 0;
         if self.free.len() < arrival.min_width {
             self.defer_or_kill_decision(id, "insufficient_modules", false);
             return Placement::Deferred;
@@ -852,12 +979,21 @@ impl SchedRuntime {
 
         // Drift: every module's measured − PVT-predicted residual. Part
         // of the deterministic replay state (the daemon serves it), so
-        // it runs whether or not a journal session is live.
+        // it runs whether or not a journal session is live. The measured
+        // side goes through the scenario's sensor-fault plane when one is
+        // installed — a stuck or offset sensor corrupts what the detector
+        // sees, never the physics.
         for idx in 0..self.cluster.len() {
             let Some(m) = self.cluster.get(idx) else {
                 continue;
             };
-            let residual = m.module_power().value() - m.pvt_predicted_power().value();
+            let true_w = m.module_power().value();
+            let predicted = m.pvt_predicted_power().value();
+            let measured = match self.scenario.as_mut() {
+                Some(sc) => sc.read_power(idx, true_w),
+                None => true_w,
+            };
+            let residual = measured - predicted;
             if let Some(alert) = self.drift.observe(idx, self.now, residual) {
                 vap_obs::incr("sched.drift_alerts");
                 self.recent_alerts.push(alert);

@@ -11,50 +11,10 @@ use vap_model::units::Watts;
 use vap_workloads::catalog;
 use vap_workloads::spec::WorkloadId;
 
-/// SplitMix64: tiny, seedable, platform-stable. The same finalizer
-/// `vap_exec::module_seed` uses, iterated as a stream.
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Start a stream at `seed`.
-    pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next 64 uniform bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)` with 53 bits of precision.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.next_f64()
-    }
-
-    /// Uniform index in `[0, n)` via the multiply-shift reduction (no
-    /// modulo bias worth caring about at catalog sizes). `n` must be > 0.
-    pub fn next_index(&mut self, n: usize) -> usize {
-        ((self.next_u64() as u128 * n as u128) >> 64) as usize
-    }
-
-    /// Exponential variate with the given mean (interarrival gaps).
-    pub fn next_exp(&mut self, mean: f64) -> f64 {
-        // 1 - u ∈ (0, 1]: ln is finite
-        -mean * (1.0 - self.next_f64()).ln()
-    }
-}
+// The canonical SplitMix64 now lives with the scenario engine (which
+// needs it without depending on vap-sched); re-exported here so the
+// historical `vap_sched::SplitMix64` path keeps working.
+pub use vap_scenario::rng::SplitMix64;
 
 /// One job in a trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -161,25 +121,6 @@ impl TraceGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn splitmix_is_deterministic_and_well_spread() {
-        let mut a = SplitMix64::new(7);
-        let mut b = SplitMix64::new(7);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-        let mut c = SplitMix64::new(8);
-        assert_ne!(a.next_u64(), c.next_u64());
-        let mut r = SplitMix64::new(1);
-        for _ in 0..1000 {
-            let u = r.next_f64();
-            assert!((0.0..1.0).contains(&u));
-            let i = r.next_index(6);
-            assert!(i < 6);
-            assert!(r.next_exp(10.0) >= 0.0);
-        }
-    }
 
     #[test]
     fn traces_replay_byte_identically() {

@@ -190,6 +190,32 @@ impl Cluster {
         }
     }
 
+    /// Set the accumulated in-field drift on module `i` (absolute skew);
+    /// see [`SimModule::set_drift_skew`].
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_drift_skew(&mut self, i: usize, skew: vap_model::variability::DriftSkew) {
+        self.modules[i].set_drift_skew(skew);
+    }
+
+    /// Compose one more drift step onto module `i`'s accumulated skew.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn apply_drift(&mut self, i: usize, step: &vap_model::variability::DriftSkew) {
+        self.modules[i].apply_drift(step);
+    }
+
+    /// Swap fresh silicon into slot `i` (module replacement churn); see
+    /// [`SimModule::replace_silicon`].
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn replace_silicon(&mut self, i: usize, variation: vap_model::variability::ModuleVariation) {
+        self.modules[i].replace_silicon(variation);
+    }
+
     /// Ground-truth per-module CPU power (experiment oracle; real
     /// campaigns go through [`crate::measurement`]).
     pub fn cpu_powers(&self) -> Vec<Watts> {

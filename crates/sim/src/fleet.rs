@@ -44,7 +44,7 @@ use vap_model::pstate::PStateTable;
 use vap_model::systems::SystemSpec;
 use vap_model::thermal::{RackGradient, ThermalEnv};
 use vap_model::units::{GigaHertz, Joules, Seconds, Watts};
-use vap_model::variability::ModuleVariation;
+use vap_model::variability::{DriftSkew, ModuleVariation};
 
 /// A fleet of simulated modules in struct-of-arrays layout.
 ///
@@ -62,6 +62,11 @@ pub struct FleetState {
     variation: Vec<ModuleVariation>,
     /// Workload-specific fingerprint overrides (`None` = base applies).
     workload_variation: Vec<Option<ModuleVariation>>,
+    /// Accumulated in-field drift per module (identity = pristine).
+    drift: Vec<DriftSkew>,
+    /// Cached drift-composed fingerprints (`None` while the module's skew
+    /// is the identity), mirroring the `SimModule` cache bit-for-bit.
+    drifted: Vec<Option<ModuleVariation>>,
     /// Precomputed [`ThermalEnv::factor`] per module. The factor is a pure
     /// function of the (immutable) thermal environment, so caching it is
     /// exact.
@@ -118,6 +123,8 @@ impl FleetState {
             power_model,
             variation,
             workload_variation: vec![None; n],
+            drift: vec![DriftSkew::IDENTITY; n],
+            drifted: vec![None; n],
             thermal_factor,
             governor: vec![Governor::Performance; n],
             rapl_limit: vec![None; n],
@@ -148,6 +155,8 @@ impl FleetState {
             power_model,
             variation: Vec::with_capacity(n),
             workload_variation: Vec::with_capacity(n),
+            drift: Vec::with_capacity(n),
+            drifted: Vec::with_capacity(n),
             thermal_factor: Vec::with_capacity(n),
             governor: Vec::with_capacity(n),
             rapl_limit: Vec::with_capacity(n),
@@ -163,6 +172,15 @@ impl FleetState {
         for m in cluster.modules() {
             fleet.variation.push(m.base_variation().clone());
             fleet.workload_variation.push(m.workload_variation().cloned());
+            let skew = *m.drift_skew();
+            // recompute the cache with the same `skewed` kernel the module
+            // used, so the transpose stays bit-identical
+            fleet.drifted.push(if skew.is_identity() {
+                None
+            } else {
+                Some(m.workload_variation().unwrap_or(m.base_variation()).skewed(&skew))
+            });
+            fleet.drift.push(skew);
             fleet.thermal_factor.push(m.thermal().factor());
             fleet.governor.push(m.governor());
             fleet.rapl_limit.push(m.cap());
@@ -199,12 +217,16 @@ impl FleetState {
     }
 
     /// The fingerprint in effect on module `i` (workload override if
-    /// installed, else base) — column analogue of [`SimModule::variation`].
+    /// installed, else base, composed with any accumulated drift) —
+    /// column analogue of [`SimModule::variation`].
     ///
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn variation(&self, i: usize) -> &ModuleVariation {
-        self.workload_variation[i].as_ref().unwrap_or(&self.variation[i])
+        self.drifted[i]
+            .as_ref()
+            .or(self.workload_variation[i].as_ref())
+            .unwrap_or(&self.variation[i])
     }
 
     /// The base (PVT-microbenchmark) fingerprint of module `i`.
@@ -222,7 +244,65 @@ impl FleetState {
     /// Panics if `i` is out of range.
     pub fn set_workload_variation(&mut self, i: usize, v: Option<ModuleVariation>) {
         self.workload_variation[i] = v;
+        self.refresh_drift(i);
         self.resolve(i);
+    }
+
+    /// The accumulated in-field drift on module `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn drift_skew(&self, i: usize) -> &DriftSkew {
+        &self.drift[i]
+    }
+
+    /// Set module `i`'s accumulated drift (absolute skew), mirroring
+    /// [`SimModule::set_drift_skew`].
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_drift_skew(&mut self, i: usize, skew: DriftSkew) {
+        self.drift[i] = skew;
+        self.refresh_drift(i);
+        self.resolve(i);
+    }
+
+    /// Compose one more drift step onto module `i`'s accumulated skew.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn apply_drift(&mut self, i: usize, step: &DriftSkew) {
+        self.set_drift_skew(i, self.drift[i].compose(step));
+    }
+
+    /// Swap fresh silicon into slot `i`, mirroring
+    /// [`SimModule::replace_silicon`]: new base fingerprint, no drift, no
+    /// workload override, zeroed energy counters; slot-level settings
+    /// (governor, cap, activity, thermal) stay programmed.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn replace_silicon(&mut self, i: usize, variation: ModuleVariation) {
+        self.variation[i] = variation;
+        self.workload_variation[i] = None;
+        self.drift[i] = DriftSkew::IDENTITY;
+        self.drifted[i] = None;
+        self.pkg_counter[i] = EnergyCounter::default();
+        self.dram_counter[i] = EnergyCounter::default();
+        self.pkg_energy[i] = Joules::ZERO;
+        self.dram_energy[i] = Joules::ZERO;
+        self.resolve(i);
+    }
+
+    /// Recompute the cached drift-composed fingerprint of module `i` —
+    /// the same refresh rule as the private `SimModule` cache.
+    fn refresh_drift(&mut self, i: usize) {
+        self.drifted[i] = if self.drift[i].is_identity() {
+            None
+        } else {
+            let active = self.workload_variation[i].as_ref().unwrap_or(&self.variation[i]);
+            Some(active.skewed(&self.drift[i]))
+        };
     }
 
     /// Current workload activity on module `i`.
@@ -408,6 +488,27 @@ impl FleetState {
         self.cpu_power(i) + self.dram_power(i)
     }
 
+    /// Module power *predicted from the base PVT fingerprint* at the
+    /// current operating point — column analogue of
+    /// [`SimModule::pvt_predicted_power`]. Workload overrides and
+    /// accumulated drift are deliberately ignored: the residual against
+    /// [`FleetState::module_power`] is what the drift detector watches.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn pvt_predicted_power(&self, i: usize) -> Watts {
+        let base = &self.variation[i];
+        let run =
+            self.power_model.cpu.power(self.clock[i], self.activity[i].cpu, base, self.thermal_factor[i]);
+        let cpu = if self.duty[i] >= 1.0 {
+            run
+        } else {
+            let gated = self.power_model.cpu.gated_power(base, self.thermal_factor[i]);
+            run * self.duty[i] + gated * (1.0 - self.duty[i])
+        };
+        cpu + self.power_model.dram.power(self.clock[i], self.activity[i].dram * self.duty[i], base)
+    }
+
     /// Per-module CPU powers (batch analogue of [`Cluster::cpu_powers`]).
     pub fn cpu_powers(&self) -> Vec<Watts> {
         (0..self.len()).map(|i| self.cpu_power(i)).collect()
@@ -506,7 +607,7 @@ impl FleetState {
         let (clock, duty, throttled) = match self.rapl_limit[i] {
             None => (gov_clock, 1.0, false),
             Some(limit) => {
-                let v = self.workload_variation[i].as_ref().unwrap_or(&self.variation[i]);
+                let v = self.variation(i);
                 let s = rapl::steady_state(
                     limit.cap,
                     &self.power_model.cpu,
@@ -634,6 +735,50 @@ mod tests {
             assert_eq!(x.duty, y.duty);
             assert_eq!(x.throttled, y.throttled);
         }
+    }
+
+    #[test]
+    fn drift_and_churn_mirror_cluster_bitwise() {
+        let spec = SystemSpec::ha8k();
+        let mut cluster = Cluster::with_size(spec.clone(), 10, 21);
+        let mut fleet = FleetState::new(spec, 10, 21);
+        cluster.set_activity_all(busy());
+        fleet.set_activity_all(busy());
+        cluster.set_uniform_cap(RaplLimit::with_default_window(Watts(80.0)));
+        fleet.set_uniform_cap(RaplLimit::with_default_window(Watts(80.0)));
+
+        let hot = DriftSkew { dynamic: 1.07, leakage: 1.2, dram: 1.03 };
+        for i in [1usize, 4, 7] {
+            cluster.apply_drift(i, &hot);
+            fleet.apply_drift(i, &hot);
+        }
+        assert_mirrors(&cluster, &fleet);
+        for i in 0..cluster.len() {
+            assert_eq!(
+                cluster.module(i).pvt_predicted_power(),
+                fleet.pvt_predicted_power(i),
+                "module {i} stale-PVT prediction"
+            );
+            assert_eq!(cluster.module(i).drift_skew(), fleet.drift_skew(i));
+        }
+        // drifted modules genuinely overshoot their stale prediction
+        let residual = fleet.module_power(4) - fleet.pvt_predicted_power(4);
+        assert!(residual > Watts(1.0), "drift residual {residual}");
+
+        // the transpose preserves drift state exactly
+        assert_mirrors(&cluster, &FleetState::from_cluster(&cluster));
+
+        // replacement churn: fresh silicon in slot 4, both layouts
+        let v = {
+            let s = cluster.spec();
+            s.variability.sample_replacement(4, s.cores_per_proc, 99)
+        };
+        cluster.replace_silicon(4, v.clone());
+        fleet.replace_silicon(4, v);
+        cluster.step_all(Seconds::from_millis(5.0));
+        fleet.step_all(Seconds::from_millis(5.0));
+        assert_mirrors(&cluster, &fleet);
+        assert!(fleet.drift_skew(4).is_identity());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use vap_model::power::{ModulePowerModel, PowerActivity};
 use vap_model::pstate::PStateTable;
 use vap_model::thermal::ThermalEnv;
 use vap_model::units::{GigaHertz, Joules, Seconds, Watts};
-use vap_model::variability::ModuleVariation;
+use vap_model::variability::{DriftSkew, ModuleVariation};
 
 /// The resolved operating point of a module: the clock it runs at while
 /// ungated, and the fraction of time it runs.
@@ -49,6 +49,17 @@ pub struct SimModule {
     /// not identical to — its deviation under the PVT microbenchmark.
     /// `None` means the base fingerprint applies.
     workload_variation: Option<ModuleVariation>,
+    /// Accumulated in-field drift (thermal, aging, input entropy) applied
+    /// on top of whichever fingerprint is in effect. Identity for a
+    /// pristine module. The PVT prediction deliberately ignores it: drift
+    /// is exactly the part of reality the calibration hasn't seen.
+    #[serde(default)]
+    drift: DriftSkew,
+    /// Cached composition of the active fingerprint with `drift`
+    /// (`None` while `drift` is the identity, keeping the pristine path
+    /// allocation-free). Refreshed whenever either input changes.
+    #[serde(default)]
+    drifted: Option<ModuleVariation>,
     thermal: ThermalEnv,
     power_model: ModulePowerModel,
     /// Shared across the fleet: every module of a cluster runs the same
@@ -97,6 +108,8 @@ impl SimModule {
             id,
             variation,
             workload_variation: None,
+            drift: DriftSkew::IDENTITY,
+            drifted: None,
             thermal,
             power_model,
             pstates,
@@ -117,9 +130,12 @@ impl SimModule {
 
     /// The fingerprint currently in effect: the workload-specific
     /// override if one is installed, else the base manufacturing
-    /// fingerprint.
+    /// fingerprint — composed with any accumulated [`DriftSkew`].
     pub fn variation(&self) -> &ModuleVariation {
-        self.workload_variation.as_ref().unwrap_or(&self.variation)
+        self.drifted
+            .as_ref()
+            .or(self.workload_variation.as_ref())
+            .unwrap_or(&self.variation)
     }
 
     /// The base (PVT-microbenchmark) manufacturing fingerprint.
@@ -135,7 +151,59 @@ impl SimModule {
     /// Install (or clear) a workload-specific fingerprint override.
     pub fn set_workload_variation(&mut self, v: Option<ModuleVariation>) {
         self.workload_variation = v;
+        self.refresh_drift();
         self.resolve();
+    }
+
+    /// The accumulated in-field drift on this module (identity if
+    /// pristine).
+    pub fn drift_skew(&self) -> &DriftSkew {
+        &self.drift
+    }
+
+    /// Set the accumulated drift to `skew` (absolute, not incremental)
+    /// and re-resolve the operating point: RAPL's dynamic control reacts
+    /// to the *real* power curve, so a cap that was loose on pristine
+    /// silicon can start throttling a drifted module.
+    pub fn set_drift_skew(&mut self, skew: DriftSkew) {
+        self.drift = skew;
+        self.refresh_drift();
+        self.resolve();
+    }
+
+    /// Compose one more drift step onto the accumulated skew.
+    pub fn apply_drift(&mut self, step: &DriftSkew) {
+        self.set_drift_skew(self.drift.compose(step));
+    }
+
+    /// Swap in fresh silicon (module replacement churn): a new base
+    /// fingerprint, no drift, no workload override, zeroed energy
+    /// counters. Slot-level settings — governor, cap, activity, thermal
+    /// environment — stay programmed, as they belong to the rack position
+    /// rather than the part.
+    pub fn replace_silicon(&mut self, variation: ModuleVariation) {
+        self.variation = variation;
+        self.workload_variation = None;
+        self.drift = DriftSkew::IDENTITY;
+        self.drifted = None;
+        self.pkg_counter = EnergyCounter::default();
+        self.dram_counter = EnergyCounter::default();
+        self.pkg_energy = Joules::ZERO;
+        self.dram_energy = Joules::ZERO;
+        self.msrs.write(MSR_PKG_ENERGY_STATUS, 0);
+        self.msrs.write(MSR_DRAM_ENERGY_STATUS, 0);
+        self.resolve();
+    }
+
+    /// Recompute the cached drift-composed fingerprint after either input
+    /// (active fingerprint, accumulated skew) changes.
+    fn refresh_drift(&mut self) {
+        self.drifted = if self.drift.is_identity() {
+            None
+        } else {
+            let active = self.workload_variation.as_ref().unwrap_or(&self.variation);
+            Some(active.skewed(&self.drift))
+        };
     }
 
     /// The module's P-state table.
@@ -535,6 +603,60 @@ mod tests {
         m.set_workload_variation(Some(hot));
         let residual = m.module_power().value() - m.pvt_predicted_power().value();
         assert!(residual > 1.0, "hungrier workload fingerprint must overshoot PVT prediction by watts, got {residual}");
+    }
+
+    #[test]
+    fn drift_skew_diverges_actual_from_pvt_prediction() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        let pristine = m.module_power();
+        // identity drift is bitwise a no-op
+        m.set_drift_skew(DriftSkew::IDENTITY);
+        assert_eq!(m.module_power().value().to_bits(), pristine.value().to_bits());
+        // an aging/thermal step makes the module hungrier than its stale
+        // calibration predicts: the exact residual the drift detector eats
+        m.apply_drift(&DriftSkew { dynamic: 1.06, leakage: 1.25, dram: 1.0 });
+        let residual = m.module_power().value() - m.pvt_predicted_power().value();
+        assert!(residual > 1.0, "drifted module must overshoot the PVT prediction, got {residual}");
+        assert!(!m.drift_skew().is_identity());
+    }
+
+    #[test]
+    fn drift_composes_on_top_of_workload_override() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        let mut hot = ModuleVariation::nominal(0, 12);
+        hot.dynamic = 1.05;
+        m.set_workload_variation(Some(hot));
+        let with_override = m.module_power();
+        m.apply_drift(&DriftSkew { dynamic: 1.04, leakage: 1.1, dram: 1.0 });
+        assert!(m.module_power() > with_override, "drift must stack on the override");
+        // clearing the override keeps the drift (it belongs to the silicon)
+        m.set_workload_variation(None);
+        let base_drifted = m.module_power();
+        m.set_drift_skew(DriftSkew::IDENTITY);
+        assert!(base_drifted > m.module_power());
+    }
+
+    #[test]
+    fn replace_silicon_resets_drift_and_counters_but_keeps_slot_settings() {
+        let mut m = nominal_module();
+        m.set_activity(busy());
+        m.set_cap(RaplLimit::with_default_window(Watts(68.25)));
+        m.apply_drift(&DriftSkew { dynamic: 1.1, leakage: 1.3, dram: 1.05 });
+        m.step(Seconds::from_millis(50.0));
+        assert!(m.pkg_energy() > Joules::ZERO);
+        let fresh = ModuleVariation::nominal(0, 12);
+        m.replace_silicon(fresh.clone());
+        assert_eq!(m.base_variation(), &fresh);
+        assert!(m.drift_skew().is_identity());
+        assert!(m.workload_variation().is_none());
+        assert_eq!(m.pkg_energy(), Joules::ZERO);
+        assert_eq!(m.dram_energy(), Joules::ZERO);
+        assert!(m.cap().is_some(), "the slot keeps its programmed cap");
+        assert_eq!(m.activity(), busy());
+        let residual = (m.module_power().value() - m.pvt_predicted_power().value()).abs();
+        assert!(residual < 1e-12, "fresh silicon matches its own calibration");
     }
 
     #[test]

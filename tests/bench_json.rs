@@ -85,6 +85,40 @@ fn fleet_scaling_record_holds_measured_numbers_and_targets() {
 }
 
 #[test]
+fn scenario_record_holds_measured_numbers_and_floors() {
+    // The non-stationary story is only real if the committed record
+    // carries measured timings — and those timings hit the floors the
+    // subsystem promises: the full driftstudy grid inside a
+    // CI-tolerable window, sub-second schedule generation at 10k
+    // modules, and perturbation application fast enough that the
+    // scenario layer is never the bottleneck of a campaign.
+    let doc = read("BENCH_scenario.json");
+    let results = doc.find("\"results\"").expect("results section in BENCH_scenario.json");
+    for key in [
+        "driftstudy_96_s",
+        "gen_mixed_10k_s",
+        "aging_apply_96_events_per_s",
+        "aging_apply_10k_events_per_s",
+    ] {
+        assert!(numeric_field(&doc, results, key) > 0.0, "{key} must be a measured positive number");
+    }
+    assert!(
+        numeric_field(&doc, results, "driftstudy_96_s") < 120.0,
+        "the 48-cell driftstudy grid at 96 modules must stay inside a CI-tolerable window"
+    );
+    assert!(
+        numeric_field(&doc, results, "gen_mixed_10k_s") < 1.0,
+        "mixed-schedule generation at 10k modules must be sub-second"
+    );
+    for key in ["aging_apply_96_events_per_s", "aging_apply_10k_events_per_s"] {
+        assert!(
+            numeric_field(&doc, results, key) >= 1e4,
+            "{key}: perturbation application must sustain at least 10k events/s"
+        );
+    }
+}
+
+#[test]
 fn daemon_soak_recorded_nontrivial_errorfree_throughput() {
     let doc = read("BENCH_daemon.json");
     let results = doc.find("\"results\"").expect("results section in BENCH_daemon.json");

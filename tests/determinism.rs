@@ -132,6 +132,31 @@ fn sched_study_is_seed_and_thread_count_invariant() {
 }
 
 #[test]
+fn drift_study_is_seed_and_thread_count_invariant() {
+    // The drift study fans (scenario × recal policy × cap) cells over
+    // threads; scenario event streams, faulted sensor readings, and
+    // re-calibration sweeps are all seeded, so the CSV must be
+    // byte-identical across thread counts and same-seed reruns.
+    use vap_report::experiments::drift_study;
+    use vap_report::RunOptions;
+    let at = |threads: usize| RunOptions {
+        modules: Some(16),
+        seed: 2015,
+        threads: Some(threads),
+        ..RunOptions::default()
+    };
+    let serial = drift_study::run(&at(1));
+    let parallel = drift_study::run(&at(4));
+    assert_eq!(
+        drift_study::to_csv(&serial),
+        drift_study::to_csv(&parallel),
+        "driftstudy CSV must not depend on --threads"
+    );
+    let again = drift_study::run(&at(1));
+    assert_eq!(drift_study::to_csv(&serial), drift_study::to_csv(&again));
+}
+
+#[test]
 fn fleet_scale_construction_and_sweep_are_deterministic() {
     // Fleet scale: the SoA layout must stay bit-for-bit reproducible at
     // 10k modules — same-seed fleets identical, different-seed fleets
